@@ -1,0 +1,45 @@
+//! Whole-query costs of the multistep configurations — the Criterion
+//! counterpart of the figures' response-time panels, at a fixed database
+//! size suitable for statistically sound micro-benchmarking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earthmover_bench::{Config, Workload};
+use earthmover_core::lower_bounds::ExactEmd;
+use earthmover_core::multistep::linear_scan_knn;
+use earthmover_core::pipeline::KnnAlgorithm;
+use std::hint::black_box;
+
+fn bench_knn(c: &mut Criterion) {
+    let w = Workload::build(64, 2_000, 4, 0xC0FFEE);
+    let q = &w.queries[0];
+    let k = 10;
+
+    let mut group = c.benchmark_group("knn_2000_objects_d64");
+    group.sample_size(20);
+    for config in Config::all() {
+        let engine = config.engine(&w, KnnAlgorithm::Optimal);
+        group.bench_function(BenchmarkId::new("optimal", config.label()), |b| {
+            b.iter(|| black_box(engine.knn(black_box(q), k)))
+        });
+    }
+    // GEMINI on the best scan filter, for the Figure 10 contrast.
+    let engine = Config::Man.engine(&w, KnnAlgorithm::Gemini);
+    group.bench_function(BenchmarkId::new("gemini", "LB_Man"), |b| {
+        b.iter(|| black_box(engine.knn(black_box(q), k)))
+    });
+    group.finish();
+
+    // The sequential-scan EMD floor, on a reduced database (it is ~1000×
+    // slower per object; 200 objects keep the benchmark finite).
+    let small = Workload::build(64, 200, 1, 0xC0FFEE);
+    let exact = ExactEmd::new(small.grid.cost_matrix());
+    let mut group = c.benchmark_group("knn_seqscan_emd_d64");
+    group.sample_size(10);
+    group.bench_function("200_objects", |b| {
+        b.iter(|| black_box(linear_scan_knn(&small.db, &small.queries[0], k, &exact)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

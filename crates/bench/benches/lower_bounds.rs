@@ -1,0 +1,79 @@
+//! Lower-bound construction and evaluation costs, including the §4.6
+//! ablation: what the diagonal-reduction and symmetric-maximization
+//! refinements of `LB_IM` cost per evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earthmover_bench::Workload;
+use earthmover_core::lower_bounds::{DistanceMeasure, LbIm, LbManhattan};
+use std::hint::black_box;
+
+fn bench_im_ablation(c: &mut Criterion) {
+    let w = Workload::build(64, 64, 2, 0xAB01);
+    let cost = w.grid.cost_matrix();
+    let x = w.db.get(5).clone();
+    let y = w.db.get(41).clone();
+
+    let mut group = c.benchmark_group("lb_im_ablation_d64");
+    let configs = [
+        ("basic", false, false),
+        ("diag", true, false),
+        ("sym", false, true),
+        ("diag+sym", true, true),
+    ];
+    for (name, refine, sym) in configs {
+        let lb = LbIm::with_options(&cost, refine, sym);
+        group.bench_function(BenchmarkId::new("eval", name), |b| {
+            b.iter(|| black_box(lb.distance(black_box(&x), black_box(&y))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_construction");
+    for dims in [16usize, 32, 64] {
+        let w = Workload::build(dims, 8, 0, 0xAB02);
+        let cost = w.grid.cost_matrix();
+        group.bench_function(BenchmarkId::new("LbManhattan::new", dims), |b| {
+            b.iter(|| black_box(LbManhattan::new(black_box(&cost))))
+        });
+        group.bench_function(BenchmarkId::new("LbIm::new", dims), |b| {
+            b.iter(|| black_box(LbIm::new(black_box(&cost))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_throughput(c: &mut Criterion) {
+    // Whole-database filter scans: the first-phase cost of the "simple
+    // multistep" configurations.
+    let w = Workload::build(64, 1_000, 1, 0xAB03);
+    let cost = w.grid.cost_matrix();
+    let q = &w.queries[0];
+    let man = LbManhattan::new(&cost);
+    let im = LbIm::new(&cost);
+
+    let mut group = c.benchmark_group("scan_1000_objects_d64");
+    group.bench_function("LB_Man", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, h) in w.db.iter() {
+                acc += man.distance(q, h);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("LB_IM", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, h) in w.db.iter() {
+                acc += im.distance(q, h);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_im_ablation, bench_construction, bench_scan_throughput);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! R-tree substrate costs: bulk loading, insertion, range queries, and
+//! incremental ranking on the 3-D index keys of §4.7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earthmover_rtree::{QueryStats, RTree, WeightedLp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<(Vec<f64>, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            (
+                vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()],
+                id as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build_3d");
+    for n in [1_000usize, 10_000] {
+        let pts = points(n, 1);
+        group.bench_function(BenchmarkId::new("bulk_load", n), |b| {
+            b.iter(|| black_box(RTree::bulk_load(3, pts.clone())))
+        });
+        group.bench_function(BenchmarkId::new("insert", n), |b| {
+            b.iter(|| {
+                let mut t = RTree::new(3);
+                for (p, id) in &pts {
+                    t.insert(p, *id);
+                }
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 20_000;
+    let tree = RTree::bulk_load(3, points(n, 2));
+    let metric = WeightedLp::l2(vec![1.0, 1.0, 1.0]);
+    let q = [0.4, 0.5, 0.6];
+
+    let mut group = c.benchmark_group("rtree_query_20k_3d");
+    group.bench_function("range_within_r0.05", |b| {
+        b.iter(|| {
+            let mut stats = QueryStats::default();
+            black_box(tree.range_within(black_box(&q), 0.05, &metric, &mut stats))
+        })
+    });
+    group.bench_function("rank_first_100", |b| {
+        b.iter(|| {
+            let taken: Vec<_> = tree.rank_by_distance(black_box(&q), &metric).take(100).collect();
+            black_box(taken)
+        })
+    });
+    group.bench_function("rank_exhaustive", |b| {
+        b.iter(|| {
+            let count = tree.rank_by_distance(black_box(&q), &metric).count();
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

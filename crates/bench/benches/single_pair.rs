@@ -1,0 +1,85 @@
+//! Single-pair distance costs (the table behind §1's motivation and the
+//! per-evaluation costs underlying every response-time figure):
+//! exact EMD via the transportation simplex, exact EMD via the textbook
+//! dense LP (what the paper calls "the simplex method as found in
+//! numerical mathematics literature"), and every lower bound, at the
+//! paper's three histogram resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use earthmover_bench::Workload;
+use earthmover_core::lower_bounds::{
+    DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
+};
+use earthmover_lp::{Problem, Relation};
+use std::hint::black_box;
+
+/// The EMD as a generic LP — the naive formulation the paper rejects.
+fn emd_via_lp(x: &[f64], y: &[f64], cost: &earthmover_core::CostMatrix) -> f64 {
+    let n = x.len();
+    let mut objective = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            objective.push(cost.get(i, j));
+        }
+    }
+    let mut p = Problem::minimize(objective);
+    for i in 0..n {
+        let mut row = vec![0.0; n * n];
+        for j in 0..n {
+            row[i * n + j] = 1.0;
+        }
+        p.constrain(row, Relation::Eq, x[i]);
+    }
+    for j in 0..n {
+        let mut col = vec![0.0; n * n];
+        for i in 0..n {
+            col[i * n + j] = 1.0;
+        }
+        p.constrain(col, Relation::Eq, y[j]);
+    }
+    p.solve().expect("feasible").objective
+}
+
+fn bench_single_pair(c: &mut Criterion) {
+    for dims in [16usize, 32, 64] {
+        let w = Workload::build(dims, 64, 2, 0xBEEF);
+        let cost = w.grid.cost_matrix();
+        let x = w.db.get(3).clone();
+        let y = w.db.get(17).clone();
+
+        let mut group = c.benchmark_group(format!("single_pair_d{dims}"));
+
+        let exact = ExactEmd::new(cost.clone());
+        group.bench_function(BenchmarkId::new("EMD_transport", dims), |b| {
+            b.iter(|| black_box(exact.distance(black_box(&x), black_box(&y))))
+        });
+
+        // The dense-LP route is O((n²)³)-ish per pivot set — keep sample
+        // counts low and skip the largest size (it is exactly the cost the
+        // paper's architecture exists to avoid).
+        if dims <= 32 {
+            group.sample_size(10);
+            group.bench_function(BenchmarkId::new("EMD_dense_lp", dims), |b| {
+                b.iter(|| black_box(emd_via_lp(x.bins(), y.bins(), &cost)))
+            });
+            group.sample_size(100);
+        }
+
+        let measures: Vec<Box<dyn DistanceMeasure>> = vec![
+            Box::new(LbAvg::new(w.grid.centroids().to_vec())),
+            Box::new(LbManhattan::new(&cost)),
+            Box::new(LbMax::new(&cost)),
+            Box::new(LbEuclidean::new(&cost)),
+            Box::new(LbIm::new(&cost)),
+        ];
+        for m in &measures {
+            group.bench_function(BenchmarkId::new(m.name(), dims), |b| {
+                b.iter(|| black_box(m.distance(black_box(&x), black_box(&y))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_single_pair);
+criterion_main!(benches);

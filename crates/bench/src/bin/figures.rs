@@ -1,0 +1,446 @@
+//! Regenerates every figure of the paper's evaluation (§5).
+//!
+//! ```sh
+//! cargo run --release -p earthmover-bench --bin figures -- all
+//! cargo run --release -p earthmover-bench --bin figures -- scalability --scale 1.0
+//! ```
+//!
+//! Subcommands (one per paper figure; see DESIGN.md §3 for the mapping):
+//!
+//! * `iso`              — Figure 2/4: EMD and filter iso-contours (PGM files)
+//! * `scalability`      — Figure 7: selectivity & time vs database size
+//! * `dimensionality`   — Figure 8: selectivity & time vs histogram size
+//! * `result-size`      — Figure 9: selectivity & time vs k
+//! * `query-processing` — Figure 10: GEMINI vs optimal multistep
+//! * `tightness`        — §4.5/§4.6 ablations: LB/EMD ratios per filter
+//! * `all`              — everything above
+//!
+//! Flags: `--scale <f>` multiplies the database sizes (default 0.1 of the
+//! paper's 25k–200k), `--queries <n>` sets the query count (default 20;
+//! the paper used 200), `--csv` switches to CSV output.
+
+use earthmover_bench::{measure_knn, print_table, Config, Measurement, Workload};
+use earthmover_core::lower_bounds::{
+    DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
+};
+use earthmover_core::multistep::linear_scan_knn;
+use earthmover_core::pipeline::KnnAlgorithm;
+use earthmover_core::stats::QueryStats;
+
+struct Options {
+    scale: f64,
+    queries: usize,
+    csv: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut options = Options {
+        scale: 0.1,
+        queries: 20,
+        csv: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--scale needs a positive number");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--queries" => {
+                options.queries = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--queries needs a non-negative integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => options.csv = true,
+            cmd if command.is_none() && !cmd.starts_with("--") => {
+                command = Some(cmd.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match command.as_deref() {
+        Some("iso") => iso(&options),
+        Some("scalability") => scalability(&options),
+        Some("dimensionality") => dimensionality(&options),
+        Some("result-size") => result_size(&options),
+        Some("query-processing") => query_processing(&options),
+        Some("tightness") => tightness(&options),
+        Some("direct-vs-multistep") => direct_vs_multistep(&options),
+        Some("ablation-dims") => ablation_dims(&options),
+        Some("all") => {
+            iso(&options);
+            scalability(&options);
+            dimensionality(&options);
+            result_size(&options);
+            query_processing(&options);
+            tightness(&options);
+            direct_vs_multistep(&options);
+            ablation_dims(&options);
+        }
+        _ => {
+            eprintln!(
+                "usage: figures <iso|scalability|dimensionality|result-size|query-processing|tightness|direct-vs-multistep|ablation-dims|all> \
+                 [--scale f] [--queries n] [--csv]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Paper database sizes 25k/50k/100k/200k, scaled.
+fn db_sizes(scale: f64) -> Vec<usize> {
+    [25_000, 50_000, 100_000, 200_000]
+        .iter()
+        .map(|s| ((*s as f64 * scale) as usize).max(100))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 / Figure 4: iso-contours
+// ---------------------------------------------------------------------------
+
+fn iso(_options: &Options) {
+    use earthmover_core::ground::BinGrid;
+    use earthmover_core::histogram::Histogram;
+    use earthmover_imaging::pnm::save_pgm;
+
+    const SIZE: usize = 201;
+    let grid = BinGrid::new(vec![3]);
+    let cost = grid.cost_matrix();
+    let center = Histogram::new(vec![0.34, 0.33, 0.33]).expect("valid");
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+
+    let measures: Vec<(&str, Box<dyn DistanceMeasure>)> = vec![
+        ("fig2_emd", Box::new(ExactEmd::new(cost.clone()))),
+        ("fig4_lb_man", Box::new(LbManhattan::new(&cost))),
+        ("fig4_lb_max", Box::new(LbMax::new(&cost))),
+        ("fig4_lb_eucl", Box::new(LbEuclidean::new(&cost))),
+        ("fig4_lb_im", Box::new(LbIm::new(&cost))),
+    ];
+    println!("\n=== Figures 2 & 4: iso-contours (PGM renderings) ===");
+    for (name, measure) in &measures {
+        let mut raw = vec![f64::NAN; SIZE * SIZE];
+        let mut max = f64::MIN_POSITIVE;
+        for y in 0..SIZE {
+            for x in 0..SIZE {
+                let a = x as f64 / (SIZE - 1) as f64;
+                let b = y as f64 / (SIZE - 1) as f64;
+                if a + b > 1.0 {
+                    continue;
+                }
+                let h = Histogram::new(vec![a, b, (1.0 - a - b).max(0.0)]).expect("valid");
+                let d = measure.distance(&h, &center);
+                raw[y * SIZE + x] = d;
+                max = max.max(d);
+            }
+        }
+        let values: Vec<f64> = raw
+            .iter()
+            .map(|r| {
+                if r.is_nan() {
+                    1.0
+                } else {
+                    ((r / max) * 12.0).floor() / 12.0
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{name}.pgm"));
+        save_pgm(SIZE, SIZE, &values, &path).expect("write pgm");
+        println!("  wrote {}", path.display());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: scalability over database size
+// ---------------------------------------------------------------------------
+
+fn scalability(options: &Options) {
+    let k = 10;
+    let dims = 64;
+    for db_size in db_sizes(options.scale) {
+        let w = Workload::build(dims, db_size, options.queries, 0xF167);
+        let rows: Vec<Measurement> = Config::all()
+            .iter()
+            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .collect();
+        print_table(
+            &format!("Figure 7: k=10-NN, d=64, |DB| = {db_size}"),
+            &rows,
+            options.csv,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: dimensionality
+// ---------------------------------------------------------------------------
+
+fn dimensionality(options: &Options) {
+    let k = 10;
+    let db_size = *db_sizes(options.scale).last().expect("nonempty");
+    for dims in [16, 32, 64] {
+        let w = Workload::build(dims, db_size, options.queries, 0xF168);
+        let mut rows: Vec<Measurement> = Config::all()
+            .iter()
+            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .collect();
+
+        // Sequential-scan exact EMD baseline (the "EMD" series of the
+        // paper's right panel). One query suffices — the cost is exactly
+        // |DB| EMD evaluations regardless of the query.
+        let exact = ExactEmd::new(w.grid.cost_matrix());
+        let mut merged = QueryStats::default();
+        let baseline_queries = &w.queries[..1.min(w.queries.len())];
+        for q in baseline_queries {
+            let r = linear_scan_knn(&w.db, q, k, &exact);
+            merged.merge(&r.stats);
+        }
+        rows.push(Measurement {
+            label: "SeqScan EMD".into(),
+            selectivity: 1.0,
+            time_per_query: merged.elapsed / baseline_queries.len().max(1) as u32,
+            exact_evaluations: w.db.len() as f64,
+            node_accesses: 0.0,
+        });
+        print_table(
+            &format!("Figure 8: k=10-NN, |DB| = {db_size}, d = {dims}"),
+            &rows,
+            options.csv,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: result size k
+// ---------------------------------------------------------------------------
+
+fn result_size(options: &Options) {
+    let dims = 64;
+    let db_size = *db_sizes(options.scale).last().expect("nonempty");
+    let w = Workload::build(dims, db_size, options.queries, 0xF169);
+    for k in [1, 5, 10, 15, 20] {
+        let rows: Vec<Measurement> = Config::all()
+            .iter()
+            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .collect();
+        print_table(
+            &format!("Figure 9: |DB| = {db_size}, d = 64, k = {k}"),
+            &rows,
+            options.csv,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: GEMINI vs optimal multistep
+// ---------------------------------------------------------------------------
+
+fn query_processing(options: &Options) {
+    let dims = 64;
+    let k = 10;
+    let db_size = *db_sizes(options.scale).last().expect("nonempty");
+    let w = Workload::build(dims, db_size, options.queries, 0xF1610);
+    let mut rows = Vec::new();
+    for config in [Config::Man, Config::Im] {
+        for (alg, alg_label) in [
+            (KnnAlgorithm::Gemini, "GEMINI"),
+            (KnnAlgorithm::Optimal, "optimal"),
+        ] {
+            let engine = config.engine(&w, alg);
+            let label = format!("{} / {}", config.label(), alg_label);
+            let m = measure_knn(&label, &engine, &w.queries, k);
+            rows.push(m);
+        }
+    }
+    print_table(
+        &format!("Figure 10: |DB| = {db_size}, d = 64, k = 10 — GEMINI vs optimal"),
+        &rows,
+        options.csv,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tightness ablation (§4.5 dominance, §4.6 refinements)
+// ---------------------------------------------------------------------------
+
+fn tightness(options: &Options) {
+    let db_size = 300;
+    for dims in [16, 32, 64] {
+        let w = Workload::build(dims, db_size, 0, 0xF16AB);
+        let cost = w.grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let filters: Vec<(&str, Box<dyn DistanceMeasure>)> = vec![
+            ("LB_Avg", Box::new(LbAvg::new(w.grid.centroids().to_vec()))),
+            ("LB_Man", Box::new(LbManhattan::new(&cost))),
+            ("LB_Max", Box::new(LbMax::new(&cost))),
+            ("LB_Eucl", Box::new(LbEuclidean::new(&cost))),
+            (
+                "LB_IM basic",
+                Box::new(LbIm::with_options(&cost, false, false)),
+            ),
+            (
+                "LB_IM +diag",
+                Box::new(LbIm::with_options(&cost, true, false)),
+            ),
+            (
+                "LB_IM +diag+sym",
+                Box::new(LbIm::with_options(&cost, true, true)),
+            ),
+        ];
+        let pairs: Vec<(usize, usize)> = (0..w.db.len())
+            .flat_map(|i| ((i + 1)..w.db.len()).step_by(17).map(move |j| (i, j)))
+            .take(400)
+            .collect();
+        let exact_values: Vec<f64> = pairs
+            .iter()
+            .map(|&(i, j)| exact.distance(w.db.get(i), w.db.get(j)))
+            .collect();
+
+        if options.csv {
+            println!("# tightness d={dims}");
+            println!("filter,mean_ratio,min_ratio");
+        } else {
+            println!(
+                "\n=== Tightness (mean LB/EMD over {} pairs, d = {dims}) ===",
+                pairs.len()
+            );
+            println!("{:<16} {:>12} {:>12}", "filter", "mean ratio", "min ratio");
+        }
+        for (name, filter) in &filters {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut counted = 0usize;
+            for (&(i, j), &e) in pairs.iter().zip(&exact_values) {
+                if e <= 1e-12 {
+                    continue;
+                }
+                let r = filter.distance(w.db.get(i), w.db.get(j)) / e;
+                sum += r;
+                min = min.min(r);
+                counted += 1;
+            }
+            if options.csv {
+                println!("{name},{:.6},{:.6}", sum / counted as f64, min);
+            } else {
+                println!("{:<16} {:>12.4} {:>12.4}", name, sum / counted as f64, min);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §3.1: direct metric indexing (M-tree over the exact EMD) vs multistep
+// ---------------------------------------------------------------------------
+
+fn direct_vs_multistep(options: &Options) {
+    use earthmover_mtree::MTree;
+    use std::time::Instant;
+
+    let dims = 64;
+    let k = 10;
+    // The M-tree pays exact EMD evaluations even while *building*; keep
+    // this experiment at a modest size so it terminates promptly.
+    let db_size = ((2_000.0 * options.scale / 0.1) as usize).clamp(500, 20_000);
+    let queries = options.queries.min(5);
+    let w = Workload::build(dims, db_size, queries, 0xD1EC);
+    let exact = ExactEmd::new(w.grid.cost_matrix());
+
+    println!(
+        "\n=== §3.1: direct M-tree(EMD) vs multistep — |DB| = {db_size}, d = 64, k = {k} ==="
+    );
+
+    // Direct: index the histograms themselves under the exact EMD. Every
+    // routing decision during construction already costs EMD evaluations.
+    let build_start = Instant::now();
+    let metric_h = |a: &earthmover_core::histogram::Histogram,
+                    b: &earthmover_core::histogram::Histogram| exact.distance(a, b);
+    let mut mtree_h = MTree::new(metric_h);
+    for (_, h) in w.db.iter() {
+        mtree_h.insert(h.clone());
+    }
+    let build_evals = mtree_h.distance_evaluations();
+    let build_time = build_start.elapsed();
+    println!(
+        "M-tree build: {} EMD evaluations, {:.1} s",
+        build_evals,
+        build_time.as_secs_f64()
+    );
+
+    let mut direct_evals = 0u64;
+    let mut direct_time = std::time::Duration::ZERO;
+    for q in &w.queries {
+        let start = Instant::now();
+        let (_, evals) = mtree_h.knn(q, k);
+        direct_time += start.elapsed();
+        direct_evals += evals;
+    }
+    let nq = w.queries.len().max(1) as f64;
+    println!(
+        "M-tree k-NN : {:.1} EMD evaluations/query ({:.2}% selectivity), {:.1} ms/query",
+        direct_evals as f64 / nq,
+        100.0 * direct_evals as f64 / nq / db_size as f64,
+        direct_time.as_secs_f64() * 1e3 / nq
+    );
+
+    // Multistep: the paper's two-phase pipeline on the same workload.
+    let engine = Config::ComboAvg.engine(&w, KnnAlgorithm::Optimal);
+    let m = measure_knn("combo", &engine, &w.queries, k);
+    println!(
+        "Multistep   : {:.1} EMD evaluations/query ({:.2}% selectivity), {:.1} ms/query",
+        m.exact_evaluations,
+        100.0 * m.selectivity,
+        m.time_per_query.as_secs_f64() * 1e3
+    );
+    println!(
+        "(index build for the multistep engine costs zero EMD evaluations;\n the M-tree build alone cost {build_evals})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §4.7 design-choice ablation: how many reduced index dimensions?
+// ---------------------------------------------------------------------------
+
+/// The paper fixes the index at three dimensions (the color-space arity
+/// for `LB_Avg`, matched by the reduced `LB_Man`). This ablation sweeps
+/// the reduced dimensionality of the Manhattan index: more dimensions
+/// make the filter tighter but the R-tree less effective (the curse of
+/// dimensionality the paper cites via [4, 32]).
+fn ablation_dims(options: &Options) {
+    use earthmover_core::pipeline::{FirstStage, QueryEngine};
+
+    let k = 10;
+    let db_size = *db_sizes(options.scale).last().expect("nonempty");
+    let w = Workload::build(64, db_size, options.queries, 0xAB1A);
+    let mut rows = Vec::new();
+    for dims in [2usize, 3, 4, 6, 8, 12] {
+        let engine = QueryEngine::builder(&w.db, &w.grid)
+            .first_stage(FirstStage::ManhattanIndex { dims })
+            .lb_im(true)
+            .algorithm(KnnAlgorithm::Optimal)
+            .build();
+        let mut m = measure_knn("", &engine, &w.queries, k);
+        m.label = format!("Man{dims}D + IM");
+        rows.push(m);
+    }
+    print_table(
+        &format!("Ablation: reduced index dimensionality, |DB| = {db_size}, d = 64, k = 10"),
+        &rows,
+        options.csv,
+    );
+}

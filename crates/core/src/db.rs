@@ -1,0 +1,176 @@
+//! The histogram database: the collection multistep queries run against.
+
+use crate::histogram::{Histogram, HistogramError};
+
+/// An in-memory collection of equal-arity, mass-normalized histograms.
+///
+/// Object ids are positions (`0..len`). Every histogram is normalized to
+/// total mass 1 on ingest, which is both the paper's setting (equal-mass
+/// histograms, §2) and what makes a single filter weight vector valid for
+/// the whole database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDb {
+    dims: usize,
+    histograms: Vec<Histogram>,
+}
+
+impl HistogramDb {
+    /// Creates an empty database for histograms of `dims` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "histogram dimensionality must be positive");
+        HistogramDb {
+            dims,
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Number of bins per histogram.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored histograms.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True when no histograms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Appends a histogram (normalizing it to mass 1) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch. Returns an error only for an all-zero
+    /// histogram, which cannot be normalized.
+    pub fn try_push(&mut self, h: Histogram) -> Result<usize, HistogramError> {
+        assert_eq!(h.len(), self.dims, "histogram arity mismatch");
+        let h = h.into_normalized()?;
+        self.histograms.push(h);
+        Ok(self.histograms.len() - 1)
+    }
+
+    /// [`HistogramDb::try_push`] that panics on an all-zero histogram —
+    /// convenient for generated workloads that guarantee positive mass.
+    pub fn push(&mut self, h: Histogram) -> usize {
+        self.try_push(h).expect("histogram must have positive mass")
+    }
+
+    /// Appends an already-normalized histogram verbatim, without
+    /// re-normalizing. Used by [`crate::storage`] when reloading a
+    /// database whose contents are canonical by construction —
+    /// re-dividing by a recomputed mass of `1.0 ± ulp` would perturb the
+    /// stored bins and break bit-exact round trips.
+    pub(crate) fn push_normalized_unchecked(&mut self, h: Histogram) {
+        debug_assert_eq!(h.len(), self.dims);
+        debug_assert!((h.mass() - 1.0).abs() < 1e-6, "mass {} not ~1", h.mass());
+        self.histograms.push(h);
+    }
+
+    /// The histogram with the given id.
+    pub fn get(&self, id: usize) -> &Histogram {
+        &self.histograms[id]
+    }
+
+    /// Iterates `(id, histogram)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Histogram)> {
+        self.histograms.iter().enumerate()
+    }
+
+    /// All histograms in id order.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.histograms
+    }
+
+    /// Per-bin variance across the database — the signal used to pick the
+    /// three most discriminative dimensions for the reduced Manhattan
+    /// index filter (§4.7).
+    pub fn bin_variances(&self) -> Vec<f64> {
+        let n = self.histograms.len();
+        if n == 0 {
+            return vec![0.0; self.dims];
+        }
+        let mut mean = vec![0.0; self.dims];
+        for h in &self.histograms {
+            for (m, b) in mean.iter_mut().zip(h.bins()) {
+                *m += b;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; self.dims];
+        for h in &self.histograms {
+            for ((v, m), b) in var.iter_mut().zip(&mean).zip(h.bins()) {
+                let d = b - m;
+                *v += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n as f64;
+        }
+        var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_normalizes() {
+        let mut db = HistogramDb::new(2);
+        let id = db.push(Histogram::new(vec![2.0, 2.0]).unwrap());
+        assert_eq!(id, 0);
+        assert!((db.get(0).mass() - 1.0).abs() < 1e-12);
+        assert!((db.get(0).get(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_rejected() {
+        let mut db = HistogramDb::new(2);
+        assert!(db.try_push(Histogram::new(vec![0.0, 0.0]).unwrap()).is_err());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut db = HistogramDb::new(3);
+        db.push(Histogram::new(vec![1.0]).unwrap());
+    }
+
+    #[test]
+    fn variances_identify_spread_dimensions() {
+        let mut db = HistogramDb::new(3);
+        // Bin 0 varies wildly, bin 2 is constant.
+        db.push(Histogram::new(vec![1.0, 0.0, 1.0]).unwrap());
+        db.push(Histogram::new(vec![0.0, 1.0, 1.0]).unwrap());
+        db.push(Histogram::new(vec![1.0, 0.0, 1.0]).unwrap());
+        db.push(Histogram::new(vec![0.0, 1.0, 1.0]).unwrap());
+        let v = db.bin_variances();
+        assert!(v[0] > v[2]);
+        assert!(v[1] > v[2]);
+    }
+
+    #[test]
+    fn variance_of_empty_db_is_zero() {
+        let db = HistogramDb::new(4);
+        assert_eq!(db.bin_variances(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn iteration_order_is_id_order() {
+        let mut db = HistogramDb::new(1);
+        db.push(Histogram::new(vec![1.0]).unwrap());
+        db.push(Histogram::new(vec![2.0]).unwrap());
+        let ids: Vec<usize> = db.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

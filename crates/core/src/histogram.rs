@@ -1,0 +1,189 @@
+//! Feature histograms: the objects the database stores and compares.
+
+use std::fmt;
+
+/// A feature histogram: a fixed-arity vector of non-negative bin masses.
+///
+/// The paper compares histograms of equal total mass (the EMD is only
+/// metric under that condition, §2), so retrieval pipelines normalize
+/// every histogram to mass 1 on ingest — see [`Histogram::normalized`] and
+/// [`crate::db::HistogramDb`]. Raw (unnormalized) histograms remain
+/// constructible for the solver-level APIs.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<f64>,
+    /// Cached total mass; kept consistent by construction (bins are
+    /// immutable after creation).
+    mass: f64,
+}
+
+/// Equality compares bin contents only — the cached mass is derived
+/// state (and `into_normalized` pins it to exactly 1.0, which a recomputed
+/// sum may miss by an ulp).
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.bins == other.bins
+    }
+}
+
+/// Errors constructing a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// A bin entry is negative or non-finite.
+    InvalidBin { index: usize, value: f64 },
+    /// Normalization was requested for an all-zero histogram.
+    ZeroMass,
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::InvalidBin { index, value } => {
+                write!(f, "bin {index} = {value} is negative or non-finite")
+            }
+            HistogramError::ZeroMass => write!(f, "cannot normalize an all-zero histogram"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// Wraps raw bin masses, validating non-negativity and finiteness.
+    pub fn new(bins: Vec<f64>) -> Result<Self, HistogramError> {
+        if let Some(idx) = bins.iter().position(|b| !b.is_finite() || *b < 0.0) {
+            return Err(HistogramError::InvalidBin {
+                index: idx,
+                value: bins[idx],
+            });
+        }
+        let mass = bins.iter().sum();
+        Ok(Histogram { bins, mass })
+    }
+
+    /// Builds a histogram normalized to total mass 1.
+    pub fn normalized(bins: Vec<f64>) -> Result<Self, HistogramError> {
+        let h = Self::new(bins)?;
+        h.into_normalized()
+    }
+
+    /// Consumes the histogram and rescales it to total mass 1.
+    pub fn into_normalized(mut self) -> Result<Self, HistogramError> {
+        if self.mass <= 0.0 {
+            return Err(HistogramError::ZeroMass);
+        }
+        let inv = 1.0 / self.mass;
+        for b in &mut self.bins {
+            *b *= inv;
+        }
+        self.mass = 1.0;
+        Ok(self)
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True for a zero-arity histogram.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Mass of bin `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.bins[i]
+    }
+
+    /// The raw bin masses.
+    #[inline]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Total mass `m = Σ_i x_i` (cached).
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// True when the two histograms carry the same total mass within a
+    /// relative tolerance — the precondition of every distance in this
+    /// crate.
+    pub fn mass_matches(&self, other: &Histogram, rel_tol: f64) -> bool {
+        let scale = self.mass.abs().max(other.mass.abs()).max(1.0);
+        (self.mass - other.mass).abs() <= rel_tol * scale
+    }
+}
+
+impl AsRef<[f64]> for Histogram {
+    fn as_ref(&self) -> &[f64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_cached_sum() {
+        let h = Histogram::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(h.mass(), 6.0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get(1), 2.0);
+    }
+
+    #[test]
+    fn rejects_negative_bins() {
+        let err = Histogram::new(vec![1.0, -0.5]).unwrap_err();
+        assert_eq!(
+            err,
+            HistogramError::InvalidBin {
+                index: 1,
+                value: -0.5
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_nan_bins() {
+        assert!(Histogram::new(vec![f64::NAN]).is_err());
+        assert!(Histogram::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let h = Histogram::normalized(vec![2.0, 6.0]).unwrap();
+        assert!((h.mass() - 1.0).abs() < 1e-12);
+        assert!((h.get(0) - 0.25).abs() < 1e-12);
+        assert!((h.get(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_normalization_fails() {
+        assert_eq!(
+            Histogram::normalized(vec![0.0, 0.0]).unwrap_err(),
+            HistogramError::ZeroMass
+        );
+    }
+
+    #[test]
+    fn mass_matching() {
+        let a = Histogram::new(vec![0.5, 0.5]).unwrap();
+        let b = Histogram::new(vec![1.0, 0.0]).unwrap();
+        let c = Histogram::new(vec![1.0, 0.5]).unwrap();
+        assert!(a.mass_matches(&b, 1e-9));
+        assert!(!a.mass_matches(&c, 1e-9));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(vec![]).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.mass(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The exact Earth Mover's Distance as a [`DistanceMeasure`].
+
+use super::DistanceMeasure;
+use crate::histogram::Histogram;
+use earthmover_transport::{emd, CostMatrix};
+
+/// Exact EMD refinement step, backed by the transportation simplex.
+///
+/// This is the `dist_exact` of the multistep architecture: every
+/// candidate that survives the filters is evaluated with this measure.
+/// Construction validates nothing about metricity — pair it with a
+/// metric cost matrix (e.g. [`crate::ground::BinGrid::cost_matrix`]) if
+/// the lower bounds or the metric axioms matter.
+#[derive(Debug, Clone)]
+pub struct ExactEmd {
+    cost: CostMatrix,
+}
+
+impl ExactEmd {
+    /// Wraps a ground-distance cost matrix.
+    pub fn new(cost: CostMatrix) -> Self {
+        ExactEmd { cost }
+    }
+
+    /// The underlying cost matrix.
+    pub fn cost(&self) -> &CostMatrix {
+        &self.cost
+    }
+}
+
+impl DistanceMeasure for ExactEmd {
+    fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+        debug_assert!(
+            x.mass_matches(y, 1e-7),
+            "EMD requires equal-mass histograms: {} vs {}",
+            x.mass(),
+            y.mass()
+        );
+        emd(x.bins(), y.bins(), &self.cost).unwrap_or_else(|e| {
+            panic!(
+                "exact EMD precondition violated (histograms must share arity \
+                 and total mass; normalize queries before use): {e}"
+            )
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "EMD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::line_cost;
+    use super::*;
+
+    #[test]
+    fn matches_transport_crate() {
+        let m = ExactEmd::new(line_cost(4));
+        let x = Histogram::new(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!((m.distance(&x, &y) - 3.0).abs() < 1e-12);
+        assert_eq!(m.name(), "EMD");
+    }
+
+    #[test]
+    fn zero_for_identical() {
+        let m = ExactEmd::new(line_cost(3));
+        let x = Histogram::normalized(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.distance(&x, &x), 0.0);
+    }
+}

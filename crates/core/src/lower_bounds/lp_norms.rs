@@ -1,0 +1,273 @@
+//! The weighted Lp-norm lower bounds of §4.3–§4.5.
+//!
+//! All three share the same insight (§4.3): after the zero-cost diagonal
+//! flow `f_ii = min(x_i, y_i)`, each bin still has `|x_i - y_i|` units of
+//! mass that must travel to *some other* bin, paying at least the cheapest
+//! off-diagonal cost of its row. Summing (L1), taking the maximum (L∞), or
+//! root-of-squares (L2) of these per-bin floors yields a filter whose
+//! iso-surface is a hyperdiamond, hyperrectangle, or hyperellipsoid hugging
+//! the EMD's polytope from inside.
+
+use super::DistanceMeasure;
+use crate::histogram::Histogram;
+use earthmover_transport::CostMatrix;
+
+/// Per-row minimum off-diagonal costs `min_{j≠i} c_ij` — the raw weights
+/// shared by [`LbManhattan`], [`LbMax`], and [`LbEuclidean`] before the
+/// `1/(2m)` (resp. `1/m`) normalization that happens at evaluation time.
+///
+/// For a single-bin matrix there is no off-diagonal entry; the weight is 0
+/// (the EMD between single-bin equal-mass histograms is 0 as well, so the
+/// bound stays valid and tight).
+pub fn min_off_diagonal_costs(cost: &CostMatrix) -> Vec<f64> {
+    let n = cost.len();
+    (0..n)
+        .map(|i| {
+            let row = cost.row(i);
+            row.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| *c)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .map(|w| if w.is_finite() { w } else { 0.0 })
+        .collect()
+}
+
+/// Weighted Manhattan lower bound `LB_Man` (Theorem, §4.3):
+///
+/// ```text
+/// EMD(x, y) ≥ Σ_i  min_{j≠i}{ c_ij / (2m) } · |x_i − y_i|
+/// ```
+///
+/// Geometrically a hyperdiamond; the best of the Lp bounds in the paper's
+/// experiments and the basis of the reduced 3-D index filter of §4.7.
+#[derive(Debug, Clone)]
+pub struct LbManhattan {
+    /// `min_{j≠i} c_ij` per bin (division by `2m` happens per pair).
+    min_costs: Vec<f64>,
+}
+
+impl LbManhattan {
+    /// Derives the filter weights from a ground-distance cost matrix.
+    pub fn new(cost: &CostMatrix) -> Self {
+        LbManhattan {
+            min_costs: min_off_diagonal_costs(cost),
+        }
+    }
+
+    /// The per-bin weights for a given total mass: `min_{j≠i} c_ij / (2m)`.
+    pub fn weights(&self, mass: f64) -> Vec<f64> {
+        self.min_costs.iter().map(|c| c / (2.0 * mass)).collect()
+    }
+
+    /// Raw per-bin minimum off-diagonal costs.
+    pub fn min_costs(&self) -> &[f64] {
+        &self.min_costs
+    }
+}
+
+impl DistanceMeasure for LbManhattan {
+    fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+        debug_assert_eq!(x.len(), self.min_costs.len(), "arity mismatch");
+        debug_assert!(x.mass_matches(y, 1e-7), "equal mass required");
+        let m = x.mass();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .min_costs
+            .iter()
+            .zip(x.bins().iter().zip(y.bins()))
+            .map(|(c, (xi, yi))| c * (xi - yi).abs())
+            .sum();
+        sum / (2.0 * m)
+    }
+
+    fn name(&self) -> &'static str {
+        "LB_Man"
+    }
+}
+
+/// Weighted maximum-norm lower bound `LB_Max` (§4.4):
+///
+/// ```text
+/// EMD(x, y) ≥ max_i { min_{j≠i}{ c_ij / m } · |x_i − y_i| }
+/// ```
+///
+/// Note the denominator is `m`, not `2m`: restricting attention to the
+/// bins where `x_i ≤ y_i` (or symmetric) lets the proof keep the full flow
+/// difference for the single maximizing bin.
+#[derive(Debug, Clone)]
+pub struct LbMax {
+    min_costs: Vec<f64>,
+}
+
+impl LbMax {
+    /// Derives the filter weights from a ground-distance cost matrix.
+    pub fn new(cost: &CostMatrix) -> Self {
+        LbMax {
+            min_costs: min_off_diagonal_costs(cost),
+        }
+    }
+}
+
+impl DistanceMeasure for LbMax {
+    fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+        debug_assert_eq!(x.len(), self.min_costs.len(), "arity mismatch");
+        debug_assert!(x.mass_matches(y, 1e-7), "equal mass required");
+        let m = x.mass();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        self.min_costs
+            .iter()
+            .zip(x.bins().iter().zip(y.bins()))
+            .map(|(c, (xi, yi))| c * (xi - yi).abs())
+            .fold(0.0, f64::max)
+            / m
+    }
+
+    fn name(&self) -> &'static str {
+        "LB_Max"
+    }
+}
+
+/// Weighted Euclidean lower bound `LB_Eucl` (§4.5):
+///
+/// ```text
+/// EMD(x, y) ≥ sqrt( Σ_i ( min_{j≠i}{ c_ij / (2m) } )² (x_i − y_i)² )
+/// ```
+///
+/// Provably dominated by [`LbManhattan`] (its hyperellipsoid encloses the
+/// hyperdiamond), implemented for completeness and measured in the
+/// experiments exactly as the paper did before dropping it from the plots.
+#[derive(Debug, Clone)]
+pub struct LbEuclidean {
+    min_costs: Vec<f64>,
+}
+
+impl LbEuclidean {
+    /// Derives the filter weights from a ground-distance cost matrix.
+    pub fn new(cost: &CostMatrix) -> Self {
+        LbEuclidean {
+            min_costs: min_off_diagonal_costs(cost),
+        }
+    }
+}
+
+impl DistanceMeasure for LbEuclidean {
+    fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+        debug_assert_eq!(x.len(), self.min_costs.len(), "arity mismatch");
+        debug_assert!(x.mass_matches(y, 1e-7), "equal mass required");
+        let m = x.mass();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .min_costs
+            .iter()
+            .zip(x.bins().iter().zip(y.bins()))
+            .map(|(c, (xi, yi))| {
+                let t = c * (xi - yi);
+                t * t
+            })
+            .sum();
+        sum.sqrt() / (2.0 * m)
+    }
+
+    fn name(&self) -> &'static str {
+        "LB_Eucl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{line_cost, paper_example, random_pair};
+    use super::super::ExactEmd;
+    use super::*;
+
+    #[test]
+    fn min_costs_skip_diagonal() {
+        let cost = line_cost(4);
+        assert_eq!(min_off_diagonal_costs(&cost), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn single_bin_weight_is_zero() {
+        let cost = line_cost(1);
+        assert_eq!(min_off_diagonal_costs(&cost), vec![0.0]);
+    }
+
+    #[test]
+    fn manhattan_formula() {
+        // Mass 2 histograms over the line metric: weights are 1/(2*2).
+        let lb = LbManhattan::new(&line_cost(3));
+        let x = Histogram::new(vec![2.0, 0.0, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 0.0, 2.0]).unwrap();
+        // |2-0| + |0-0| + |0-2| = 4; 4 / (2*2) = 1.
+        assert!((lb.distance(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_formula() {
+        let lb = LbMax::new(&line_cost(3));
+        let x = Histogram::new(vec![2.0, 0.0, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 0.0, 2.0]).unwrap();
+        // max_i |x_i - y_i| * 1 / m = 2/2 = 1.
+        assert!((lb.distance(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_dominated_by_manhattan() {
+        // §4.5: LB_Eucl ≤ LB_Man pointwise.
+        for seed in 0..30 {
+            let (x, y, cost) = random_pair(seed, vec![4, 4]);
+            let man = LbManhattan::new(&cost).distance(&x, &y);
+            let eucl = LbEuclidean::new(&cost).distance(&x, &y);
+            assert!(
+                eucl <= man + 1e-12,
+                "seed {seed}: LB_Eucl {eucl} > LB_Man {man}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_lp_bounds_lower_bound_emd_on_paper_example() {
+        let (x, y, cost) = paper_example();
+        let exact = ExactEmd::new(cost.clone()).distance(&x, &y);
+        for lb in [
+            LbManhattan::new(&cost).distance(&x, &y),
+            LbMax::new(&cost).distance(&x, &y),
+            LbEuclidean::new(&cost).distance(&x, &y),
+        ] {
+            assert!(lb <= exact + 1e-12, "{lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn identical_histograms_have_zero_bound() {
+        let (x, _, cost) = paper_example();
+        assert_eq!(LbManhattan::new(&cost).distance(&x, &x), 0.0);
+        assert_eq!(LbMax::new(&cost).distance(&x, &x), 0.0);
+        assert_eq!(LbEuclidean::new(&cost).distance(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn weights_scale_with_mass() {
+        let lb = LbManhattan::new(&line_cost(3));
+        let w1 = lb.weights(1.0);
+        let w2 = lb.weights(2.0);
+        for (a, b) in w1.iter().zip(&w2) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn names() {
+        let cost = line_cost(2);
+        assert_eq!(LbManhattan::new(&cost).name(), "LB_Man");
+        assert_eq!(LbMax::new(&cost).name(), "LB_Max");
+        assert_eq!(LbEuclidean::new(&cost).name(), "LB_Eucl");
+    }
+}

@@ -1,0 +1,434 @@
+//! The multistep retrieval algorithms of §3 (and §4.7) of the paper.
+
+use super::source::CandidateSource;
+use crate::db::HistogramDb;
+use crate::histogram::Histogram;
+use crate::lower_bounds::DistanceMeasure;
+use crate::stats::QueryStats;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The outcome of a multistep query: result objects with their exact
+/// distances (ascending), plus the work performed.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// `(object id, exact distance)` pairs sorted by ascending distance
+    /// (ties by id).
+    pub items: Vec<(usize, f64)>,
+    /// Work counters and timing.
+    pub stats: QueryStats,
+}
+
+/// Max-heap entry over `(distance, id)` used to maintain the current
+/// k-nearest candidates.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    id: usize,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+fn sort_items(mut items: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
+    items.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    items
+}
+
+/// ε-range query: `{ o ∈ DB : dist_exact(q, o) ≤ ε }`.
+///
+/// The candidate source pre-selects with its (lower-bounding) filter at
+/// the same ε; each intermediate filter then prunes candidates whose
+/// bound already exceeds ε; survivors are refined with the exact
+/// distance. Completeness follows from the lower-bounding lemma of §3.3.
+pub fn range_query(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    epsilon: f64,
+    intermediates: &[&dyn DistanceMeasure],
+    exact: &dyn DistanceMeasure,
+) -> QueryResult {
+    let start = Instant::now();
+    let mut stats = QueryStats {
+        db_size: db.len(),
+        ..Default::default()
+    };
+
+    let (candidates, cost) = source.range(q, epsilon);
+    stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
+    stats.node_accesses += cost.node_accesses;
+
+    let mut items = Vec::new();
+    'candidates: for (id, _) in candidates {
+        let h = db.get(id);
+        for filter in intermediates {
+            stats.add_filter_evaluations(filter.name(), 1);
+            if filter.distance(q, h) > epsilon {
+                continue 'candidates;
+            }
+        }
+        stats.exact_evaluations += 1;
+        let d = exact.distance(q, h);
+        if d <= epsilon {
+            items.push((id, d));
+        }
+    }
+
+    let items = sort_items(items);
+    stats.results = items.len() as u64;
+    stats.elapsed = start.elapsed();
+    QueryResult { items, stats }
+}
+
+/// GEMINI k-NN (Faloutsos et al., §3.2 of the paper):
+///
+/// 1. fetch the `k` nearest objects *by filter distance*,
+/// 2. refine them exactly; the largest exact distance becomes `ε'`,
+/// 3. run a filter range query with `ε'` and refine every candidate.
+///
+/// Correct and complete, but `ε'` never shrinks once set — the
+/// inefficiency the optimal algorithm removes.
+pub fn gemini_knn(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    exact: &dyn DistanceMeasure,
+) -> QueryResult {
+    let start = Instant::now();
+    let mut stats = QueryStats {
+        db_size: db.len(),
+        ..Default::default()
+    };
+    if k == 0 || db.is_empty() {
+        stats.elapsed = start.elapsed();
+        return QueryResult {
+            items: Vec::new(),
+            stats,
+        };
+    }
+
+    // Step 1: k candidates by filter distance.
+    let mut cursor = source.ranking(q);
+    let mut primaries = Vec::with_capacity(k);
+    while primaries.len() < k {
+        match cursor.next() {
+            Some((id, _)) => primaries.push(id),
+            None => break,
+        }
+    }
+    let cost = cursor.cost();
+    stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
+    stats.node_accesses += cost.node_accesses;
+
+    // Step 2: exact distances of the primaries define ε'.
+    let mut evaluated: Vec<(usize, f64)> = Vec::new();
+    let mut epsilon = 0.0f64;
+    for &id in &primaries {
+        stats.exact_evaluations += 1;
+        let d = exact.distance(q, db.get(id));
+        epsilon = epsilon.max(d);
+        evaluated.push((id, d));
+    }
+
+    // Step 3: filter range query at ε', refine everything not yet refined.
+    let (candidates, cost) = source.range(q, epsilon);
+    stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
+    stats.node_accesses += cost.node_accesses;
+    for (id, _) in candidates {
+        if evaluated.iter().any(|(e, _)| *e == id) {
+            continue;
+        }
+        stats.exact_evaluations += 1;
+        evaluated.push((id, exact.distance(q, db.get(id))));
+    }
+
+    let mut items = sort_items(evaluated);
+    items.truncate(k);
+    stats.results = items.len() as u64;
+    stats.elapsed = start.elapsed();
+    QueryResult { items, stats }
+}
+
+/// Optimal multistep k-NN (Seidl & Kriegel, SIGMOD 1998).
+///
+/// Candidates arrive from the source in nondecreasing filter-distance
+/// order. Each is screened against the intermediate filters, refined
+/// exactly, and the pruning radius `ε'` (the current k-th best exact
+/// distance) *shrinks as refinements happen*. The loop stops as soon as
+/// the next filter distance exceeds `ε'` — provably the minimum number of
+/// exact-distance computations any complete multistep algorithm can do
+/// with this filter.
+pub fn optimal_knn(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    intermediates: &[&dyn DistanceMeasure],
+    exact: &dyn DistanceMeasure,
+) -> QueryResult {
+    let start = Instant::now();
+    let mut stats = QueryStats {
+        db_size: db.len(),
+        ..Default::default()
+    };
+    if k == 0 || db.is_empty() {
+        stats.elapsed = start.elapsed();
+        return QueryResult {
+            items: Vec::new(),
+            stats,
+        };
+    }
+
+    let mut cursor = source.ranking(q);
+    // Max-heap of the best k exact distances seen so far.
+    let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+
+    'stream: while let Some((id, filter_dist)) = cursor.next() {
+        let full = best.len() == k;
+        let epsilon = if full {
+            best.peek().expect("nonempty").dist
+        } else {
+            f64::INFINITY
+        };
+        if full && filter_dist > epsilon {
+            break; // no remaining object can improve the result
+        }
+        let h = db.get(id);
+        if full {
+            for filter in intermediates {
+                stats.add_filter_evaluations(filter.name(), 1);
+                if filter.distance(q, h) > epsilon {
+                    continue 'stream;
+                }
+            }
+        }
+        stats.exact_evaluations += 1;
+        let d = exact.distance(q, h);
+        if !full {
+            best.push(HeapEntry { dist: d, id });
+        } else if d < epsilon
+            || (d == epsilon && id < best.peek().expect("nonempty").id)
+        {
+            best.pop();
+            best.push(HeapEntry { dist: d, id });
+        }
+    }
+
+    let cost = cursor.cost();
+    stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
+    stats.node_accesses += cost.node_accesses;
+
+    let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
+    stats.results = items.len() as u64;
+    stats.elapsed = start.elapsed();
+    QueryResult { items, stats }
+}
+
+/// The baseline the paper compares against: a sequential scan evaluating
+/// the exact distance for every database object.
+pub fn linear_scan_knn(
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    exact: &dyn DistanceMeasure,
+) -> QueryResult {
+    let start = Instant::now();
+    let mut stats = QueryStats {
+        db_size: db.len(),
+        ..Default::default()
+    };
+    let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (id, h) in db.iter() {
+        stats.exact_evaluations += 1;
+        let d = exact.distance(q, h);
+        best.push(HeapEntry { dist: d, id });
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
+    stats.results = items.len() as u64;
+    stats.elapsed = start.elapsed();
+    QueryResult { items, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::source::ScanSource;
+    use super::*;
+    use crate::ground::BinGrid;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::lower_bounds::{ExactEmd, LbIm, LbManhattan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(count: usize, seed: u64) -> (BinGrid, HistogramDb) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        (grid, db)
+    }
+
+    #[test]
+    fn optimal_knn_matches_linear_scan() {
+        let (grid, db) = setup(80, 11);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = random_histogram(&mut StdRng::seed_from_u64(5000), grid.num_bins());
+        for k in [1, 3, 10] {
+            let multi = optimal_knn(&source, &db, &q, k, &[], &exact);
+            let brute = linear_scan_knn(&db, &q, k, &exact);
+            let md: Vec<f64> = multi.items.iter().map(|(_, d)| *d).collect();
+            let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
+            assert_eq!(md.len(), bd.len());
+            for (a, b) in md.iter().zip(&bd) {
+                assert!((a - b).abs() < 1e-9, "k={k}: {md:?} vs {bd:?}");
+            }
+            // The whole point: fewer exact evaluations than the scan.
+            assert!(multi.stats.exact_evaluations <= brute.stats.exact_evaluations);
+        }
+    }
+
+    #[test]
+    fn gemini_knn_matches_linear_scan() {
+        let (grid, db) = setup(60, 12);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = random_histogram(&mut StdRng::seed_from_u64(6000), grid.num_bins());
+        for k in [1, 5] {
+            let multi = gemini_knn(&source, &db, &q, k, &exact);
+            let brute = linear_scan_knn(&db, &q, k, &exact);
+            let md: Vec<f64> = multi.items.iter().map(|(_, d)| *d).collect();
+            let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
+            for (a, b) in md.iter().zip(&bd) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_never_refines_more_than_gemini() {
+        // The optimality theorem: candidate count of the optimal algorithm
+        // is minimal, so in particular ≤ GEMINI's.
+        let (grid, db) = setup(100, 13);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        for seed in 0..5 {
+            let q = random_histogram(&mut StdRng::seed_from_u64(7000 + seed), grid.num_bins());
+            let opt = optimal_knn(&source, &db, &q, 5, &[], &exact);
+            let gem = gemini_knn(&source, &db, &q, 5, &exact);
+            assert!(
+                opt.stats.exact_evaluations <= gem.stats.exact_evaluations,
+                "seed {seed}: optimal {} > gemini {}",
+                opt.stats.exact_evaluations,
+                gem.stats.exact_evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let (grid, db) = setup(70, 14);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let im = LbIm::new(&cost);
+        let q = random_histogram(&mut StdRng::seed_from_u64(8000), grid.num_bins());
+        for eps in [0.02, 0.08, 0.2] {
+            let result = range_query(&source, &db, &q, eps, &[&im], &exact);
+            let mut expect: Vec<(usize, f64)> = db
+                .iter()
+                .map(|(id, h)| (id, exact.distance(&q, h)))
+                .filter(|(_, d)| *d <= eps)
+                .collect();
+            expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            assert_eq!(result.items.len(), expect.len(), "eps {eps}");
+            for ((ida, da), (idb, db_)) in result.items.iter().zip(&expect) {
+                assert_eq!(ida, idb);
+                assert!((da - db_).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_filter_reduces_exact_evaluations() {
+        let (grid, db) = setup(120, 15);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let im = LbIm::new(&cost);
+        let q = random_histogram(&mut StdRng::seed_from_u64(9000), grid.num_bins());
+        let without = optimal_knn(&source, &db, &q, 5, &[], &exact);
+        let with = optimal_knn(&source, &db, &q, 5, &[&im], &exact);
+        // Same results...
+        let a: Vec<f64> = without.items.iter().map(|(_, d)| *d).collect();
+        let b: Vec<f64> = with.items.iter().map(|(_, d)| *d).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // ...with no more (usually fewer) exact refinements.
+        assert!(with.stats.exact_evaluations <= without.stats.exact_evaluations);
+    }
+
+    #[test]
+    fn k_zero_and_empty_db() {
+        let (grid, db) = setup(10, 16);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = db.get(0).clone();
+        assert!(optimal_knn(&source, &db, &q, 0, &[], &exact).items.is_empty());
+        assert!(gemini_knn(&source, &db, &q, 0, &exact).items.is_empty());
+
+        let empty = HistogramDb::new(grid.num_bins());
+        let esource = ScanSource::new(&empty, LbManhattan::new(&cost));
+        assert!(optimal_knn(&esource, &empty, &q, 3, &[], &exact)
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_everything() {
+        let (grid, db) = setup(7, 17);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = db.get(0).clone();
+        let r = optimal_knn(&source, &db, &q, 50, &[], &exact);
+        assert_eq!(r.items.len(), 7);
+        let g = gemini_knn(&source, &db, &q, 50, &exact);
+        assert_eq!(g.items.len(), 7);
+    }
+
+    #[test]
+    fn query_in_db_is_its_own_nearest_neighbor() {
+        let (grid, db) = setup(30, 18);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = db.get(7).clone();
+        let r = optimal_knn(&source, &db, &q, 1, &[], &exact);
+        assert!(r.items[0].1 < 1e-12);
+    }
+}

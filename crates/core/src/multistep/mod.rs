@@ -1,0 +1,26 @@
+//! Multistep (filter-and-refine) query processing.
+//!
+//! The algorithms of §3 of the paper, generic over a [`CandidateSource`]
+//! (where first-stage candidates come from) and an arbitrary chain of
+//! intermediate lower-bound filters:
+//!
+//! * [`range_query`] — ε-range retrieval with filter pre-selection,
+//! * [`gemini_knn`] — the classic GEMINI two-pass k-NN
+//!   (Faloutsos et al.),
+//! * [`optimal_knn`] — the optimal multistep k-NN of Seidl & Kriegel
+//!   (SIGMOD 1998), which interleaves ranking and refinement and provably
+//!   generates the minimum number of exact-distance candidates,
+//! * [`linear_scan_knn`] — the no-filter baseline (sequential scan with
+//!   the exact distance), the paper's comparison floor.
+//!
+//! Completeness of all algorithms rests on the lower-bounding property of
+//! the filters; the integration tests verify every configuration against
+//! the brute-force result.
+
+mod algorithms;
+mod source;
+mod stream;
+
+pub use algorithms::{gemini_knn, linear_scan_knn, optimal_knn, range_query, QueryResult};
+pub use source::{CandidateSource, RankingCursor, RtreeSource, ScanSource, SourceCost};
+pub use stream::{nearest_stream, NearestStream};

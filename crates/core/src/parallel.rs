@@ -1,0 +1,240 @@
+//! Multi-threaded sequential-scan execution.
+//!
+//! Filter scans are embarrassingly parallel: every `(query, object)` pair
+//! is independent. This module fans a filter (or the exact EMD) out over
+//! worker threads with `crossbeam`'s scoped threads, so borrowed
+//! databases and measures need no `Arc` plumbing. It is an engineering
+//! extension beyond the paper (which ran single-threaded Java in 2006),
+//! used by the benchmark harness to keep large-scale experiment sweeps
+//! tractable.
+
+use crate::db::HistogramDb;
+use crate::histogram::Histogram;
+use crate::lower_bounds::DistanceMeasure;
+
+/// Computes `measure(q, o)` for every object of the database, in id
+/// order, using up to `threads` worker threads.
+///
+/// With `threads <= 1` this degrades to a plain sequential loop (no
+/// thread spawn overhead).
+pub fn scan_distances(
+    db: &HistogramDb,
+    q: &Histogram,
+    measure: &dyn DistanceMeasure,
+    threads: usize,
+) -> Vec<f64> {
+    let n = db.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return db.iter().map(|(_, h)| measure.distance(q, h)).collect();
+    }
+
+    let mut out = vec![0.0f64; n];
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (worker, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move |_| {
+                for (offset, cell) in slice.iter_mut().enumerate() {
+                    *cell = measure.distance(q, db.get(start + offset));
+                }
+            });
+        }
+    })
+    .expect("scan worker panicked");
+    out
+}
+
+/// Parallel ε-range filter: ids (ascending) whose filter distance is at
+/// most `epsilon`.
+pub fn scan_range(
+    db: &HistogramDb,
+    q: &Histogram,
+    measure: &dyn DistanceMeasure,
+    epsilon: f64,
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    scan_distances(db, q, measure, threads)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, d)| *d <= epsilon)
+        .collect()
+}
+
+/// Parallel exact k-NN baseline: the brute-force result computed with all
+/// available cores. Returns `(id, distance)` ascending by distance.
+pub fn scan_knn(
+    db: &HistogramDb,
+    q: &Histogram,
+    measure: &dyn DistanceMeasure,
+    k: usize,
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = scan_distances(db, q, measure, threads)
+        .into_iter()
+        .enumerate()
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Executes a batch of k-NN queries against one engine across worker
+/// threads (one query per task, queries distributed round-robin).
+///
+/// The engine is shared immutably — index structures are read-only after
+/// construction — so a retrieval service can saturate all cores on a
+/// query stream without duplicating the database or the index. Results
+/// come back in input order.
+pub fn batch_knn(
+    engine: &crate::pipeline::QueryEngine<'_>,
+    queries: &[Histogram],
+    k: usize,
+    threads: usize,
+) -> Vec<crate::multistep::QueryResult> {
+    let n = queries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return queries.iter().map(|q| engine.knn(q, k)).collect();
+    }
+    let mut out: Vec<Option<crate::multistep::QueryResult>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (worker, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move |_| {
+                for (offset, cell) in slice.iter_mut().enumerate() {
+                    *cell = Some(engine.knn(&queries[start + offset], k));
+                }
+            });
+        }
+    })
+    .expect("batch worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("every slot is filled by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::BinGrid;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::lower_bounds::{ExactEmd, LbManhattan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(count: usize) -> (BinGrid, HistogramDb, Histogram) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        let q = random_histogram(&mut rng, grid.num_bins());
+        (grid, db, q)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (grid, db, q) = setup(97); // deliberately not a multiple of the thread count
+        let filter = LbManhattan::new(&grid.cost_matrix());
+        let seq = scan_distances(&db, &q, &filter, 1);
+        for threads in [2, 3, 8, 200] {
+            let par = scan_distances(&db, &q, &filter, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let db = HistogramDb::new(grid.num_bins());
+        let q = random_histogram(&mut StdRng::seed_from_u64(1), grid.num_bins());
+        let filter = LbManhattan::new(&grid.cost_matrix());
+        assert!(scan_distances(&db, &q, &filter, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_knn_matches_exact_scan() {
+        let (grid, db, q) = setup(40);
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let par = scan_knn(&db, &q, &exact, 5, 4);
+        let seq = scan_knn(&db, &q, &exact, 5, 1);
+        assert_eq!(par, seq);
+        assert_eq!(par.len(), 5);
+        for w in par.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn range_filters_by_epsilon() {
+        let (grid, db, q) = setup(50);
+        let filter = LbManhattan::new(&grid.cost_matrix());
+        let eps = 0.05;
+        let hits = scan_range(&db, &q, &filter, eps, 4);
+        for (id, d) in &hits {
+            assert!(*d <= eps);
+            assert!((filter.distance(&q, db.get(*id)) - d).abs() < 1e-12);
+        }
+        let full = scan_distances(&db, &q, &filter, 1);
+        let expect = full.iter().filter(|d| **d <= eps).count();
+        assert_eq!(hits.len(), expect);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::ground::BinGrid;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::pipeline::QueryEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(404);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..150 {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let queries: Vec<Histogram> = (0..9)
+            .map(|_| random_histogram(&mut rng, grid.num_bins()))
+            .collect();
+        let sequential = batch_knn(&engine, &queries, 5, 1);
+        for threads in [2, 4, 16] {
+            let parallel = batch_knn(&engine, &queries, 5, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                let pd: Vec<f64> = p.items.iter().map(|(_, d)| *d).collect();
+                let sd: Vec<f64> = s.items.iter().map(|(_, d)| *d).collect();
+                assert_eq!(pd.len(), sd.len());
+                for (a, b) in pd.iter().zip(&sd) {
+                    assert!((a - b).abs() < 1e-9, "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut db = HistogramDb::new(grid.num_bins());
+        db.push(random_histogram(&mut StdRng::seed_from_u64(1), 8));
+        let engine = QueryEngine::builder(&db, &grid).build();
+        assert!(batch_knn(&engine, &[], 5, 4).is_empty());
+    }
+}

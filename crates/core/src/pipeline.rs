@@ -1,0 +1,336 @@
+//! The paper's two-phase multistep pipeline, packaged as a query engine.
+//!
+//! §4.7 of the paper combines three observations into one architecture:
+//!
+//! 1. indexes only work in low dimensions → run the R-tree on *3-D
+//!    reduced keys* (centroid averages, or the top-variance bins of the
+//!    weighted Manhattan bound);
+//! 2. `LB_IM` is by far the most selective filter but costs `O(n²)` per
+//!    pair → run it as a *second* filter over the index candidates only;
+//! 3. the exact EMD is run last, over whatever survives.
+//!
+//! [`QueryEngine`] wires this up with sensible defaults
+//! (`LB_Avg` 3-D index → `LB_IM` → EMD, optimal multistep k-NN) while
+//! letting every stage be swapped for the configurations the paper's
+//! experiments compare.
+
+use crate::db::HistogramDb;
+use crate::ground::BinGrid;
+use crate::histogram::Histogram;
+use crate::lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbIm, LbManhattan};
+use crate::multistep::{
+    gemini_knn, optimal_knn, range_query, CandidateSource, QueryResult, RtreeSource, ScanSource,
+};
+use crate::reduce::{AvgReducer, ManhattanReducer};
+
+/// How the first (candidate-generating) stage is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstStage {
+    /// 3-D R-tree over centroid averages (`LB_Avg` as index filter) —
+    /// the paper's best configuration.
+    AvgIndex,
+    /// R-tree over the `dims` highest-variance bins of the weighted
+    /// Manhattan bound (`LB_Man` reduced; the paper uses 3 dimensions).
+    ManhattanIndex {
+        /// Reduced key dimensionality (3 in the paper).
+        dims: usize,
+    },
+    /// Sequential scan with the full-dimensional weighted Manhattan bound.
+    ManhattanScan,
+    /// Sequential scan with the centroid-averaging bound.
+    AvgScan,
+    /// Sequential scan with `LB_IM` directly (no cheap pre-filter).
+    ImScan,
+}
+
+/// Which k-NN multistep algorithm drives the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnAlgorithm {
+    /// Optimal multistep (Seidl & Kriegel) — interleaves ranking and
+    /// refinement; minimal candidate count.
+    #[default]
+    Optimal,
+    /// Classic GEMINI two-pass k-NN.
+    Gemini,
+}
+
+enum Stage<'a> {
+    AvgIndex(RtreeSource<'a, AvgReducer>),
+    ManIndex(RtreeSource<'a, ManhattanReducer>),
+    ManScan(ScanSource<'a, LbManhattan>),
+    AvgScan(ScanSource<'a, LbAvg>),
+    ImScan(ScanSource<'a, LbIm>),
+}
+
+impl<'a> Stage<'a> {
+    fn as_source(&self) -> &dyn CandidateSource {
+        match self {
+            Stage::AvgIndex(s) => s,
+            Stage::ManIndex(s) => s,
+            Stage::ManScan(s) => s,
+            Stage::AvgScan(s) => s,
+            Stage::ImScan(s) => s,
+        }
+    }
+}
+
+/// Configures and builds a [`QueryEngine`].
+pub struct EngineBuilder<'a> {
+    db: &'a HistogramDb,
+    grid: &'a BinGrid,
+    first_stage: FirstStage,
+    use_im: bool,
+    algorithm: KnnAlgorithm,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Chooses the first filter stage (default: [`FirstStage::AvgIndex`]).
+    pub fn first_stage(mut self, stage: FirstStage) -> Self {
+        self.first_stage = stage;
+        self
+    }
+
+    /// Enables or disables the intermediate `LB_IM` filter
+    /// (default: enabled — the paper's winning combination).
+    pub fn lb_im(mut self, enabled: bool) -> Self {
+        self.use_im = enabled;
+        self
+    }
+
+    /// Selects the k-NN algorithm (default: optimal multistep).
+    pub fn algorithm(mut self, algorithm: KnnAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Builds the engine: derives the cost matrix and filter weights from
+    /// the grid, reduces keys, and bulk-loads the index if one was chosen.
+    pub fn build(self) -> QueryEngine<'a> {
+        let cost = self.grid.cost_matrix();
+        assert_eq!(
+            cost.len(),
+            self.db.dims(),
+            "grid bin count must match database dimensionality"
+        );
+        let exact = ExactEmd::new(cost.clone());
+        let im = self.use_im.then(|| LbIm::new(&cost));
+        let stage = match self.first_stage {
+            FirstStage::AvgIndex => Stage::AvgIndex(RtreeSource::build(
+                self.db,
+                AvgReducer::new(self.grid.centroids().to_vec()),
+            )),
+            FirstStage::ManhattanIndex { dims } => Stage::ManIndex(RtreeSource::build(
+                self.db,
+                ManhattanReducer::from_db(self.db, &cost, dims),
+            )),
+            FirstStage::ManhattanScan => {
+                Stage::ManScan(ScanSource::new(self.db, LbManhattan::new(&cost)))
+            }
+            FirstStage::AvgScan => Stage::AvgScan(ScanSource::new(
+                self.db,
+                LbAvg::new(self.grid.centroids().to_vec()),
+            )),
+            FirstStage::ImScan => Stage::ImScan(ScanSource::new(self.db, LbIm::new(&cost))),
+        };
+        QueryEngine {
+            db: self.db,
+            exact,
+            im,
+            stage,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// A ready-to-query multistep retrieval engine over a histogram database.
+///
+/// See the crate-level example for typical usage. Engines borrow the
+/// database; build once, query many times.
+pub struct QueryEngine<'a> {
+    db: &'a HistogramDb,
+    exact: ExactEmd,
+    im: Option<LbIm>,
+    stage: Stage<'a>,
+    algorithm: KnnAlgorithm,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Starts building an engine for `db` with ground distances from
+    /// `grid`.
+    pub fn builder(db: &'a HistogramDb, grid: &'a BinGrid) -> EngineBuilder<'a> {
+        EngineBuilder {
+            db,
+            grid,
+            first_stage: FirstStage::AvgIndex,
+            use_im: true,
+            algorithm: KnnAlgorithm::Optimal,
+        }
+    }
+
+    /// The exact distance measure the engine refines with.
+    pub fn exact(&self) -> &ExactEmd {
+        &self.exact
+    }
+
+    fn intermediates(&self) -> Vec<&dyn DistanceMeasure> {
+        // LB_IM as intermediate filter is skipped when it already *is* the
+        // first stage — filtering twice with the same bound does nothing.
+        match (&self.stage, &self.im) {
+            (Stage::ImScan(_), _) | (_, None) => Vec::new(),
+            (_, Some(im)) => vec![im as &dyn DistanceMeasure],
+        }
+    }
+
+    /// k-nearest-neighbor query with the configured pipeline.
+    pub fn knn(&self, q: &Histogram, k: usize) -> QueryResult {
+        let source = self.stage.as_source();
+        match self.algorithm {
+            KnnAlgorithm::Optimal => {
+                optimal_knn(source, self.db, q, k, &self.intermediates(), &self.exact)
+            }
+            KnnAlgorithm::Gemini => gemini_knn(source, self.db, q, k, &self.exact),
+        }
+    }
+
+    /// Incremental ranking query: a lazy stream of `(id, exact distance)`
+    /// in nondecreasing distance order, refining only as much as the
+    /// consumed prefix requires. The streaming counterpart of
+    /// [`QueryEngine::knn`] when `k` is not known up front.
+    pub fn nearest_stream<'q>(
+        &'q self,
+        q: &'q Histogram,
+    ) -> crate::multistep::NearestStream<'q> {
+        crate::multistep::nearest_stream(
+            self.stage.as_source(),
+            self.db,
+            q,
+            self.intermediates(),
+            &self.exact,
+        )
+    }
+
+    /// ε-range query with the configured pipeline.
+    pub fn range(&self, q: &Histogram, epsilon: f64) -> QueryResult {
+        range_query(
+            self.stage.as_source(),
+            self.db,
+            q,
+            epsilon,
+            &self.intermediates(),
+            &self.exact,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::multistep::linear_scan_knn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(count: usize) -> (BinGrid, HistogramDb) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(424242);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        (grid, db)
+    }
+
+    #[test]
+    fn every_configuration_matches_brute_force() {
+        let (grid, db) = setup(60);
+        let q = random_histogram(&mut StdRng::seed_from_u64(1), grid.num_bins());
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let brute = linear_scan_knn(&db, &q, 5, &exact);
+        let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
+
+        let stages = [
+            FirstStage::AvgIndex,
+            FirstStage::ManhattanIndex { dims: 3 },
+            FirstStage::ManhattanScan,
+            FirstStage::AvgScan,
+            FirstStage::ImScan,
+        ];
+        for stage in stages {
+            for use_im in [false, true] {
+                for alg in [KnnAlgorithm::Optimal, KnnAlgorithm::Gemini] {
+                    let engine = QueryEngine::builder(&db, &grid)
+                        .first_stage(stage)
+                        .lb_im(use_im)
+                        .algorithm(alg)
+                        .build();
+                    let r = engine.knn(&q, 5);
+                    let rd: Vec<f64> = r.items.iter().map(|(_, d)| *d).collect();
+                    assert_eq!(rd.len(), bd.len(), "{stage:?} im={use_im} {alg:?}");
+                    for (a, b) in rd.iter().zip(&bd) {
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "{stage:?} im={use_im} {alg:?}: {rd:?} vs {bd:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_queries_match_brute_force() {
+        let (grid, db) = setup(50);
+        let q = random_histogram(&mut StdRng::seed_from_u64(2), grid.num_bins());
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let eps = 0.1;
+        let mut expect: Vec<usize> = db
+            .iter()
+            .filter(|(_, h)| exact.distance(&q, h) <= eps)
+            .map(|(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+        for stage in [FirstStage::AvgIndex, FirstStage::ManhattanIndex { dims: 3 }] {
+            let engine = QueryEngine::builder(&db, &grid).first_stage(stage).build();
+            let r = engine.range(&q, eps);
+            let mut got: Vec<usize> = r.items.iter().map(|(id, _)| *id).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "{stage:?}");
+        }
+    }
+
+    #[test]
+    fn two_phase_combo_beats_plain_index_in_exact_evaluations() {
+        let (grid, db) = setup(150);
+        let q = random_histogram(&mut StdRng::seed_from_u64(3), grid.num_bins());
+        let with_im = QueryEngine::builder(&db, &grid).lb_im(true).build();
+        let without_im = QueryEngine::builder(&db, &grid).lb_im(false).build();
+        let a = with_im.knn(&q, 10);
+        let b = without_im.knn(&q, 10);
+        assert!(a.stats.exact_evaluations <= b.stats.exact_evaluations);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::lower_bounds::test_support::random_histogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn engine_stream_prefix_equals_knn() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(777);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..70 {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let q = random_histogram(&mut rng, grid.num_bins());
+        let knn = engine.knn(&q, 6);
+        let prefix: Vec<(usize, f64)> = engine.nearest_stream(&q).take(6).collect();
+        for ((_, a), (_, b)) in prefix.iter().zip(&knn.items) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

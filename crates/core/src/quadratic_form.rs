@@ -1,0 +1,180 @@
+//! The quadratic form distance — the EMD's predecessor (§2 of the paper).
+//!
+//! `QF_A(x, y) = sqrt( (x − y)ᵀ A (x − y) )` with a similarity matrix
+//! `A = [a_ij]` reflecting perceived bin similarity (Hafner et al. 1995,
+//! IBM QBIC). The paper's §2 explains its weakness: cross-bin
+//! differences are merely *smoothed* by `A`, so structural differences
+//! remain indistinguishable from color shifts. It is implemented here as
+//! a comparison measure for the retrieval-quality experiments — not as a
+//! lower bound (it is **not** one).
+
+use crate::histogram::Histogram;
+use crate::lower_bounds::DistanceMeasure;
+use earthmover_transport::CostMatrix;
+use std::fmt;
+
+/// The quadratic form distance over a similarity matrix `A`.
+#[derive(Debug, Clone)]
+pub struct QuadraticForm {
+    n: usize,
+    /// Row-major `n × n` similarity matrix.
+    a: Vec<f64>,
+}
+
+/// Errors constructing a [`QuadraticForm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuadraticFormError {
+    /// Matrix buffer length is not `n * n`.
+    WrongLength { expected: usize, actual: usize },
+    /// An entry is non-finite.
+    NonFinite { row: usize, col: usize },
+}
+
+impl fmt::Display for QuadraticFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuadraticFormError::WrongLength { expected, actual } => {
+                write!(f, "similarity buffer has length {actual}, expected {expected}")
+            }
+            QuadraticFormError::NonFinite { row, col } => {
+                write!(f, "similarity ({row},{col}) is non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuadraticFormError {}
+
+impl QuadraticForm {
+    /// Wraps a row-major similarity matrix.
+    pub fn new(n: usize, a: Vec<f64>) -> Result<Self, QuadraticFormError> {
+        if a.len() != n * n {
+            return Err(QuadraticFormError::WrongLength {
+                expected: n * n,
+                actual: a.len(),
+            });
+        }
+        if let Some(idx) = a.iter().position(|v| !v.is_finite()) {
+            return Err(QuadraticFormError::NonFinite {
+                row: idx / n,
+                col: idx % n,
+            });
+        }
+        Ok(QuadraticForm { n, a })
+    }
+
+    /// The classic similarity matrix derived from a ground-distance cost
+    /// matrix: `a_ij = 1 − c_ij / max(c)` (Hafner et al.). Similar bins
+    /// get weights near 1, distant bins near 0.
+    pub fn from_cost(cost: &CostMatrix) -> Self {
+        let n = cost.len();
+        let max = cost.max_cost().max(f64::MIN_POSITIVE);
+        let mut a = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                a.push(1.0 - cost.get(i, j) / max);
+            }
+        }
+        QuadraticForm { n, a }
+    }
+
+    /// Histogram arity this form expects.
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+}
+
+impl DistanceMeasure for QuadraticForm {
+    fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+        debug_assert_eq!(x.len(), self.n, "arity mismatch");
+        debug_assert_eq!(y.len(), self.n, "arity mismatch");
+        let diff: Vec<f64> = x.bins().iter().zip(y.bins()).map(|(a, b)| a - b).collect();
+        let mut total = 0.0;
+        for i in 0..self.n {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            let mut dot = 0.0;
+            for (a_ij, d_j) in row.iter().zip(&diff) {
+                dot += a_ij * d_j;
+            }
+            total += diff[i] * dot;
+        }
+        // A may be only positive semi-definite in user-supplied forms;
+        // clamp tiny negative dust before the root.
+        total.max(0.0).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "QF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_qf(n: usize) -> QuadraticForm {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        QuadraticForm::new(n, a).unwrap()
+    }
+
+    #[test]
+    fn identity_matrix_gives_euclidean() {
+        let qf = identity_qf(3);
+        let x = Histogram::new(vec![1.0, 0.0, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 1.0, 0.0]).unwrap();
+        assert!((qf.distance(&x, &y) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let cost = CostMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
+        let qf = QuadraticForm::from_cost(&cost);
+        let x = Histogram::new(vec![0.3, 0.2, 0.4, 0.1]).unwrap();
+        assert_eq!(qf.distance(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn from_cost_similarity_range() {
+        let cost = CostMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs());
+        let qf = QuadraticForm::from_cost(&cost);
+        // Diagonal similarity is 1; the farthest pair has similarity 0.
+        assert_eq!(qf.a[0], 1.0);
+        assert_eq!(qf.a[2], 0.0);
+    }
+
+    #[test]
+    fn smooths_adjacent_shifts() {
+        // The §2 motivation: under QF with ground similarity, a one-bin
+        // shift is *smaller* than under the identity (bin-by-bin) form.
+        let cost = CostMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
+        let qf = QuadraticForm::from_cost(&cost);
+        let id = identity_qf(4);
+        let x = Histogram::new(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        assert!(qf.distance(&x, &y) < id.distance(&x, &y));
+    }
+
+    #[test]
+    fn symmetry() {
+        let cost = CostMatrix::from_fn(5, |i, j| (i as f64 - j as f64).abs());
+        let qf = QuadraticForm::from_cost(&cost);
+        let x = Histogram::new(vec![0.5, 0.1, 0.1, 0.1, 0.2]).unwrap();
+        let y = Histogram::new(vec![0.0, 0.3, 0.3, 0.2, 0.2]).unwrap();
+        assert!((qf.distance(&x, &y) - qf.distance(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            QuadraticForm::new(2, vec![0.0; 3]),
+            Err(QuadraticFormError::WrongLength { .. })
+        ));
+        assert!(matches!(
+            QuadraticForm::new(1, vec![f64::NAN]),
+            Err(QuadraticFormError::NonFinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Dimensionality reduction for index filters (§4.7 of the paper).
+//!
+//! High-dimensional index structures fall prey to the curse of
+//! dimensionality, so the paper runs the index phase of its multistep
+//! algorithm in **three** dimensions, via one of two reducers:
+//!
+//! * [`AvgReducer`] — Rubner's centroid averaging: the key is the
+//!   histogram's center of mass in the (3-D) feature space; the filter
+//!   metric is unweighted Euclidean. This *is* `LB_Avg`, relocated onto
+//!   the index.
+//! * [`ManhattanReducer`] — keep only the `k` bins with the highest
+//!   variance across the database, scaled by the Manhattan filter
+//!   weights; the filter metric is unweighted `L1` over the scaled keys.
+//!   Dropping (non-negative) summands of `LB_Man` can only shrink the
+//!   value, so lower bounding survives the projection.
+//!
+//! Either way the reduced filter distance still lower bounds the EMD, so
+//! completeness of the multistep result is untouched.
+
+use crate::db::HistogramDb;
+use crate::histogram::Histogram;
+use crate::lower_bounds::{min_off_diagonal_costs, LbAvg};
+use earthmover_rtree::{LpKind, WeightedLp};
+use earthmover_transport::CostMatrix;
+
+/// Maps a histogram to a low-dimensional index key such that the reduced
+/// metric distance between keys lower bounds the EMD between histograms.
+pub trait IndexReducer: Send + Sync {
+    /// Dimensionality of the produced keys.
+    fn key_dims(&self) -> usize;
+
+    /// The index key of a histogram.
+    fn key(&self, h: &Histogram) -> Vec<f64>;
+
+    /// The metric the index compares keys with. The contract is
+    /// `metric(key(x), key(y)) ≤ EMD(x, y)` for equal-mass histograms.
+    fn metric(&self) -> WeightedLp;
+
+    /// Stable display name for statistics (e.g. `"LB_Avg(3D)"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Centroid-averaging reducer: keys are mass centers in feature space.
+#[derive(Debug, Clone)]
+pub struct AvgReducer {
+    avg: LbAvg,
+}
+
+impl AvgReducer {
+    /// Builds the reducer from per-bin centroids (see
+    /// [`crate::ground::BinGrid::centroids`]).
+    pub fn new(centroids: Vec<Vec<f64>>) -> Self {
+        AvgReducer {
+            avg: LbAvg::new(centroids),
+        }
+    }
+}
+
+impl IndexReducer for AvgReducer {
+    fn key_dims(&self) -> usize {
+        self.avg.feature_dims()
+    }
+
+    fn key(&self, h: &Histogram) -> Vec<f64> {
+        self.avg.average(h)
+    }
+
+    fn metric(&self) -> WeightedLp {
+        WeightedLp::uniform(LpKind::L2, self.key_dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "LB_Avg(3D)"
+    }
+}
+
+/// Variance-based reducer for the weighted Manhattan bound: keeps the `k`
+/// highest-variance bins, pre-scaled by the per-bin weights
+/// `min_{j≠i} c_ij / (2m)` so the index can use a plain (unweighted) `L1`
+/// metric.
+///
+/// The database is assumed mass-normalized (`m = 1`), which
+/// [`HistogramDb`] guarantees.
+#[derive(Debug, Clone)]
+pub struct ManhattanReducer {
+    /// Selected bin indices, highest variance first.
+    selected: Vec<usize>,
+    /// Scale factor (`min cost / 2`) for each selected bin.
+    scales: Vec<f64>,
+}
+
+impl ManhattanReducer {
+    /// Picks the `k` bins with the highest variance across `db` and scales
+    /// them by the Manhattan weights derived from `cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the histogram arity.
+    pub fn from_db(db: &HistogramDb, cost: &CostMatrix, k: usize) -> Self {
+        assert!(k > 0 && k <= db.dims(), "invalid reduced dimensionality");
+        let variances = db.bin_variances();
+        Self::from_variances(&variances, cost, k)
+    }
+
+    /// Builds the reducer from externally computed per-bin variances.
+    pub fn from_variances(variances: &[f64], cost: &CostMatrix, k: usize) -> Self {
+        assert_eq!(variances.len(), cost.len(), "variance arity mismatch");
+        let mut order: Vec<usize> = (0..variances.len()).collect();
+        order.sort_by(|&a, &b| {
+            variances[b]
+                .partial_cmp(&variances[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let selected: Vec<usize> = order.into_iter().take(k).collect();
+        let min_costs = min_off_diagonal_costs(cost);
+        let scales = selected.iter().map(|&i| min_costs[i] / 2.0).collect();
+        ManhattanReducer { selected, scales }
+    }
+
+    /// The selected bin indices (highest variance first).
+    pub fn selected_bins(&self) -> &[usize] {
+        &self.selected
+    }
+}
+
+impl IndexReducer for ManhattanReducer {
+    fn key_dims(&self) -> usize {
+        self.selected.len()
+    }
+
+    fn key(&self, h: &Histogram) -> Vec<f64> {
+        // Keys are weighted bins w_i * x_i; with mass-1 histograms the
+        // weight is min_cost/2. For robustness against unnormalized query
+        // histograms, fold the query mass in here.
+        let inv_m = 1.0 / h.mass().max(f64::MIN_POSITIVE);
+        self.selected
+            .iter()
+            .zip(&self.scales)
+            .map(|(&i, s)| s * h.get(i) * inv_m)
+            .collect()
+    }
+
+    fn metric(&self) -> WeightedLp {
+        WeightedLp::uniform(LpKind::L1, self.selected.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "LB_Man(3D)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::BinGrid;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::lower_bounds::{DistanceMeasure, ExactEmd, LbManhattan};
+    use earthmover_rtree::PointMetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_db(grid: &BinGrid, count: usize, seed: u64) -> HistogramDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        db
+    }
+
+    #[test]
+    fn avg_reducer_matches_lb_avg() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let db = build_db(&grid, 10, 1);
+        let reducer = AvgReducer::new(grid.centroids().to_vec());
+        let lb = LbAvg::new(grid.centroids().to_vec());
+        let metric = reducer.metric();
+        for (_, x) in db.iter() {
+            for (_, y) in db.iter() {
+                let via_keys = metric.distance(&reducer.key(x), &reducer.key(y));
+                let direct = lb.distance(x, y);
+                assert!((via_keys - direct).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_reducer_lower_bounds_full_bound_and_emd() {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let cost = grid.cost_matrix();
+        let db = build_db(&grid, 12, 2);
+        let reducer = ManhattanReducer::from_db(&db, &cost, 3);
+        let full = LbManhattan::new(&cost);
+        let exact = ExactEmd::new(cost.clone());
+        let metric = reducer.metric();
+        for (_, x) in db.iter() {
+            for (_, y) in db.iter() {
+                let reduced = metric.distance(&reducer.key(x), &reducer.key(y));
+                let full_val = full.distance(x, y);
+                let emd = exact.distance(x, y);
+                assert!(reduced <= full_val + 1e-12, "{reduced} > {full_val}");
+                assert!(reduced <= emd + 1e-9, "{reduced} > {emd}");
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_reducer_selects_high_variance_bins() {
+        let cost = CostMatrix::from_fn(4, |i, j| if i == j { 0.0 } else { 1.0 });
+        let variances = [0.1, 0.9, 0.5, 0.7];
+        let r = ManhattanReducer::from_variances(&variances, &cost, 2);
+        assert_eq!(r.selected_bins(), &[1, 3]);
+        assert_eq!(r.key_dims(), 2);
+    }
+
+    #[test]
+    fn reducer_names() {
+        let grid = BinGrid::new(vec![2, 2]);
+        let avg = AvgReducer::new(grid.centroids().to_vec());
+        assert_eq!(avg.name(), "LB_Avg(3D)");
+        assert_eq!(avg.key_dims(), 2);
+        let cost = grid.cost_matrix();
+        let db = build_db(&grid, 5, 3);
+        let man = ManhattanReducer::from_db(&db, &cost, 3);
+        assert_eq!(man.name(), "LB_Man(3D)");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid reduced dimensionality")]
+    fn oversized_k_panics() {
+        let grid = BinGrid::new(vec![2]);
+        let db = build_db(&grid, 3, 4);
+        let _ = ManhattanReducer::from_db(&db, &grid.cost_matrix(), 5);
+    }
+}

@@ -1,0 +1,232 @@
+//! Signatures: variable-length weighted point sets (§1 of the paper).
+//!
+//! Where a histogram fixes a global binning up front, a *signature*
+//! adapts to each object: it is a set of `(representative, weight)`
+//! pairs, e.g. the dominant colors of one image found by clustering its
+//! pixels. Two signatures generally differ in length, so their EMD is a
+//! **rectangular** transportation problem with the ground distance
+//! evaluated between representatives on demand.
+//!
+//! The paper scopes its indexing contribution to classical histograms
+//! (§1); signatures are provided here as the natural generalization the
+//! same exact solver supports, together with partial (unbalanced)
+//! matching.
+
+use earthmover_transport::{
+    emd_partial_rect, solve_transportation_rect, Flow, RectCost, TransportError, BALANCE_EPS,
+};
+use std::fmt;
+
+/// A weighted point set in some feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    points: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+}
+
+/// Errors constructing a [`Signature`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignatureError {
+    /// `points` and `weights` differ in length.
+    LengthMismatch { points: usize, weights: usize },
+    /// A weight is negative or non-finite.
+    InvalidWeight { index: usize, value: f64 },
+    /// Representatives have inconsistent arity.
+    RaggedPoints { index: usize },
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::LengthMismatch { points, weights } => {
+                write!(f, "{points} points but {weights} weights")
+            }
+            SignatureError::InvalidWeight { index, value } => {
+                write!(f, "weight {index} = {value} is negative or non-finite")
+            }
+            SignatureError::RaggedPoints { index } => {
+                write!(f, "point {index} has a different arity than point 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+impl Signature {
+    /// Builds a signature from representatives and their weights.
+    pub fn new(points: Vec<Vec<f64>>, weights: Vec<f64>) -> Result<Self, SignatureError> {
+        if points.len() != weights.len() {
+            return Err(SignatureError::LengthMismatch {
+                points: points.len(),
+                weights: weights.len(),
+            });
+        }
+        if let Some(idx) = weights.iter().position(|w| !w.is_finite() || *w < 0.0) {
+            return Err(SignatureError::InvalidWeight {
+                index: idx,
+                value: weights[idx],
+            });
+        }
+        if let Some(first) = points.first() {
+            let d = first.len();
+            if let Some(idx) = points.iter().position(|p| p.len() != d) {
+                return Err(SignatureError::RaggedPoints { index: idx });
+            }
+        }
+        Ok(Signature { points, weights })
+    }
+
+    /// Number of `(point, weight)` entries.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the signature has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The representatives.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight.
+    pub fn mass(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Builds the rectangular ground-distance matrix to another
+    /// signature.
+    fn cost_to(&self, other: &Signature, ground: impl Fn(&[f64], &[f64]) -> f64) -> RectCost {
+        RectCost::from_fn(self.len(), other.len(), |i, j| {
+            ground(&self.points[i], &other.points[j])
+        })
+    }
+
+    /// The exact EMD between two equal-mass signatures under the given
+    /// ground distance, normalized by the total mass.
+    pub fn emd(
+        &self,
+        other: &Signature,
+        ground: impl Fn(&[f64], &[f64]) -> f64,
+    ) -> Result<f64, TransportError> {
+        let (mx, my) = (self.mass(), other.mass());
+        let scale = mx.max(my).max(1.0);
+        if (mx - my).abs() > BALANCE_EPS * scale {
+            return Err(TransportError::Unbalanced {
+                supply: mx,
+                demand: my,
+            });
+        }
+        if mx <= 0.0 {
+            return Ok(0.0);
+        }
+        let cost = self.cost_to(other, ground);
+        let sol = solve_transportation_rect(&self.weights, &other.weights, &cost)?;
+        Ok(sol.total_cost / mx)
+    }
+
+    /// Partial (unbalanced) EMD: only `min(mass, other.mass)` units are
+    /// matched; the surplus stays free. Not a metric — see
+    /// [`earthmover_transport::emd_partial`].
+    pub fn emd_partial(
+        &self,
+        other: &Signature,
+        ground: impl Fn(&[f64], &[f64]) -> f64,
+    ) -> Result<(f64, Vec<Flow>), TransportError> {
+        let cost = self.cost_to(other, ground);
+        emd_partial_rect(&self.weights, &other.weights, &cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::euclidean;
+
+    fn sig(points: Vec<Vec<f64>>, weights: Vec<f64>) -> Signature {
+        Signature::new(points, weights).unwrap()
+    }
+
+    #[test]
+    fn identical_signatures_distance_zero() {
+        let s = sig(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![0.5, 0.5]);
+        assert_eq!(s.emd(&s, euclidean).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn point_mass_signatures() {
+        let a = sig(vec![vec![0.0, 0.0]], vec![1.0]);
+        let b = sig(vec![vec![3.0, 4.0]], vec![1.0]);
+        assert!((a.emd(&b, euclidean).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_lengths_are_fine() {
+        // One cluster of mass 2 vs two clusters of mass 1 each, both at
+        // distance 1 from the single cluster: EMD = 1.
+        let a = sig(vec![vec![0.0]], vec![2.0]);
+        let b = sig(vec![vec![1.0], vec![-1.0]], vec![1.0, 1.0]);
+        assert!((a.emd(&b, euclidean).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_histogram_emd_on_grid_signature() {
+        // A histogram is the special case of a signature whose points are
+        // the bin centroids.
+        use crate::ground::BinGrid;
+        use crate::histogram::Histogram;
+        use crate::lower_bounds::{DistanceMeasure, ExactEmd};
+        let grid = BinGrid::new(vec![2, 2]);
+        let x = Histogram::new(vec![0.4, 0.1, 0.2, 0.3]).unwrap();
+        let y = Histogram::new(vec![0.1, 0.4, 0.3, 0.2]).unwrap();
+        let hist_emd = ExactEmd::new(grid.cost_matrix()).distance(&x, &y);
+        let sx = sig(grid.centroids().to_vec(), x.bins().to_vec());
+        let sy = sig(grid.centroids().to_vec(), y.bins().to_vec());
+        let sig_emd = sx.emd(&sy, euclidean).unwrap();
+        assert!((hist_emd - sig_emd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_rejected_by_emd_but_not_partial() {
+        let a = sig(vec![vec![0.0]], vec![2.0]);
+        let b = sig(vec![vec![1.0]], vec![1.0]);
+        assert!(matches!(
+            a.emd(&b, euclidean),
+            Err(TransportError::Unbalanced { .. })
+        ));
+        let (d, flows) = a.emd_partial(&b, euclidean).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        assert_eq!(flows.len(), 1);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            Signature::new(vec![vec![0.0]], vec![]),
+            Err(SignatureError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Signature::new(vec![vec![0.0]], vec![-1.0]),
+            Err(SignatureError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            Signature::new(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 1.0]),
+            Err(SignatureError::RaggedPoints { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_signatures() {
+        let e = sig(vec![], vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.emd(&e, euclidean).unwrap(), 0.0);
+    }
+}

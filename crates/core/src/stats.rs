@@ -1,0 +1,128 @@
+//! Work accounting for multistep queries.
+//!
+//! The paper's evaluation reports two quantities per experiment:
+//! *selectivity* (the fraction of the database that reaches the exact EMD
+//! refinement step) and *response time*. [`QueryStats`] captures both,
+//! plus the hardware-independent operation counts (filter evaluations,
+//! index node accesses) that make runs comparable across machines.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters and timing for one multistep query execution.
+///
+/// Serializable so experiment harnesses can export structured results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Number of database objects (the selectivity denominator).
+    pub db_size: usize,
+    /// Filter distance evaluations per pipeline stage, in stage order.
+    /// The first entry is the candidate source (index or scan filter);
+    /// later entries are intermediate scan filters.
+    pub filter_evaluations: Vec<(String, u64)>,
+    /// Index node accesses performed by the candidate source.
+    pub node_accesses: u64,
+    /// Exact EMD evaluations — the quantity the paper calls selectivity
+    /// when divided by the database size.
+    pub exact_evaluations: u64,
+    /// Result set size.
+    pub results: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    /// Fraction of the database that required an exact EMD computation —
+    /// the paper's selectivity measure (Figures 7–10, left panels).
+    pub fn selectivity(&self) -> f64 {
+        if self.db_size == 0 {
+            0.0
+        } else {
+            self.exact_evaluations as f64 / self.db_size as f64
+        }
+    }
+
+    /// Adds a filter-evaluation count for a named stage, merging it into
+    /// an existing entry with the same name if present.
+    pub fn add_filter_evaluations(&mut self, stage: &str, count: u64) {
+        if let Some(entry) = self.filter_evaluations.iter_mut().find(|(n, _)| n == stage) {
+            entry.1 += count;
+        } else {
+            self.filter_evaluations.push((stage.to_string(), count));
+        }
+    }
+
+    /// Total filter evaluations across all stages.
+    pub fn total_filter_evaluations(&self) -> u64 {
+        self.filter_evaluations.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Merges another record (e.g. to average across query workloads).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.db_size = self.db_size.max(other.db_size);
+        for (name, count) in &other.filter_evaluations {
+            self.add_filter_evaluations(name, *count);
+        }
+        self.node_accesses += other.node_accesses;
+        self.exact_evaluations += other.exact_evaluations;
+        self.results += other.results;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_exact_over_db_size() {
+        let s = QueryStats {
+            db_size: 200,
+            exact_evaluations: 5,
+            ..Default::default()
+        };
+        assert!((s.selectivity() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_of_empty_db_is_zero() {
+        assert_eq!(QueryStats::default().selectivity(), 0.0);
+    }
+
+    #[test]
+    fn filter_evaluations_merge_by_stage() {
+        let mut s = QueryStats::default();
+        s.add_filter_evaluations("LB_Man", 10);
+        s.add_filter_evaluations("LB_IM", 3);
+        s.add_filter_evaluations("LB_Man", 5);
+        assert_eq!(
+            s.filter_evaluations,
+            vec![("LB_Man".to_string(), 15), ("LB_IM".to_string(), 3)]
+        );
+        assert_eq!(s.total_filter_evaluations(), 18);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = QueryStats {
+            db_size: 100,
+            exact_evaluations: 2,
+            node_accesses: 7,
+            results: 10,
+            ..Default::default()
+        };
+        a.add_filter_evaluations("f", 1);
+        let mut b = QueryStats {
+            db_size: 100,
+            exact_evaluations: 3,
+            node_accesses: 1,
+            results: 10,
+            ..Default::default()
+        };
+        b.add_filter_evaluations("f", 2);
+        a.merge(&b);
+        assert_eq!(a.exact_evaluations, 5);
+        assert_eq!(a.node_accesses, 8);
+        assert_eq!(a.filter_evaluations[0].1, 3);
+    }
+}

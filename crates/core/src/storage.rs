@@ -1,0 +1,267 @@
+//! Versioned, checksummed binary persistence for histogram databases.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 4 bytes  = "EMDB"
+//! version : u32      = 1
+//! dims    : u32
+//! count   : u64
+//! data    : count × dims × f64
+//! crc32   : u32 over everything above (IEEE polynomial)
+//! ```
+//!
+//! The format stores the *normalized* histograms exactly as the database
+//! holds them, so a round trip is bit-identical. No serde format crate is
+//! pulled in; the codec is ~100 lines and the CRC catches corruption.
+
+use crate::db::HistogramDb;
+use crate::histogram::Histogram;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EMDB";
+const VERSION: u32 = 1;
+
+/// Errors reading or writing a database file.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not an `EMDB` database.
+    BadMagic,
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header promises.
+    Truncated,
+    /// The checksum does not match — the file is corrupt.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// The payload contains an invalid histogram (negative/NaN bin).
+    InvalidData(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not an EMDB database file"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Truncated => write!(f, "file is truncated"),
+            StorageError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            StorageError::InvalidData(msg) => write!(f, "invalid payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Serializes a database into the `EMDB` byte format.
+pub fn to_bytes(db: &HistogramDb) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(20 + db.len() * db.dims() * 8 + 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(db.dims() as u32).to_le_bytes());
+    buf.extend_from_slice(&(db.len() as u64).to_le_bytes());
+    for (_, h) in db.iter() {
+        for b in h.bins() {
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Deserializes a database from the `EMDB` byte format, verifying the
+/// checksum and re-validating every histogram.
+pub fn from_bytes(bytes: &[u8]) -> Result<HistogramDb, StorageError> {
+    if bytes.len() < 24 {
+        return Err(StorageError::Truncated);
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    let dims = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let count = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    if dims == 0 {
+        return Err(StorageError::InvalidData("zero dimensionality".into()));
+    }
+    let payload_len = count
+        .checked_mul(dims)
+        .and_then(|c| c.checked_mul(8))
+        .ok_or_else(|| StorageError::InvalidData("size overflow".into()))?;
+    let expected_len = 20 + payload_len + 4;
+    if bytes.len() != expected_len {
+        return Err(StorageError::Truncated);
+    }
+    let stored_crc = u32::from_le_bytes(bytes[expected_len - 4..].try_into().expect("4 bytes"));
+    let actual_crc = crc32(&bytes[..expected_len - 4]);
+    if stored_crc != actual_crc {
+        return Err(StorageError::ChecksumMismatch {
+            expected: stored_crc,
+            actual: actual_crc,
+        });
+    }
+
+    let mut db = HistogramDb::new(dims);
+    let mut offset = 20;
+    for record in 0..count {
+        let mut bins = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            bins.push(f64::from_le_bytes(
+                bytes[offset..offset + 8].try_into().expect("8 bytes"),
+            ));
+            offset += 8;
+        }
+        let h = Histogram::new(bins)
+            .map_err(|e| StorageError::InvalidData(format!("record {record}: {e}")))?;
+        if (h.mass() - 1.0).abs() > 1e-6 {
+            return Err(StorageError::InvalidData(format!(
+                "record {record}: mass {} is not normalized",
+                h.mass()
+            )));
+        }
+        db.push_normalized_unchecked(h);
+    }
+    Ok(db)
+}
+
+/// Writes a database to a file (atomically: temp file + rename).
+pub fn save(db: &HistogramDb, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("emdb.tmp");
+    fs::write(&tmp, to_bytes(db))?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a database from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<HistogramDb, StorageError> {
+    from_bytes(&fs::read(path)?)
+}
+
+/// CRC-32 (IEEE 802.3) over a byte slice, table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Build the table on first use; 1 KiB, computed once.
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> HistogramDb {
+        let mut db = HistogramDb::new(3);
+        db.push(Histogram::new(vec![1.0, 2.0, 3.0]).unwrap());
+        db.push(Histogram::new(vec![0.0, 0.5, 0.5]).unwrap());
+        db.push(Histogram::new(vec![9.0, 0.0, 1.0]).unwrap());
+        db
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        let loaded = from_bytes(&bytes).unwrap();
+        assert_eq!(db, loaded);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("earthmover-storage-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.emdb");
+        save(&db, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(db, loaded);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let db = sample_db();
+        let mut bytes = to_bytes(&db);
+        // Flip one payload byte.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 3]),
+            Err(StorageError::Truncated)
+        ));
+        assert!(matches!(from_bytes(&[]), Err(StorageError::Truncated)));
+    }
+
+    #[test]
+    fn detects_bad_magic_and_version() {
+        let db = sample_db();
+        let mut bytes = to_bytes(&db);
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(StorageError::BadMagic)));
+
+        let mut bytes = to_bytes(&db);
+        bytes[4] = 99;
+        // Fixing the CRC so the version check (before data validation) is
+        // what fires is unnecessary: version is checked before the CRC.
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(StorageError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn empty_db_round_trips() {
+        let db = HistogramDb::new(5);
+        let loaded = from_bytes(&to_bytes(&db)).unwrap();
+        assert_eq!(db, loaded);
+        assert_eq!(loaded.dims(), 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! k-means color clustering: how signatures are built from images.
+//!
+//! Rubner's original EMD work represents each image by the centroids of
+//! a per-image color clustering (a *signature*) rather than a fixed
+//! global binning. This module provides the small, deterministic k-means
+//! implementation that turns an [`Image`] into such a signature.
+
+use crate::color::Rgb;
+use crate::image::Image;
+use earthmover_core::signature::Signature;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of clustering: centroids with member counts.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster centers in the clustered space.
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of points assigned to each center.
+    pub sizes: Vec<usize>,
+    /// Sum of squared distances of points to their centers.
+    pub inertia: f64,
+}
+
+/// Runs Lloyd's k-means on a point set.
+///
+/// Deterministic in `seed` (k-means++-style seeding from the seeded RNG).
+/// Clusters that lose all members are dropped from the result, so the
+/// output may contain fewer than `k` centroids.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `points` is empty or ragged.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let dims = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dims),
+        "points must have uniform arity"
+    );
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first center uniform, then proportional to
+    // squared distance from the nearest chosen center.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dist2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centers.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, d) in dist2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            dist2[i] = dist2[i].min(sq_dist(p, &centroids[centroids.len() - 1]));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centers.
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                for (dst, s) in centroids[c].iter_mut().zip(sum) {
+                    *dst = s / count as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect non-empty clusters.
+    let mut counts = vec![0usize; centroids.len()];
+    for &a in &assignment {
+        counts[a] += 1;
+    }
+    let mut inertia = 0.0;
+    for (p, &a) in points.iter().zip(&assignment) {
+        inertia += sq_dist(p, &centroids[a]);
+    }
+    let (centroids, sizes): (Vec<_>, Vec<_>) = centroids
+        .into_iter()
+        .zip(counts)
+        .filter(|(_, c)| *c > 0)
+        .unzip();
+    Clustering {
+        centroids,
+        sizes,
+        inertia,
+    }
+}
+
+/// Clusters an image's pixels in RGB space and returns the color
+/// signature: dominant colors weighted by their pixel share.
+pub fn color_signature(img: &Image, k: usize, seed: u64) -> Signature {
+    let points: Vec<Vec<f64>> = img
+        .pixels()
+        .iter()
+        .map(|p: &Rgb| p.to_point().to_vec())
+        .collect();
+    let clustering = kmeans(&points, k, 25, seed);
+    let total = img.len() as f64;
+    let weights = clustering
+        .sizes
+        .iter()
+        .map(|&s| s as f64 / total)
+        .collect();
+    Signature::new(clustering.centroids, weights).expect("kmeans output is well-formed")
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..20 {
+            points.push(vec![0.0 + i as f64 * 1e-3, 0.0]);
+            points.push(vec![10.0 + i as f64 * 1e-3, 10.0]);
+        }
+        let c = kmeans(&points, 2, 50, 7);
+        assert_eq!(c.centroids.len(), 2);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 40);
+        let mut xs: Vec<f64> = c.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 1.0 && xs[1] > 9.0);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let c = kmeans(&points, 10, 10, 1);
+        assert!(c.centroids.len() <= 2);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let points = vec![vec![5.0, 5.0]; 30];
+        let c = kmeans(&points, 4, 10, 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 30);
+        assert!(c.inertia < 1e-12);
+        for centroid in &c.centroids {
+            assert!((centroid[0] - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect();
+        let a = kmeans(&points, 3, 20, 42);
+        let b = kmeans(&points, 3, 20, 42);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.sizes, b.sizes);
+    }
+
+    #[test]
+    fn color_signature_weights_sum_to_one() {
+        let img = Image::from_fn(8, 8, |x, _| {
+            if x < 4 {
+                Rgb::new(0.9, 0.1, 0.1)
+            } else {
+                Rgb::new(0.1, 0.1, 0.9)
+            }
+        });
+        let sig = color_signature(&img, 2, 11);
+        assert!((sig.mass() - 1.0).abs() < 1e-9);
+        assert_eq!(sig.len(), 2);
+        // The two dominant colors should be near red and blue.
+        let mut reds: Vec<f64> = sig.points().iter().map(|p| p[0]).collect();
+        reds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(reds[0] < 0.3 && reds[1] > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = kmeans(&[vec![0.0]], 0, 1, 0);
+    }
+}

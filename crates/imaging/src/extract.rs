@@ -1,0 +1,105 @@
+//! Histogram extraction: from pixels to feature histograms.
+
+use crate::color::{rgb_to_hsv, Rgb};
+use crate::image::Image;
+use earthmover_core::ground::BinGrid;
+use earthmover_core::histogram::Histogram;
+
+/// Which 3-D color space pixels are binned in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColorSpace {
+    /// Raw RGB cube.
+    #[default]
+    Rgb,
+    /// Hue/saturation/value, hue scaled to `[0, 1]`.
+    Hsv,
+}
+
+impl ColorSpace {
+    /// Maps a pixel into the unit cube of this color space.
+    pub fn project(self, pixel: Rgb) -> [f64; 3] {
+        match self {
+            ColorSpace::Rgb => pixel.to_point(),
+            ColorSpace::Hsv => rgb_to_hsv(pixel).to_point(),
+        }
+    }
+}
+
+/// Counts the image's pixels into the grid's bins.
+///
+/// The result is an *unnormalized* histogram whose mass equals the pixel
+/// count; [`earthmover_core::db::HistogramDb`] normalizes on ingest.
+///
+/// # Panics
+///
+/// Panics if the grid is not three-dimensional (color spaces are 3-D).
+pub fn histogram_of(img: &Image, grid: &BinGrid, space: ColorSpace) -> Histogram {
+    assert_eq!(
+        grid.feature_dims(),
+        3,
+        "color histograms need a 3-axis grid"
+    );
+    let mut bins = vec![0.0; grid.num_bins()];
+    for &pixel in img.pixels() {
+        let p = space.project(pixel);
+        bins[grid.bin_of(&p)] += 1.0;
+    }
+    Histogram::new(bins).expect("counts are non-negative")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_equals_pixel_count() {
+        let img = Image::filled(8, 4, Rgb::new(0.2, 0.6, 0.9));
+        let grid = BinGrid::new(vec![4, 4, 4]);
+        let h = histogram_of(&img, &grid, ColorSpace::Rgb);
+        assert_eq!(h.mass(), 32.0);
+    }
+
+    #[test]
+    fn uniform_image_fills_one_bin() {
+        let img = Image::filled(5, 5, Rgb::new(0.1, 0.1, 0.1));
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let h = histogram_of(&img, &grid, ColorSpace::Rgb);
+        let expected_bin = grid.bin_of(&[0.1, 0.1, 0.1]);
+        assert_eq!(h.get(expected_bin), 25.0);
+        assert_eq!(h.mass(), 25.0);
+    }
+
+    #[test]
+    fn two_color_image_splits_mass() {
+        let img = Image::from_fn(4, 2, |x, _| {
+            if x < 2 {
+                Rgb::new(0.1, 0.1, 0.1)
+            } else {
+                Rgb::new(0.9, 0.9, 0.9)
+            }
+        });
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let h = histogram_of(&img, &grid, ColorSpace::Rgb);
+        assert_eq!(h.get(grid.bin_of(&[0.1; 3])), 4.0);
+        assert_eq!(h.get(grid.bin_of(&[0.9; 3])), 4.0);
+    }
+
+    #[test]
+    fn hsv_projection_differs_from_rgb() {
+        // A saturated red: RGB point (1, 0, 0) vs HSV point (0, 1, 1).
+        let img = Image::filled(2, 2, Rgb::new(1.0, 0.0, 0.0));
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let rgb = histogram_of(&img, &grid, ColorSpace::Rgb);
+        let hsv = histogram_of(&img, &grid, ColorSpace::Hsv);
+        assert_eq!(rgb.get(grid.bin_of(&[1.0, 0.0, 0.0])), 4.0);
+        assert_eq!(hsv.get(grid.bin_of(&[0.0, 1.0, 1.0])), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3-axis")]
+    fn non_3d_grid_panics() {
+        let img = Image::filled(1, 1, Rgb::BLACK);
+        let grid = BinGrid::new(vec![4, 4]);
+        let _ = histogram_of(&img, &grid, ColorSpace::Rgb);
+    }
+}

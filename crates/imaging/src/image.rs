@@ -1,0 +1,122 @@
+//! A minimal RGB raster image.
+
+use crate::color::Rgb;
+
+/// An RGB image with `f64` channels in `[0, 1]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl Image {
+    /// Creates an image filled with a single color.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized image.
+    pub fn filled(width: usize, height: usize, color: Rgb) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Image {
+            width,
+            height,
+            pixels: vec![color; width * height],
+        }
+    }
+
+    /// Creates an image from a pixel generator called as `f(x, y)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> Rgb) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Wraps an existing pixel buffer (row-major, length `width*height`).
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<Rgb>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    pub fn set(&mut self, x: usize, y: usize, color: Rgb) {
+        self.pixels[y * self.width + x] = color;
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Always false (zero-sized images cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_addresses_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| Rgb::new(x as f64 / 2.0, y as f64, 0.0));
+        assert_eq!(img.get(2, 1), Rgb::new(1.0, 1.0, 0.0));
+        assert_eq!(img.get(0, 0), Rgb::new(0.0, 0.0, 0.0));
+        assert_eq!(img.len(), 6);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut img = Image::filled(2, 2, Rgb::BLACK);
+        img.set(1, 0, Rgb::WHITE);
+        assert_eq!(img.get(1, 0), Rgb::WHITE);
+        assert_eq!(img.get(0, 1), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        let _ = Image::filled(0, 5, Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let _ = Image::from_pixels(2, 2, vec![Rgb::BLACK; 3]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Binary PPM (P6) and PGM (P5) encoding and decoding.
+//!
+//! These two NetPBM formats cover the workspace's visualization needs:
+//! PPM for synthetic corpus images, PGM for the EMD iso-line renderings
+//! of the paper's Figure 2. Only the 8-bit (`maxval = 255`) variants are
+//! implemented.
+
+use crate::color::Rgb;
+use crate::image::Image;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors decoding a PNM file.
+#[derive(Debug)]
+pub enum PnmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header is not a supported magic (`P5`/`P6`).
+    BadMagic,
+    /// The header is malformed (missing or invalid fields).
+    BadHeader(String),
+    /// Only `maxval = 255` is supported.
+    UnsupportedMaxval(u32),
+    /// The pixel payload is shorter than the header promises.
+    Truncated,
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnmError::Io(e) => write!(f, "i/o error: {e}"),
+            PnmError::BadMagic => write!(f, "not a P5/P6 NetPBM file"),
+            PnmError::BadHeader(msg) => write!(f, "malformed header: {msg}"),
+            PnmError::UnsupportedMaxval(v) => write!(f, "unsupported maxval {v} (only 255)"),
+            PnmError::Truncated => write!(f, "pixel data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PnmError {}
+
+impl From<io::Error> for PnmError {
+    fn from(e: io::Error) -> Self {
+        PnmError::Io(e)
+    }
+}
+
+/// Encodes an image as binary PPM (P6, 8-bit).
+pub fn encode_ppm(img: &Image) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+    out.reserve(img.len() * 3);
+    for p in img.pixels() {
+        let (r, g, b) = p.to_u8();
+        out.push(r);
+        out.push(g);
+        out.push(b);
+    }
+    out
+}
+
+/// Encodes a grayscale buffer (row-major, values in `[0, 1]`) as binary
+/// PGM (P5, 8-bit).
+///
+/// # Panics
+///
+/// Panics if `values.len() != width * height` or the image is empty.
+pub fn encode_pgm(width: usize, height: usize, values: &[f64]) -> Vec<u8> {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    assert_eq!(values.len(), width * height, "value buffer size mismatch");
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.reserve(values.len());
+    for v in values {
+        out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+    }
+    out
+}
+
+/// Decodes a binary PPM (P6) file.
+pub fn decode_ppm(bytes: &[u8]) -> Result<Image, PnmError> {
+    let (magic, width, height, maxval, offset) = parse_header(bytes)?;
+    if &magic != b"P6" {
+        return Err(PnmError::BadMagic);
+    }
+    if maxval != 255 {
+        return Err(PnmError::UnsupportedMaxval(maxval));
+    }
+    let need = width * height * 3;
+    let data = bytes.get(offset..offset + need).ok_or(PnmError::Truncated)?;
+    let pixels = data
+        .chunks_exact(3)
+        .map(|c| Rgb::from_u8(c[0], c[1], c[2]))
+        .collect();
+    Ok(Image::from_pixels(width, height, pixels))
+}
+
+/// Decodes a binary PGM (P5) file into `(width, height, values in [0,1])`.
+pub fn decode_pgm(bytes: &[u8]) -> Result<(usize, usize, Vec<f64>), PnmError> {
+    let (magic, width, height, maxval, offset) = parse_header(bytes)?;
+    if &magic != b"P5" {
+        return Err(PnmError::BadMagic);
+    }
+    if maxval != 255 {
+        return Err(PnmError::UnsupportedMaxval(maxval));
+    }
+    let need = width * height;
+    let data = bytes.get(offset..offset + need).ok_or(PnmError::Truncated)?;
+    Ok((
+        width,
+        height,
+        data.iter().map(|&b| b as f64 / 255.0).collect(),
+    ))
+}
+
+/// Writes an image to a PPM file.
+pub fn save_ppm(img: &Image, path: impl AsRef<Path>) -> Result<(), PnmError> {
+    fs::write(path, encode_ppm(img))?;
+    Ok(())
+}
+
+/// Reads an image from a PPM file.
+pub fn load_ppm(path: impl AsRef<Path>) -> Result<Image, PnmError> {
+    decode_ppm(&fs::read(path)?)
+}
+
+/// Writes a grayscale buffer to a PGM file.
+pub fn save_pgm(
+    width: usize,
+    height: usize,
+    values: &[f64],
+    path: impl AsRef<Path>,
+) -> Result<(), PnmError> {
+    fs::write(path, encode_pgm(width, height, values))?;
+    Ok(())
+}
+
+/// Parses a NetPBM header: magic, width, height, maxval, and the offset
+/// of the first payload byte. Handles `#` comments and arbitrary
+/// whitespace, per the spec.
+fn parse_header(bytes: &[u8]) -> Result<([u8; 2], usize, usize, u32, usize), PnmError> {
+    if bytes.len() < 2 {
+        return Err(PnmError::BadMagic);
+    }
+    let magic = [bytes[0], bytes[1]];
+    if &magic != b"P5" && &magic != b"P6" {
+        return Err(PnmError::BadMagic);
+    }
+    let mut pos = 2;
+    let mut fields = [0usize; 3];
+    for field in &mut fields {
+        // Skip whitespace and comments.
+        loop {
+            match bytes.get(pos) {
+                Some(b) if b.is_ascii_whitespace() => pos += 1,
+                Some(b'#') => {
+                    while let Some(b) = bytes.get(pos) {
+                        pos += 1;
+                        if *b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => return Err(PnmError::BadHeader("unexpected end of header".into())),
+            }
+        }
+        // Parse one decimal field.
+        let start = pos;
+        while bytes.get(pos).is_some_and(|b| b.is_ascii_digit()) {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(PnmError::BadHeader("expected a number".into()));
+        }
+        let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are utf8");
+        *field = text
+            .parse()
+            .map_err(|_| PnmError::BadHeader(format!("invalid number {text}")))?;
+    }
+    // Exactly one whitespace byte separates maxval from the payload.
+    if !bytes.get(pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        return Err(PnmError::BadHeader("missing separator before payload".into()));
+    }
+    pos += 1;
+    let (w, h, maxval) = (fields[0], fields[1], fields[2] as u32);
+    if w == 0 || h == 0 {
+        return Err(PnmError::BadHeader("zero dimensions".into()));
+    }
+    Ok((magic, w, h, maxval, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = Image::from_fn(5, 4, |x, y| {
+            Rgb::from_u8((x * 50) as u8, (y * 60) as u8, 200)
+        });
+        let decoded = decode_ppm(&encode_ppm(&img)).unwrap();
+        assert_eq!(img, decoded);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let values: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
+        let bytes = encode_pgm(4, 3, &values);
+        let (w, h, decoded) = decode_pgm(&bytes).unwrap();
+        assert_eq!((w, h), (4, 3));
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut bytes = b"P5\n# a comment\n2 2\n# another\n255\n".to_vec();
+        bytes.extend_from_slice(&[0, 64, 128, 255]);
+        let (w, h, v) = decode_pgm(&bytes).unwrap();
+        assert_eq!((w, h), (2, 2));
+        assert_eq!(v.len(), 4);
+        assert!((v[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(decode_ppm(b"P3\n1 1\n255\n"), Err(PnmError::BadMagic)));
+        assert!(matches!(decode_ppm(b"X"), Err(PnmError::BadMagic)));
+        // P5 payload fed to the P6 decoder.
+        let pgm = encode_pgm(1, 1, &[0.5]);
+        assert!(matches!(decode_ppm(&pgm), Err(PnmError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let img = Image::filled(4, 4, Rgb::WHITE);
+        let bytes = encode_ppm(&img);
+        assert!(matches!(
+            decode_ppm(&bytes[..bytes.len() - 1]),
+            Err(PnmError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_maxval() {
+        let bytes = b"P5\n1 1\n65535\n\x00\x00".to_vec();
+        assert!(matches!(
+            decode_pgm(&bytes),
+            Err(PnmError::UnsupportedMaxval(65535))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("earthmover-pnm-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.ppm");
+        // u8-exact channel values so the 8-bit round trip is lossless.
+        let img = Image::from_fn(3, 3, |x, y| {
+            Rgb::from_u8((x * 100) as u8, (y * 100) as u8, 128)
+        });
+        save_ppm(&img, &path).unwrap();
+        assert_eq!(load_ppm(&path).unwrap(), img);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Metamorphic property tests for the simplex solver: transformations of
+//! a linear program with known effects on the optimum.
+
+use earthmover_lp::{LpError, Problem, Relation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random bounded-feasible minimization problem: box constraints keep
+/// it feasible and bounded regardless of the random rows.
+fn random_problem(seed: u64, n: usize, rows: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let mut p = Problem::minimize(objective);
+    // Box: every variable at most some positive bound (plus z >= 0
+    // implicitly) — guarantees boundedness.
+    for i in 0..n {
+        let mut row = vec![0.0; n];
+        row[i] = 1.0;
+        p.constrain(row, Relation::Le, rng.gen_range(0.5..10.0));
+    }
+    for _ in 0..rows {
+        let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        // Le with non-negative rhs keeps the origin feasible.
+        p.constrain(coeffs, Relation::Le, rng.gen_range(0.0..5.0));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Scaling the objective by a positive constant scales the optimum.
+    #[test]
+    fn objective_scaling(seed in any::<u64>(), n in 1usize..6, rows in 0usize..4, scale in 0.1f64..10.0) {
+        let p = random_problem(seed, n, rows);
+        let base = p.solve().unwrap();
+        let mut scaled = p.clone();
+        for c in &mut scaled.objective {
+            *c *= scale;
+        }
+        let s = scaled.solve().unwrap();
+        prop_assert!(
+            (s.objective - scale * base.objective).abs() <= 1e-6 * (1.0 + base.objective.abs() * scale),
+            "{} vs {}", s.objective, scale * base.objective
+        );
+    }
+
+    /// Adding a redundant constraint (implied by an existing one) leaves
+    /// the optimum unchanged.
+    #[test]
+    fn redundant_constraint(seed in any::<u64>(), n in 1usize..6, rows in 0usize..4) {
+        let p = random_problem(seed, n, rows);
+        let base = p.solve().unwrap();
+        let mut relaxed = p.clone();
+        // Duplicate the first constraint with a looser rhs: trivially
+        // redundant.
+        let first = relaxed.constraints[0].clone();
+        relaxed.constrain(first.coeffs.clone(), first.relation, first.rhs + 1.0);
+        let r = relaxed.solve().unwrap();
+        prop_assert!((r.objective - base.objective).abs() <= 1e-6 * (1.0 + base.objective.abs()));
+    }
+
+    /// The reported solution is feasible and achieves the reported value.
+    #[test]
+    fn solution_is_feasible(seed in any::<u64>(), n in 1usize..6, rows in 0usize..5) {
+        let p = random_problem(seed, n, rows);
+        let s = p.solve().unwrap();
+        // Objective value matches the variables.
+        let value: f64 = p.objective.iter().zip(&s.variables).map(|(c, x)| c * x).sum();
+        prop_assert!((value - s.objective).abs() <= 1e-6 * (1.0 + value.abs()));
+        // All constraints hold.
+        for c in &p.constraints {
+            let lhs: f64 = c.coeffs.iter().zip(&s.variables).map(|(a, x)| a * x).sum();
+            match c.relation {
+                Relation::Le => prop_assert!(lhs <= c.rhs + 1e-6),
+                Relation::Ge => prop_assert!(lhs >= c.rhs - 1e-6),
+                Relation::Eq => prop_assert!((lhs - c.rhs).abs() <= 1e-6),
+            }
+        }
+        for x in &s.variables {
+            prop_assert!(*x >= -1e-9);
+        }
+    }
+
+    /// Tightening a binding box constraint can only worsen (raise) the
+    /// minimum.
+    #[test]
+    fn monotonicity_under_tightening(seed in any::<u64>(), n in 1usize..5) {
+        let p = random_problem(seed, n, 2);
+        let base = p.solve().unwrap();
+        let mut tightened = p.clone();
+        for c in &mut tightened.constraints {
+            if c.relation == Relation::Le && c.rhs > 0.2 {
+                c.rhs *= 0.5;
+            }
+        }
+        match tightened.solve() {
+            Ok(t) => prop_assert!(t.objective >= base.objective - 1e-6),
+            // Tightening may make it infeasible only if 0 stopped being
+            // feasible — impossible here (all Le rows keep rhs >= 0).
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn weak_duality_spot_check() {
+    // min x + y s.t. x + y >= 4, x <= 3, y <= 3: optimum 4.
+    // The dual bound from the first constraint alone: any feasible z has
+    // objective >= 4 (multiplier 1). Check the solver agrees.
+    let mut p = Problem::minimize(vec![1.0, 1.0]);
+    p.constrain(vec![1.0, 1.0], Relation::Ge, 4.0);
+    p.constrain(vec![1.0, 0.0], Relation::Le, 3.0);
+    p.constrain(vec![0.0, 1.0], Relation::Le, 3.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn infeasible_after_contradiction() {
+    let mut p = Problem::minimize(vec![1.0, 0.0]);
+    p.constrain(vec![1.0, 1.0], Relation::Eq, 1.0);
+    p.constrain(vec![1.0, 1.0], Relation::Eq, 2.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+}

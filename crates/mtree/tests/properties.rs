@@ -1,0 +1,99 @@
+//! Property tests: the M-tree must return exactly the linear-scan result
+//! for any point set and any query, under multiple metrics.
+
+use earthmover_mtree::MTree;
+use proptest::prelude::*;
+
+fn l1(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn l2(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn linf(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn arb_points(dims: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0f64..50.0, dims..=dims),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn range_is_exact(
+        pts in arb_points(2, 150),
+        q in prop::collection::vec(-50.0f64..50.0, 2),
+        eps in 0.0f64..80.0,
+        which in 0usize..3,
+    ) {
+        let metric = [l1, l2, linf][which];
+        let mut tree = MTree::new(metric);
+        for p in &pts {
+            tree.insert(p.clone());
+        }
+        let (hits, _) = tree.range(&q, eps);
+        let expect = pts.iter().filter(|p| metric(p, &q) <= eps).count();
+        prop_assert_eq!(hits.len(), expect);
+        for (p, d) in &hits {
+            prop_assert!((metric(p, &q) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_is_exact(
+        pts in arb_points(3, 120),
+        q in prop::collection::vec(-50.0f64..50.0, 3),
+        k in 1usize..15,
+    ) {
+        let mut tree = MTree::new(l2);
+        for p in &pts {
+            tree.insert(p.clone());
+        }
+        let (result, _) = tree.knn(&q, k);
+        let mut brute: Vec<f64> = pts.iter().map(|p| l2(p, &q)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(result.len(), k.min(pts.len()));
+        for (i, (_, d)) in result.iter().enumerate() {
+            prop_assert!((d - brute[i]).abs() < 1e-9, "rank {}: {} vs {}", i, d, brute[i]);
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_results(
+        pts in arb_points(2, 80),
+        q in prop::collection::vec(-50.0f64..50.0, 2),
+    ) {
+        let mut fwd = MTree::new(l2);
+        for p in &pts {
+            fwd.insert(p.clone());
+        }
+        let mut rev = MTree::new(l2);
+        for p in pts.iter().rev() {
+            rev.insert(p.clone());
+        }
+        let (a, _) = fwd.range(&q, 10.0);
+        let (b, _) = rev.range(&q, 10.0);
+        let mut ad: Vec<f64> = a.iter().map(|(_, d)| *d).collect();
+        let mut bd: Vec<f64> = b.iter().map(|(_, d)| *d).collect();
+        ad.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        bd.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(ad.len(), bd.len());
+        for (x, y) in ad.iter().zip(&bd) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Axis-aligned minimum bounding rectangles of runtime dimensionality.
+
+/// An axis-aligned hyperrectangle `[lo_d, hi_d]` per dimension.
+///
+/// Rectangles are the directory entries of the R-tree; degenerate
+/// rectangles (`lo == hi`) represent points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Rect {
+    /// A degenerate rectangle covering exactly `point`.
+    pub fn point(point: &[f64]) -> Self {
+        Rect {
+            lo: point.to_vec(),
+            hi: point.to_vec(),
+        }
+    }
+
+    /// A rectangle from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds have different lengths or `lo_d > hi_d` anywhere.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound arity mismatch");
+        for d in 0..lo.len() {
+            assert!(
+                lo[d] <= hi[d],
+                "inverted bounds in dimension {d}: {} > {}",
+                lo[d],
+                hi[d]
+            );
+        }
+        Rect { lo, hi }
+    }
+
+    /// Dimensionality of the rectangle.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound in dimension `d`.
+    #[inline]
+    pub fn lo(&self, d: usize) -> f64 {
+        self.lo[d]
+    }
+
+    /// Upper bound in dimension `d`.
+    #[inline]
+    pub fn hi(&self, d: usize) -> f64 {
+        self.hi[d]
+    }
+
+    /// Grows the rectangle in place to cover `other`.
+    pub fn grow(&mut self, other: &Rect) {
+        for d in 0..self.lo.len() {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// Grows the rectangle in place to cover `point`.
+    pub fn grow_point(&mut self, point: &[f64]) {
+        for d in 0..self.lo.len() {
+            self.lo[d] = self.lo[d].min(point[d]);
+            self.hi[d] = self.hi[d].max(point[d]);
+        }
+    }
+
+    /// The smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let mut r = self.clone();
+        r.grow(other);
+        r
+    }
+
+    /// Hypervolume (product of side lengths). Zero for degenerate rects.
+    pub fn area(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| h - l)
+            .product()
+    }
+
+    /// Sum of side lengths — a robust size proxy when areas collapse to
+    /// zero (common with point data sharing coordinates).
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).sum()
+    }
+
+    /// How much the area would grow if `other` were merged in.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Margin growth if `other` were merged in (tie-breaker for degenerate
+    /// areas).
+    pub fn margin_enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).margin() - self.margin()
+    }
+
+    /// True when `point` lies inside the closed rectangle.
+    pub fn contains_point(&self, point: &[f64]) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(point)
+            .all(|((l, h), p)| *l <= *p && *p <= *h)
+    }
+
+    /// True when the closed rectangles share at least one point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((l, h), (ol, oh))| *l <= *oh && *ol <= *h)
+    }
+
+    /// The point of the rectangle closest to `q` (coordinate-wise clamp).
+    /// For any metric that is monotone per coordinate difference (all
+    /// weighted Lp norms), the distance from `q` to this point lower bounds
+    /// the distance from `q` to every point in the rectangle.
+    pub fn clamp_point(&self, q: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            q.iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .map(|(qd, (l, h))| qd.clamp(*l, *h)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_area() {
+        let a = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = Rect::new(vec![2.0, -1.0], vec![3.0, 0.5]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(0), 0.0);
+        assert_eq!(u.hi(0), 3.0);
+        assert_eq!(u.lo(1), -1.0);
+        assert_eq!(u.hi(1), 1.0);
+        assert!((u.area() - 6.0).abs() < 1e-12);
+        assert!((a.enlargement(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_breaks_degenerate_ties() {
+        let a = Rect::point(&[0.0, 0.0]);
+        let near = Rect::point(&[0.1, 0.0]);
+        let far = Rect::point(&[5.0, 0.0]);
+        assert_eq!(a.enlargement(&near), 0.0);
+        assert_eq!(a.enlargement(&far), 0.0);
+        assert!(a.margin_enlargement(&near) < a.margin_enlargement(&far));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let r = Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        assert!(r.contains_point(&[1.0, 2.0]));
+        assert!(!r.contains_point(&[1.0, 2.1]));
+        let touching = Rect::new(vec![2.0, 0.0], vec![3.0, 1.0]);
+        assert!(r.intersects(&touching));
+        let apart = Rect::new(vec![2.5, 2.5], vec![3.0, 3.0]);
+        assert!(!r.intersects(&apart));
+    }
+
+    #[test]
+    fn clamp_point_projects_inside() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let mut out = Vec::new();
+        r.clamp_point(&[2.0, -0.5], &mut out);
+        assert_eq!(out, vec![1.0, 0.0]);
+        r.clamp_point(&[0.5, 0.5], &mut out);
+        assert_eq!(out, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_panic() {
+        let _ = Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn grow_point_expands() {
+        let mut r = Rect::point(&[1.0, 1.0]);
+        r.grow_point(&[0.0, 3.0]);
+        assert_eq!(r.lo(0), 0.0);
+        assert_eq!(r.hi(1), 3.0);
+        assert_eq!(r.hi(0), 1.0);
+    }
+}

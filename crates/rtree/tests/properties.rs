@@ -1,0 +1,131 @@
+//! Property-based tests for the R-tree: query results must always agree
+//! with a brute-force linear scan, and the incremental ranking must be a
+//! sorted permutation of the database.
+
+use earthmover_rtree::{LpKind, PointMetric, QueryStats, RTree, Rect, WeightedLp};
+use proptest::prelude::*;
+
+fn arb_points(dims: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dims..=dims),
+        1..max_len,
+    )
+}
+
+fn arb_metric(dims: usize) -> impl Strategy<Value = WeightedLp> {
+    (
+        prop::sample::select(vec![LpKind::L1, LpKind::L2, LpKind::LInf]),
+        prop::collection::vec(0.01f64..10.0, dims..=dims),
+    )
+        .prop_map(|(kind, w)| WeightedLp::new(kind, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_within_agrees_with_scan(
+        pts in arb_points(3, 120),
+        q in prop::collection::vec(-100.0f64..100.0, 3),
+        eps in 0.0f64..150.0,
+        metric in arb_metric(3),
+        bulk in any::<bool>(),
+    ) {
+        let items: Vec<(Vec<f64>, u64)> =
+            pts.iter().cloned().zip(0u64..).collect();
+        let tree = if bulk {
+            RTree::bulk_load_with_capacity(3, items, 5)
+        } else {
+            let mut t = RTree::with_node_capacity(3, 5);
+            for (p, id) in &items {
+                t.insert(p, *id);
+            }
+            t
+        };
+        let mut stats = QueryStats::default();
+        let mut got: Vec<u64> = tree
+            .range_within(&q, eps, &metric, &mut stats)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| metric.distance(p, &q) <= eps)
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ranking_is_sorted_permutation(
+        pts in arb_points(2, 100),
+        q in prop::collection::vec(-100.0f64..100.0, 2),
+        metric in arb_metric(2),
+    ) {
+        let items: Vec<(Vec<f64>, u64)> =
+            pts.iter().cloned().zip(0u64..).collect();
+        let tree = RTree::bulk_load_with_capacity(2, items, 6);
+        let ranked: Vec<(u64, f64)> = tree.rank_by_distance(&q, &metric).collect();
+        prop_assert_eq!(ranked.len(), pts.len());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+        let mut ids: Vec<u64> = ranked.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(*id, i as u64);
+        }
+        // Distances must be the true metric distances.
+        for (id, d) in &ranked {
+            let truth = metric.distance(&pts[*id as usize], &q);
+            prop_assert!((d - truth).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mindist_contract(
+        lo in prop::collection::vec(-50.0f64..50.0, 3),
+        ext in prop::collection::vec(0.0f64..20.0, 3),
+        q in prop::collection::vec(-100.0f64..100.0, 3),
+        metric in arb_metric(3),
+        // Barycentric-ish coordinates of a contained sample point.
+        frac in prop::collection::vec(0.0f64..=1.0, 3),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let rect = Rect::new(lo.clone(), hi.clone());
+        let p: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .zip(&frac)
+            .map(|((l, h), f)| l + (h - l) * f)
+            .collect();
+        prop_assert!(metric.mindist(&rect, &q) <= metric.distance(&p, &q) + 1e-9);
+    }
+
+    #[test]
+    fn rect_range_agrees_with_scan(
+        pts in arb_points(2, 100),
+        lo in prop::collection::vec(-100.0f64..100.0, 2),
+        ext in prop::collection::vec(0.0f64..100.0, 2),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+        let query = Rect::new(lo, hi);
+        let items: Vec<(Vec<f64>, u64)> =
+            pts.iter().cloned().zip(0u64..).collect();
+        let tree = RTree::bulk_load(2, items);
+        let mut stats = QueryStats::default();
+        let mut got = tree.range_rect(&query, &mut stats);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,357 @@
+//! A heap of variable-length records in slotted pages.
+//!
+//! Page layout (all little-endian):
+//!
+//! ```text
+//! 0..4    next_page  (u32, NO_PAGE when last)
+//! 4..6    slot_count (u16)
+//! 6..8    free_start (u16, offset of the next record write)
+//! 8..     slot directory: per slot { offset: u16, len: u16 }
+//!         records grow from the end of the page downward
+//! ```
+//!
+//! Records are immutable once appended (the workload is an append-then-
+//! scan histogram database); deletion is supported by tombstoning a slot
+//! (`offset = 0xFFFF`). Record ids are `(page, slot)` pairs and remain
+//! stable for the life of the store.
+
+use crate::buffer::BufferPool;
+use crate::pagefile::{PageId, StorageError, PAGE_SIZE};
+
+const NO_PAGE: u32 = u32::MAX;
+const HEADER: usize = 8;
+const SLOT: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// Largest record that fits a page.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// Stable identifier of a record: page and slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// An append-oriented record store over a [`BufferPool`].
+pub struct RecordStore {
+    pool: BufferPool,
+    /// First data page of the chain.
+    first: PageId,
+    /// Page currently accepting appends.
+    tail: PageId,
+}
+
+impl RecordStore {
+    /// Creates a store on a fresh page file (allocates the first page).
+    pub fn create(pool: BufferPool) -> Result<Self, StorageError> {
+        let first = pool.allocate()?;
+        pool.with_page_mut(first, |p| init_page(p))?;
+        Ok(RecordStore {
+            pool,
+            first,
+            tail: first,
+        })
+    }
+
+    /// Opens a store whose chain starts at `first` (as created earlier).
+    pub fn open(pool: BufferPool, first: PageId) -> Result<Self, StorageError> {
+        // Walk to the tail.
+        let mut tail = first;
+        loop {
+            let next = pool.with_page(tail, |p| read_u32(p, 0))?;
+            if next == NO_PAGE {
+                break;
+            }
+            tail = PageId(next);
+        }
+        Ok(RecordStore { pool, first, tail })
+    }
+
+    /// The first page of the chain (persist this to reopen the store).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// The underlying buffer pool (for statistics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Appends a record, growing the chain as needed.
+    pub fn append(&mut self, record: &[u8]) -> Result<RecordId, StorageError> {
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: MAX_RECORD,
+            });
+        }
+        // Try the tail page first.
+        let fits = self.pool.with_page(self.tail, |p| {
+            let slots = read_u16(p, 4) as usize;
+            let free_start = read_u16(p, 6) as usize;
+            let dir_end = HEADER + (slots + 1) * SLOT;
+            free_start >= record.len() && free_start - record.len() >= dir_end
+        })?;
+        if !fits {
+            let new_page = self.pool.allocate()?;
+            self.pool.with_page_mut(new_page, |p| init_page(p))?;
+            let tail = self.tail;
+            self.pool
+                .with_page_mut(tail, |p| write_u32(p, 0, new_page.0))?;
+            self.tail = new_page;
+        }
+        let tail = self.tail;
+        let slot = self.pool.with_page_mut(tail, |p| {
+            let slots = read_u16(p, 4);
+            let free_start = read_u16(p, 6) as usize;
+            let offset = free_start - record.len();
+            p[offset..offset + record.len()].copy_from_slice(record);
+            let dir = HEADER + slots as usize * SLOT;
+            write_u16(p, dir, offset as u16);
+            write_u16(p, dir + 2, record.len() as u16);
+            write_u16(p, 4, slots + 1);
+            write_u16(p, 6, offset as u16);
+            slots
+        })?;
+        Ok(RecordId {
+            page: tail,
+            slot,
+        })
+    }
+
+    /// Reads a record by id.
+    pub fn get(&self, id: RecordId) -> Result<Vec<u8>, StorageError> {
+        let record = self.pool.with_page(id.page, |p| {
+            let slots = read_u16(p, 4);
+            if id.slot >= slots {
+                return None;
+            }
+            let dir = HEADER + id.slot as usize * SLOT;
+            let offset = read_u16(p, dir);
+            if offset == TOMBSTONE {
+                return None;
+            }
+            let len = read_u16(p, dir + 2) as usize;
+            Some(p[offset as usize..offset as usize + len].to_vec())
+        })?;
+        record.ok_or(StorageError::BadRecord)
+    }
+
+    /// Tombstones a record. The space is not reclaimed (append-oriented
+    /// store); subsequent [`RecordStore::get`] returns [`StorageError::BadRecord`].
+    pub fn delete(&mut self, id: RecordId) -> Result<(), StorageError> {
+        let ok = self.pool.with_page_mut(id.page, |p| {
+            let slots = read_u16(p, 4);
+            if id.slot >= slots {
+                return false;
+            }
+            let dir = HEADER + id.slot as usize * SLOT;
+            if read_u16(p, dir) == TOMBSTONE {
+                return false;
+            }
+            write_u16(p, dir, TOMBSTONE);
+            true
+        })?;
+        if ok {
+            Ok(())
+        } else {
+            Err(StorageError::BadRecord)
+        }
+    }
+
+    /// Scans every live record in append order.
+    pub fn scan(&self) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
+        let mut out = Vec::new();
+        let mut page = self.first;
+        loop {
+            let (next, records) = self.pool.with_page(page, |p| {
+                let next = read_u32(p, 0);
+                let slots = read_u16(p, 4);
+                let mut records = Vec::new();
+                for slot in 0..slots {
+                    let dir = HEADER + slot as usize * SLOT;
+                    let offset = read_u16(p, dir);
+                    if offset == TOMBSTONE {
+                        continue;
+                    }
+                    let len = read_u16(p, dir + 2) as usize;
+                    records.push((
+                        slot,
+                        p[offset as usize..offset as usize + len].to_vec(),
+                    ));
+                }
+                (next, records)
+            })?;
+            for (slot, data) in records {
+                out.push((RecordId { page, slot }, data));
+            }
+            if next == NO_PAGE {
+                break;
+            }
+            page = PageId(next);
+        }
+        Ok(out)
+    }
+
+    /// Flushes everything to stable storage.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.pool.sync()
+    }
+}
+
+fn init_page(p: &mut [u8; PAGE_SIZE]) {
+    write_u32(p, 0, NO_PAGE);
+    write_u16(p, 4, 0);
+    write_u16(p, 6, PAGE_SIZE as u16);
+}
+
+fn read_u32(p: &[u8; PAGE_SIZE], at: usize) -> u32 {
+    u32::from_le_bytes(p[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn write_u32(p: &mut [u8; PAGE_SIZE], at: usize, v: u32) {
+    p[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read_u16(p: &[u8; PAGE_SIZE], at: usize) -> u16 {
+    u16::from_le_bytes(p[at..at + 2].try_into().expect("2 bytes"))
+}
+
+fn write_u16(p: &mut [u8; PAGE_SIZE], at: usize, v: u16) {
+    p[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagefile::PageFile;
+
+    fn store(name: &str, frames: usize) -> (RecordStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("earthmover-heap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let file = PageFile::create(&path).unwrap();
+        let pool = BufferPool::new(file, frames);
+        (RecordStore::create(pool).unwrap(), path)
+    }
+
+    #[test]
+    fn append_get_round_trip() {
+        let (mut s, path) = store("roundtrip.db", 4);
+        let a = s.append(b"alpha").unwrap();
+        let b = s.append(b"beta").unwrap();
+        assert_eq!(s.get(a).unwrap(), b"alpha");
+        assert_eq!(s.get(b).unwrap(), b"beta");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn records_span_many_pages() {
+        let (mut s, path) = store("span.db", 3);
+        let big = vec![0xABu8; 1500];
+        let ids: Vec<RecordId> = (0..50).map(|_| s.append(&big).unwrap()).collect();
+        // 50 × 1500 B ≫ one page: the chain must have grown.
+        assert!(s.pool().num_pages() > 5);
+        for id in &ids {
+            assert_eq!(s.get(*id).unwrap(), big);
+        }
+        let scanned = s.scan().unwrap();
+        assert_eq!(scanned.len(), 50);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn scan_preserves_append_order() {
+        let (mut s, path) = store("order.db", 4);
+        for i in 0..200u32 {
+            s.append(&i.to_le_bytes()).unwrap();
+        }
+        let scanned = s.scan().unwrap();
+        assert_eq!(scanned.len(), 200);
+        for (i, (_, data)) in scanned.iter().enumerate() {
+            assert_eq!(u32::from_le_bytes(data[..4].try_into().unwrap()), i as u32);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let (mut s, path) = store("delete.db", 4);
+        let a = s.append(b"keep").unwrap();
+        let b = s.append(b"drop").unwrap();
+        s.delete(b).unwrap();
+        assert!(matches!(s.get(b), Err(StorageError::BadRecord)));
+        assert!(matches!(s.delete(b), Err(StorageError::BadRecord)));
+        assert_eq!(s.get(a).unwrap(), b"keep");
+        let scanned = s.scan().unwrap();
+        assert_eq!(scanned.len(), 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let (mut s, path) = store("big.db", 4);
+        let too_big = vec![0u8; MAX_RECORD + 1];
+        assert!(matches!(
+            s.append(&too_big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        // Exactly the maximum works.
+        let max = vec![7u8; MAX_RECORD];
+        let id = s.append(&max).unwrap();
+        assert_eq!(s.get(id).unwrap(), max);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_sync() {
+        let dir = std::env::temp_dir().join("earthmover-heap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.db");
+        let first;
+        {
+            let file = PageFile::create(&path).unwrap();
+            let pool = BufferPool::new(file, 3);
+            let mut s = RecordStore::create(pool).unwrap();
+            for i in 0..300u32 {
+                s.append(&i.to_le_bytes()).unwrap();
+            }
+            first = s.first_page();
+            s.sync().unwrap();
+        }
+        let file = PageFile::open(&path).unwrap();
+        let pool = BufferPool::new(file, 3);
+        let mut s = RecordStore::open(pool, first).unwrap();
+        assert_eq!(s.scan().unwrap().len(), 300);
+        // Appends continue at the real tail.
+        s.append(b"tail").unwrap();
+        assert_eq!(s.scan().unwrap().len(), 301);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_record() {
+        let (mut s, path) = store("empty.db", 2);
+        let id = s.append(b"").unwrap();
+        assert_eq!(s.get(id).unwrap(), Vec::<u8>::new());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // A single-frame pool forces constant eviction; correctness must
+        // be unaffected.
+        let (mut s, path) = store("tiny.db", 1);
+        let ids: Vec<RecordId> = (0..120u32)
+            .map(|i| s.append(&vec![i as u8; 900]).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(s.get(*id).unwrap(), vec![i as u8; 900]);
+        }
+        assert!(s.pool().stats().evictions > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+}

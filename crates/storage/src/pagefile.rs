@@ -1,0 +1,338 @@
+//! Fixed-size page I/O over a single file, with a checksummed header and
+//! a free-page list.
+//!
+//! Layout: page 0 is the header (magic, version, page count, free-list
+//! head, CRC); pages 1.. are user pages. Freed pages are chained through
+//! their first 4 bytes and reused before the file grows.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const MAGIC: u32 = 0x454D_4450; // "EMDP"
+const VERSION: u32 = 1;
+/// Sentinel for "no page" in free-list links.
+const NO_PAGE: u32 = u32::MAX;
+
+/// Identifier of a page within a [`PageFile`] (page 0 is the header and
+/// never handed out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a page file (bad magic) or wrong version.
+    BadHeader(String),
+    /// The header checksum does not match.
+    HeaderChecksum,
+    /// A page id beyond the end of the file was requested.
+    PageOutOfBounds(PageId),
+    /// A record id did not resolve to a live record.
+    BadRecord,
+    /// A record exceeds the maximum storable size.
+    RecordTooLarge { size: usize, max: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadHeader(msg) => write!(f, "bad page-file header: {msg}"),
+            StorageError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            StorageError::PageOutOfBounds(id) => write!(f, "page {} out of bounds", id.0),
+            StorageError::BadRecord => write!(f, "record id does not resolve"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds the page limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A file of [`PAGE_SIZE`]-byte pages with allocation and a free list.
+pub struct PageFile {
+    file: File,
+    /// Total pages including the header page.
+    num_pages: u32,
+    /// Head of the free-page chain, or [`NO_PAGE`].
+    free_head: u32,
+}
+
+impl PageFile {
+    /// Creates a new page file, truncating any existing file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut pf = PageFile {
+            file,
+            num_pages: 1,
+            free_head: NO_PAGE,
+        };
+        pf.write_header()?;
+        Ok(pf)
+    }
+
+    /// Opens an existing page file, validating its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut pf = PageFile {
+            file,
+            num_pages: 0,
+            free_head: NO_PAGE,
+        };
+        pf.read_header()?;
+        Ok(pf)
+    }
+
+    /// Number of pages, including the header page.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn write_header(&mut self) -> Result<(), StorageError> {
+        let mut page = [0u8; PAGE_SIZE];
+        page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        page[8..12].copy_from_slice(&self.num_pages.to_le_bytes());
+        page[12..16].copy_from_slice(&self.free_head.to_le_bytes());
+        let crc = crc32(&page[0..16]);
+        page[16..20].copy_from_slice(&crc.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&page)?;
+        Ok(())
+    }
+
+    fn read_header(&mut self) -> Result<(), StorageError> {
+        let mut page = [0u8; PAGE_SIZE];
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_exact(&mut page)?;
+        let magic = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(StorageError::BadHeader("wrong magic".into()));
+        }
+        let version = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StorageError::BadHeader(format!("unsupported version {version}")));
+        }
+        let stored_crc = u32::from_le_bytes(page[16..20].try_into().expect("4 bytes"));
+        if stored_crc != crc32(&page[0..16]) {
+            return Err(StorageError::HeaderChecksum);
+        }
+        self.num_pages = u32::from_le_bytes(page[8..12].try_into().expect("4 bytes"));
+        self.free_head = u32::from_le_bytes(page[12..16].try_into().expect("4 bytes"));
+        Ok(())
+    }
+
+    /// Allocates a page: reuses the free list when possible, otherwise
+    /// grows the file. The page's previous contents are unspecified; the
+    /// caller overwrites it.
+    pub fn allocate(&mut self) -> Result<PageId, StorageError> {
+        if self.free_head != NO_PAGE {
+            let id = PageId(self.free_head);
+            let mut buf = [0u8; PAGE_SIZE];
+            self.read_page(id, &mut buf)?;
+            self.free_head = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+            self.write_header()?;
+            return Ok(id);
+        }
+        let id = PageId(self.num_pages);
+        self.num_pages += 1;
+        // Extend the file with a zero page.
+        let zero = [0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(&zero)?;
+        self.write_header()?;
+        Ok(id)
+    }
+
+    /// Returns a page to the free list.
+    pub fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.check_bounds(id)?;
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(&self.free_head.to_le_bytes());
+        self.write_page(id, &buf)?;
+        self.free_head = id.0;
+        self.write_header()
+    }
+
+    fn check_bounds(&self, id: PageId) -> Result<(), StorageError> {
+        if id.0 == 0 || id.0 >= self.num_pages {
+            return Err(StorageError::PageOutOfBounds(id));
+        }
+        Ok(())
+    }
+
+    /// Reads a page into `buf`.
+    pub fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        self.check_bounds(id)?;
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Writes a page from `buf`.
+    pub fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        self.check_bounds(id)?;
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Flushes file contents to stable storage.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// CRC-32 (IEEE), table-driven; shared with `earthmover-core::storage`
+/// in spirit but kept dependency-free here.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("earthmover-pagefile-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_allocate_write_read() {
+        let path = temp_path("basic.db");
+        let mut pf = PageFile::create(&path).unwrap();
+        let id = pf.allocate().unwrap();
+        assert_eq!(id, PageId(1));
+        let mut page = [0u8; PAGE_SIZE];
+        page[100] = 42;
+        pf.write_page(id, &page).unwrap();
+        let mut back = [0u8; PAGE_SIZE];
+        pf.read_page(id, &mut back).unwrap();
+        assert_eq!(back[100], 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let path = temp_path("reopen.db");
+        {
+            let mut pf = PageFile::create(&path).unwrap();
+            let a = pf.allocate().unwrap();
+            let _b = pf.allocate().unwrap();
+            let mut page = [7u8; PAGE_SIZE];
+            page[0] = 9;
+            pf.write_page(a, &page).unwrap();
+            pf.sync().unwrap();
+        }
+        let mut pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.num_pages(), 3);
+        let mut back = [0u8; PAGE_SIZE];
+        pf.read_page(PageId(1), &mut back).unwrap();
+        assert_eq!(back[0], 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let path = temp_path("freelist.db");
+        let mut pf = PageFile::create(&path).unwrap();
+        let a = pf.allocate().unwrap();
+        let b = pf.allocate().unwrap();
+        pf.free(a).unwrap();
+        pf.free(b).unwrap();
+        // LIFO reuse: most recently freed first.
+        assert_eq!(pf.allocate().unwrap(), b);
+        assert_eq!(pf.allocate().unwrap(), a);
+        // No growth happened.
+        assert_eq!(pf.num_pages(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let path = temp_path("bounds.db");
+        let mut pf = PageFile::create(&path).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            pf.read_page(PageId(0), &mut buf),
+            Err(StorageError::PageOutOfBounds(_))
+        ));
+        assert!(matches!(
+            pf.read_page(PageId(10), &mut buf),
+            Err(StorageError::PageOutOfBounds(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let path = temp_path("corrupt.db");
+        {
+            let mut pf = PageFile::create(&path).unwrap();
+            pf.allocate().unwrap();
+            pf.sync().unwrap();
+        }
+        // Flip a header byte (the page count).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PageFile::open(&path),
+            Err(StorageError::HeaderChecksum)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn not_a_pagefile_is_rejected() {
+        let path = temp_path("not_a_db.db");
+        std::fs::write(&path, vec![1u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            PageFile::open(&path),
+            Err(StorageError::BadHeader(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Model-based property test: a random sequence of append/delete/get
+//! operations against the paged record store must behave exactly like a
+//! plain in-memory vector of optional records.
+
+use earthmover_storage::{BufferPool, PageFile, RecordId, RecordStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append a record of the given length filled with the given byte.
+    Append { len: usize, fill: u8 },
+    /// Delete the i-th appended record (modulo the number appended).
+    Delete(usize),
+    /// Read the i-th appended record (modulo) and compare to the model.
+    Get(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2000, any::<u8>()).prop_map(|(len, fill)| Op::Append { len, fill }),
+        (0usize..64).prop_map(Op::Delete),
+        (0usize..64).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_matches_in_memory_model(ops in prop::collection::vec(arb_op(), 1..80), frames in 1usize..6) {
+        let dir = std::env::temp_dir().join("earthmover-storage-model");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("model-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let file = PageFile::create(&path).unwrap();
+        let pool = BufferPool::new(file, frames);
+        let mut store = RecordStore::create(pool).unwrap();
+
+        let mut ids: Vec<RecordId> = Vec::new();
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Append { len, fill } => {
+                    let data = vec![fill; len];
+                    let id = store.append(&data).unwrap();
+                    ids.push(id);
+                    model.push(Some(data));
+                }
+                Op::Delete(i) if !ids.is_empty() => {
+                    let i = i % ids.len();
+                    let expect_live = model[i].is_some();
+                    let result = store.delete(ids[i]);
+                    prop_assert_eq!(result.is_ok(), expect_live);
+                    model[i] = None;
+                }
+                Op::Get(i) if !ids.is_empty() => {
+                    let i = i % ids.len();
+                    match (&model[i], store.get(ids[i])) {
+                        (Some(expect), Ok(got)) => prop_assert_eq!(expect, &got),
+                        (None, Err(_)) => {}
+                        (expect, got) => prop_assert!(
+                            false,
+                            "model {:?} vs store {:?}",
+                            expect.as_ref().map(|v| v.len()),
+                            got.map(|v| v.len())
+                        ),
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Full scan equals the live model in append order.
+        let scanned = store.scan().unwrap();
+        let live: Vec<&Vec<u8>> = model.iter().flatten().collect();
+        prop_assert_eq!(scanned.len(), live.len());
+        for ((_, got), expect) in scanned.iter().zip(live) {
+            prop_assert_eq!(got, expect);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

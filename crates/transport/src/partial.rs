@@ -1,0 +1,201 @@
+//! Partial-matching EMD: the unbalanced extension the paper mentions in
+//! §1 ("partial matching, losing its metric property").
+//!
+//! When two histograms or signatures carry different total masses, the
+//! classical EMD is undefined. Rubner's partial EMD instead transports
+//! only `min(m_x, m_y)` units: the heavier side is allowed to leave its
+//! surplus behind at no cost. Technically this is the balanced problem
+//! with one **dummy node** appended to the lighter side, absorbing the
+//! surplus at zero cost; the result is normalized by the *transported*
+//! mass `min(m_x, m_y)`.
+//!
+//! The partial EMD is not a metric (it violates the triangle inequality),
+//! so the multistep machinery of `earthmover-core` does not apply to it —
+//! it is provided as the standalone extension the paper scopes out.
+
+use crate::rect::RectCost;
+use crate::solver::{solve_transportation_rect, Flow, TransportError};
+use crate::{CostAccess, CostMatrix, BALANCE_EPS};
+
+/// Computes the partial EMD between two non-negative mass vectors that
+/// may have *different* totals.
+///
+/// Only `min(Σx, Σy)` units of mass are transported; the surplus on the
+/// heavier side stays put for free. The result is normalized by the
+/// transported mass, matching [`crate::emd`] on balanced inputs.
+///
+/// Flows involving the internal dummy node are omitted from the returned
+/// flow list, so the flows describe only real mass movement.
+pub fn emd_partial(
+    x: &[f64],
+    y: &[f64],
+    cost: &CostMatrix,
+) -> Result<(f64, Vec<Flow>), TransportError> {
+    if x.len() != y.len() || cost.len() != x.len() {
+        return Err(TransportError::ShapeMismatch {
+            supplies: x.len(),
+            demands: y.len(),
+        });
+    }
+    emd_partial_rect(x, y, cost)
+}
+
+/// Rectangular variant of [`emd_partial`] for signatures: `cost` must be
+/// `x.len() × y.len()`.
+pub fn emd_partial_rect<C: CostAccess>(
+    x: &[f64],
+    y: &[f64],
+    cost: &C,
+) -> Result<(f64, Vec<Flow>), TransportError> {
+    if cost.rows() != x.len() || cost.cols() != y.len() {
+        return Err(TransportError::ShapeMismatch {
+            supplies: x.len(),
+            demands: y.len(),
+        });
+    }
+    for (i, &v) in x.iter().chain(y.iter()).enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(TransportError::InvalidMass { index: i, value: v });
+        }
+    }
+    let mass_x: f64 = x.iter().sum();
+    let mass_y: f64 = y.iter().sum();
+    let transported = mass_x.min(mass_y);
+    if transported <= 0.0 {
+        return Ok((0.0, Vec::new()));
+    }
+    let scale = mass_x.max(mass_y).max(1.0);
+    let surplus = (mass_x - mass_y).abs();
+
+    // Already balanced: solve directly (no dummy needed).
+    if surplus <= BALANCE_EPS * scale {
+        let full = RectCost::from_fn(x.len(), y.len(), |i, j| cost.at(i, j));
+        let sol = solve_transportation_rect(x, y, &full)?;
+        return Ok((sol.total_cost / transported, sol.flows));
+    }
+
+    if mass_x > mass_y {
+        // Dummy *sink* absorbs x's surplus at zero cost.
+        let mut demands = y.to_vec();
+        demands.push(surplus);
+        let padded = RectCost::from_fn(x.len(), y.len() + 1, |i, j| {
+            if j == y.len() {
+                0.0
+            } else {
+                cost.at(i, j)
+            }
+        });
+        let sol = solve_transportation_rect(x, &demands, &padded)?;
+        let flows = sol
+            .flows
+            .into_iter()
+            .filter(|f| f.to != y.len())
+            .collect();
+        Ok((sol.total_cost / transported, flows))
+    } else {
+        // Dummy *source* supplies y's surplus at zero cost.
+        let mut supplies = x.to_vec();
+        supplies.push(surplus);
+        let padded = RectCost::from_fn(x.len() + 1, y.len(), |i, j| {
+            if i == x.len() {
+                0.0
+            } else {
+                cost.at(i, j)
+            }
+        });
+        let sol = solve_transportation_rect(&supplies, y, &padded)?;
+        let flows = sol
+            .flows
+            .into_iter()
+            .filter(|f| f.from != x.len())
+            .collect();
+        Ok((sol.total_cost / transported, flows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_cost(n: usize) -> CostMatrix {
+        CostMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs())
+    }
+
+    #[test]
+    fn matches_balanced_emd_on_equal_masses() {
+        let cost = line_cost(4);
+        let x = [0.4, 0.1, 0.3, 0.2];
+        let y = [0.1, 0.4, 0.2, 0.3];
+        let (partial, _) = emd_partial(&x, &y, &cost).unwrap();
+        let balanced = crate::emd(&x, &y, &cost).unwrap();
+        assert!((partial - balanced).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surplus_stays_for_free() {
+        // x has 2 units at bin 0; y wants only 1 unit at bin 0. The extra
+        // unit is surplus: nothing must move, distance 0.
+        let cost = line_cost(3);
+        let x = [2.0, 0.0, 0.0];
+        let y = [1.0, 0.0, 0.0];
+        let (d, flows) = emd_partial(&x, &y, &cost).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(flows.len(), 1);
+        assert!((flows[0].mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_transport_picks_cheapest_subset() {
+        // x = one unit each at bins 0 and 2; y wants one unit at bin 1.
+        // Cheapest single unit comes from either side at cost 1.
+        let cost = line_cost(3);
+        let x = [1.0, 0.0, 1.0];
+        let y = [0.0, 1.0, 0.0];
+        let (d, flows) = emd_partial(&x, &y, &cost).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        let moved: f64 = flows.iter().map(|f| f.mass).sum();
+        assert!((moved - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_in_direction_of_surplus() {
+        let cost = line_cost(3);
+        let x = [1.0, 1.0, 0.0];
+        let y = [0.0, 1.0, 0.0];
+        let (a, _) = emd_partial(&x, &y, &cost).unwrap();
+        let (b, _) = emd_partial(&y, &x, &cost).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_side() {
+        let cost = line_cost(2);
+        let (d, flows) = emd_partial(&[0.0, 0.0], &[1.0, 1.0], &cost).unwrap();
+        assert_eq!(d, 0.0);
+        assert!(flows.is_empty());
+    }
+
+    #[test]
+    fn triangle_inequality_can_fail() {
+        // The documented non-metric behaviour: going through a heavy
+        // intermediate histogram can "hide" mass in the surplus.
+        let cost = line_cost(3);
+        let a = [1.0, 0.0, 0.0];
+        let c = [0.0, 0.0, 1.0];
+        // b is heavy at both endpoints: partial matches to either for free.
+        let b = [1.0, 0.0, 1.0];
+        let (ab, _) = emd_partial(&a, &b, &cost).unwrap();
+        let (bc, _) = emd_partial(&b, &c, &cost).unwrap();
+        let (ac, _) = emd_partial(&a, &c, &cost).unwrap();
+        assert!(ab + bc < ac, "{ab} + {bc} !< {ac}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let cost = line_cost(2);
+        assert!(matches!(
+            emd_partial(&[1.0], &[1.0, 0.0], &cost),
+            Err(TransportError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,644 @@
+//! The transportation simplex: Vogel initialization, MODI optimality test,
+//! stepping-stone pivoting.
+//!
+//! The balanced transportation problem over supplies `x` (rows) and demands
+//! `y` (columns) is a linear program whose basic solutions correspond to
+//! spanning trees of the complete bipartite graph on rows and columns. The
+//! solver maintains exactly `rows + cols - 1` basic cells (some possibly at
+//! zero flow — degeneracy), computes node potentials `u_i`, `v_j` with
+//! `u_i + v_j = c_ij` on basic cells, scans reduced costs
+//! `c_ij - u_i - v_j` of non-basic cells, and pivots along the unique cycle
+//! the entering cell closes in the basis tree.
+
+use crate::cost::CostMatrix;
+use crate::rect::RectCost;
+use std::fmt;
+
+/// One positive entry of an optimal flow matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Source bin (row index).
+    pub from: usize,
+    /// Target bin (column index).
+    pub to: usize,
+    /// Mass shipped from `from` to `to`; strictly positive.
+    pub mass: f64,
+}
+
+/// Result of solving a transportation problem.
+#[derive(Debug, Clone)]
+pub struct TransportSolution {
+    /// Minimal total cost `Σ c_ij f_ij` (unnormalized).
+    pub total_cost: f64,
+    /// The positive flows of an optimal basic solution.
+    pub flows: Vec<Flow>,
+    /// Number of simplex pivots performed after initialization.
+    pub pivots: usize,
+}
+
+/// Failure modes of the transportation solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// Supplies and demands have incompatible lengths, or the cost matrix
+    /// has the wrong shape.
+    ShapeMismatch { supplies: usize, demands: usize },
+    /// Total supply differs from total demand.
+    Unbalanced { supply: f64, demand: f64 },
+    /// A supply or demand entry is negative or non-finite.
+    InvalidMass { index: usize, value: f64 },
+    /// Pivot limit exceeded (indicates pathological cycling; should not
+    /// occur with the deterministic tie-breaking employed).
+    IterationLimit,
+    /// Internal invariant violation (basis lost tree structure).
+    Internal(&'static str),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::ShapeMismatch { supplies, demands } => write!(
+                f,
+                "shape mismatch: {supplies} supplies vs {demands} demands/cost bins"
+            ),
+            TransportError::Unbalanced { supply, demand } => {
+                write!(f, "unbalanced problem: supply {supply} != demand {demand}")
+            }
+            TransportError::InvalidMass { index, value } => {
+                write!(f, "mass entry {index} = {value} is negative or non-finite")
+            }
+            TransportError::IterationLimit => write!(f, "transportation simplex pivot limit"),
+            TransportError::Internal(msg) => write!(f, "internal solver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Read access to a (possibly rectangular) cost matrix — lets the solver
+/// core serve both the square histogram case and the rectangular
+/// signature case without copying.
+pub trait CostAccess {
+    /// Number of source rows.
+    fn rows(&self) -> usize;
+    /// Number of sink columns.
+    fn cols(&self) -> usize;
+    /// Cost of cell `(i, j)`.
+    fn at(&self, i: usize, j: usize) -> f64;
+    /// Largest cost (for tolerance scaling).
+    fn max(&self) -> f64;
+}
+
+impl CostAccess for CostMatrix {
+    fn rows(&self) -> usize {
+        self.len()
+    }
+    fn cols(&self) -> usize {
+        self.len()
+    }
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+    fn max(&self) -> f64 {
+        self.max_cost()
+    }
+}
+
+impl CostAccess for RectCost {
+    fn rows(&self) -> usize {
+        self.rows()
+    }
+    fn cols(&self) -> usize {
+        self.cols()
+    }
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+    fn max(&self) -> f64 {
+        self.max_cost()
+    }
+}
+
+/// Optimality tolerance on reduced costs, relative to the largest cost.
+const OPT_EPS: f64 = 1e-10;
+
+/// Solves the balanced transportation problem `min Σ c_ij f_ij` with row
+/// sums `x` and column sums `y`.
+///
+/// Both marginals must be non-negative with equal totals; zero entries are
+/// allowed (they produce degenerate basic cells). The square cost matrix
+/// must have `x.len()` bins; `x.len() == y.len()` is required by the EMD
+/// use case this crate serves.
+pub fn solve_transportation(
+    x: &[f64],
+    y: &[f64],
+    cost: &CostMatrix,
+) -> Result<TransportSolution, TransportError> {
+    let n = x.len();
+    let m = y.len();
+    if n != m || cost.len() != n {
+        return Err(TransportError::ShapeMismatch {
+            supplies: n,
+            demands: m,
+        });
+    }
+    solve_transportation_general(x, y, cost)
+}
+
+/// Solves a balanced transportation problem with a possibly rectangular
+/// cost matrix — the form needed by *signatures* (variable-length
+/// weighted point sets, §1 of the paper).
+///
+/// Supplies index the rows of `cost`, demands its columns; totals must
+/// balance. Use [`solve_transportation`] for the square histogram case.
+pub fn solve_transportation_rect(
+    x: &[f64],
+    y: &[f64],
+    cost: &RectCost,
+) -> Result<TransportSolution, TransportError> {
+    if cost.rows() != x.len() || cost.cols() != y.len() {
+        return Err(TransportError::ShapeMismatch {
+            supplies: x.len(),
+            demands: y.len(),
+        });
+    }
+    solve_transportation_general(x, y, cost)
+}
+
+/// Shared driver over any [`CostAccess`].
+pub fn solve_transportation_general<C: CostAccess>(
+    x: &[f64],
+    y: &[f64],
+    cost: &C,
+) -> Result<TransportSolution, TransportError> {
+    let n = x.len();
+    let m = y.len();
+    for (i, &v) in x.iter().chain(y.iter()).enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(TransportError::InvalidMass { index: i, value: v });
+        }
+    }
+    if n == 0 || m == 0 {
+        // A degenerate side: feasible only when all mass is zero.
+        let total: f64 = x.iter().chain(y.iter()).sum();
+        if total > 0.0 {
+            return Err(TransportError::Unbalanced {
+                supply: x.iter().sum(),
+                demand: y.iter().sum(),
+            });
+        }
+        return Ok(TransportSolution {
+            total_cost: 0.0,
+            flows: Vec::new(),
+            pivots: 0,
+        });
+    }
+
+    let mut state = State::new(n, m, cost);
+    state.vogel_init(x, y);
+    let pivots = state.optimize()?;
+
+    let mut total = 0.0;
+    let mut flows = Vec::new();
+    for &(i, j) in &state.basis {
+        let f = state.flow[i * m + j];
+        if f > 0.0 {
+            total += cost.at(i, j) * f;
+            flows.push(Flow {
+                from: i,
+                to: j,
+                mass: f,
+            });
+        }
+    }
+    Ok(TransportSolution {
+        total_cost: total,
+        flows,
+        pivots,
+    })
+}
+
+/// Mutable solver state: the flow matrix and the current basis tree.
+struct State<'a, C: CostAccess> {
+    n: usize,
+    m: usize,
+    cost: &'a C,
+    /// Dense `n × m` flow values; only basic cells are meaningful.
+    flow: Vec<f64>,
+    /// Basic cells `(row, col)`; always `n + m - 1` entries after init.
+    basis: Vec<(usize, usize)>,
+    /// Dense basic-cell indicator, `n × m`.
+    is_basic: Vec<bool>,
+}
+
+impl<'a, C: CostAccess> State<'a, C> {
+    fn new(n: usize, m: usize, cost: &'a C) -> Self {
+        State {
+            n,
+            m,
+            cost,
+            flow: vec![0.0; n * m],
+            basis: Vec::with_capacity(n + m - 1),
+            is_basic: vec![false; n * m],
+        }
+    }
+
+    fn add_basic(&mut self, i: usize, j: usize, f: f64) {
+        self.flow[i * self.m + j] = f;
+        if !self.is_basic[i * self.m + j] {
+            self.is_basic[i * self.m + j] = true;
+            self.basis.push((i, j));
+        }
+    }
+
+    /// Vogel's approximation method: repeatedly allocate in the row or
+    /// column with the largest penalty (difference between its two smallest
+    /// remaining costs), shipping as much as possible into the cheapest
+    /// cell. Closes exactly one of row/column per allocation except the
+    /// final one, yielding a spanning-tree basis of `n + m - 1` cells.
+    fn vogel_init(&mut self, x: &[f64], y: &[f64]) {
+        let (n, m) = (self.n, self.m);
+        let mut supply = x.to_vec();
+        let mut demand = y.to_vec();
+        let mut row_open = vec![true; n];
+        let mut col_open = vec![true; m];
+        let mut open_rows = n;
+        let mut open_cols = m;
+
+        // Penalty of an open row: difference of its two smallest costs over
+        // open columns (or the single cost if only one column is open).
+        let row_penalty = |r: usize, col_open: &[bool]| -> (f64, usize) {
+            let mut best = f64::INFINITY;
+            let mut second = f64::INFINITY;
+            let mut best_j = usize::MAX;
+            for j in 0..m {
+                if col_open[j] {
+                    let c = self.cost.at(r, j);
+                    if c < best {
+                        second = best;
+                        best = c;
+                        best_j = j;
+                    } else if c < second {
+                        second = c;
+                    }
+                }
+            }
+            let pen = if second.is_finite() { second - best } else { 0.0 };
+            (pen, best_j)
+        };
+        let col_penalty = |c: usize, row_open: &[bool]| -> (f64, usize) {
+            let mut best = f64::INFINITY;
+            let mut second = f64::INFINITY;
+            let mut best_i = usize::MAX;
+            for i in 0..n {
+                if row_open[i] {
+                    let v = self.cost.at(i, c);
+                    if v < best {
+                        second = best;
+                        best = v;
+                        best_i = i;
+                    } else if v < second {
+                        second = v;
+                    }
+                }
+            }
+            let pen = if second.is_finite() { second - best } else { 0.0 };
+            (pen, best_i)
+        };
+
+        while open_rows > 0 && open_cols > 0 {
+            // Find the open row or column with maximal penalty.
+            let mut best_pen = -1.0;
+            let mut pick: Option<(usize, usize)> = None; // (row, col) target cell
+            for r in 0..n {
+                if row_open[r] {
+                    let (pen, j) = row_penalty(r, &col_open);
+                    if pen > best_pen && j != usize::MAX {
+                        best_pen = pen;
+                        pick = Some((r, j));
+                    }
+                }
+            }
+            for c in 0..m {
+                if col_open[c] {
+                    let (pen, i) = col_penalty(c, &row_open);
+                    if pen > best_pen && i != usize::MAX {
+                        best_pen = pen;
+                        pick = Some((i, c));
+                    }
+                }
+            }
+            let Some((i, j)) = pick else { break };
+
+            let amount = supply[i].min(demand[j]);
+            self.add_basic(i, j, amount);
+            supply[i] -= amount;
+            demand[j] -= amount;
+
+            let last_allocation = open_rows == 1 && open_cols == 1;
+            if last_allocation {
+                row_open[i] = false;
+                col_open[j] = false;
+                open_rows -= 1;
+                open_cols -= 1;
+            } else if supply[i] <= demand[j] {
+                // Close the row; the column stays open even at zero
+                // remaining demand (degenerate allocations keep the basis a
+                // spanning tree). Never close the final open row unless the
+                // final open column closes with it.
+                if open_rows > 1 || open_cols == 1 {
+                    row_open[i] = false;
+                    open_rows -= 1;
+                } else {
+                    col_open[j] = false;
+                    open_cols -= 1;
+                }
+            } else if open_cols > 1 || open_rows == 1 {
+                col_open[j] = false;
+                open_cols -= 1;
+            } else {
+                row_open[i] = false;
+                open_rows -= 1;
+            }
+        }
+        debug_assert_eq!(self.basis.len(), n + m - 1, "basis must span the tree");
+    }
+
+    /// Computes node potentials `u` (rows) and `v` (columns) by breadth-first
+    /// traversal of the basis tree, anchored at `u[0] = 0`.
+    fn potentials(&self) -> Result<(Vec<f64>, Vec<f64>), TransportError> {
+        let (n, m) = (self.n, self.m);
+        let mut row_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut col_adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for &(i, j) in &self.basis {
+            row_adj[i].push(j);
+            col_adj[j].push(i);
+        }
+        let mut u = vec![f64::NAN; n];
+        let mut v = vec![f64::NAN; m];
+        u[0] = 0.0;
+        // Queue of nodes: rows are 0..n, columns are n..n+m.
+        let mut queue = std::collections::VecDeque::with_capacity(n + m);
+        queue.push_back(0usize);
+        let mut visited = 1usize;
+        while let Some(node) = queue.pop_front() {
+            if node < n {
+                let i = node;
+                for &j in &row_adj[i] {
+                    if v[j].is_nan() {
+                        v[j] = self.cost.at(i, j) - u[i];
+                        visited += 1;
+                        queue.push_back(n + j);
+                    }
+                }
+            } else {
+                let j = node - n;
+                for &i in &col_adj[j] {
+                    if u[i].is_nan() {
+                        u[i] = self.cost.at(i, j) - v[j];
+                        visited += 1;
+                        queue.push_back(i);
+                    }
+                }
+            }
+        }
+        if visited != n + m {
+            return Err(TransportError::Internal("basis tree is disconnected"));
+        }
+        Ok((u, v))
+    }
+
+    /// Finds the unique alternating cycle that the non-basic cell
+    /// `(enter_i, enter_j)` closes with the basis tree. Returns the cells of
+    /// the tree path from column node `enter_j` back to row node `enter_i`;
+    /// together with the entering cell they form the stepping-stone cycle.
+    fn find_cycle_path(
+        &self,
+        enter_i: usize,
+        enter_j: usize,
+    ) -> Result<Vec<(usize, usize)>, TransportError> {
+        let (n, m) = (self.n, self.m);
+        let mut row_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut col_adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for &(i, j) in &self.basis {
+            row_adj[i].push(j);
+            col_adj[j].push(i);
+        }
+        // BFS from column node enter_j to row node enter_i over basis edges.
+        // parent[node] = (previous node, basic cell used).
+        let total = n + m;
+        let start = n + enter_j;
+        let goal = enter_i;
+        let mut parent: Vec<Option<(usize, (usize, usize))>> = vec![None; total];
+        let mut seen = vec![false; total];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            if node == goal {
+                break;
+            }
+            if node < n {
+                let i = node;
+                for &j in &row_adj[i] {
+                    let next = n + j;
+                    if !seen[next] {
+                        seen[next] = true;
+                        parent[next] = Some((node, (i, j)));
+                        queue.push_back(next);
+                    }
+                }
+            } else {
+                let j = node - n;
+                for &i in &col_adj[j] {
+                    if !seen[i] {
+                        seen[i] = true;
+                        parent[i] = Some((node, (i, j)));
+                        queue.push_back(i);
+                    }
+                }
+            }
+        }
+        if !seen[goal] {
+            return Err(TransportError::Internal("no cycle path found"));
+        }
+        let mut path = Vec::new();
+        let mut node = goal;
+        while node != start {
+            let (prev, cell) = parent[node].ok_or(TransportError::Internal("broken parent"))?;
+            path.push(cell);
+            node = prev;
+        }
+        Ok(path)
+    }
+
+    /// Runs MODI iterations until no reduced cost is negative.
+    fn optimize(&mut self) -> Result<usize, TransportError> {
+        let (n, m) = (self.n, self.m);
+        let scale = self.cost.max().max(1.0);
+        let tol = OPT_EPS * scale;
+        // Generous cap: transportation simplex converges in O(n·m) pivots in
+        // practice; the quadratic-in-cells cap is a safety net only.
+        let max_pivots = 20 * (n * m + n + m) + 1000;
+        let mut pivots = 0usize;
+        loop {
+            let (u, v) = self.potentials()?;
+            // Entering cell: most negative reduced cost, ties broken by
+            // lowest (i, j) for determinism.
+            let mut best = -tol;
+            let mut enter: Option<(usize, usize)> = None;
+            for i in 0..n {
+                for j in 0..m {
+                    if !self.is_basic[i * m + j] {
+                        let rc = self.cost.at(i, j) - u[i] - v[j];
+                        if rc < best {
+                            best = rc;
+                            enter = Some((i, j));
+                        }
+                    }
+                }
+            }
+            let Some((ei, ej)) = enter else {
+                return Ok(pivots);
+            };
+            if pivots >= max_pivots {
+                return Err(TransportError::IterationLimit);
+            }
+
+            // The stepping-stone cycle: entering cell (+), then alternating
+            // signs along the tree path from column ej back to row ei. The
+            // path starts with an edge incident to column ej, which must
+            // carry a minus sign (it gives up mass to the entering cell).
+            let path = self.find_cycle_path(ei, ej)?;
+            let mut theta = f64::INFINITY;
+            let mut leave: Option<(usize, usize)> = None;
+            for (k, &(i, j)) in path.iter().enumerate() {
+                if k % 2 == 0 {
+                    // minus position
+                    let f = self.flow[i * m + j];
+                    if f < theta - 1e-15 || (f <= theta + 1e-15 && leave.is_none_or(|l| (i, j) < l))
+                    {
+                        theta = f;
+                        leave = Some((i, j));
+                    }
+                }
+            }
+            let leave = leave.ok_or(TransportError::Internal("cycle without minus cell"))?;
+            let theta = theta.max(0.0);
+
+            // Apply the flow change around the cycle.
+            self.flow[ei * m + ej] += theta;
+            for (k, &(i, j)) in path.iter().enumerate() {
+                if k % 2 == 0 {
+                    self.flow[i * m + j] -= theta;
+                } else {
+                    self.flow[i * m + j] += theta;
+                }
+            }
+            // Swap basis membership: entering in, leaving out.
+            self.is_basic[ei * m + ej] = true;
+            self.is_basic[leave.0 * m + leave.1] = false;
+            self.flow[leave.0 * m + leave.1] = 0.0;
+            let pos = self
+                .basis
+                .iter()
+                .position(|&c| c == leave)
+                .ok_or(TransportError::Internal("leaving cell not in basis"))?;
+            self.basis[pos] = (ei, ej);
+            pivots += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cost(n: usize) -> CostMatrix {
+        CostMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs())
+    }
+
+    #[test]
+    fn textbook_instance() {
+        // Classic 3x3: supplies [20,30,25], demands [10,35,30],
+        // costs [[8,6,10],[9,12,13],[14,9,16]].
+        // Balanced totals = 75.
+        let cost = CostMatrix::from_vec(
+            3,
+            vec![8.0, 6.0, 10.0, 9.0, 12.0, 13.0, 14.0, 9.0, 16.0],
+        )
+        .unwrap();
+        let sol = solve_transportation(&[20.0, 30.0, 25.0], &[10.0, 35.0, 30.0], &cost).unwrap();
+        // Optimum 735 verified by exhaustive enumeration of integral flow
+        // matrices with these margins (and by the lp_crosscheck test).
+        assert!((sol.total_cost - 735.0).abs() < 1e-9, "{}", sol.total_cost);
+    }
+
+    #[test]
+    fn marginals_respected() {
+        let cost = grid_cost(5);
+        let x = [5.0, 0.0, 3.0, 0.0, 2.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 0.0];
+        let sol = solve_transportation(&x, &y, &cost).unwrap();
+        let mut row = [0.0; 5];
+        let mut col = [0.0; 5];
+        for f in &sol.flows {
+            row[f.from] += f.mass;
+            col[f.to] += f.mass;
+        }
+        for i in 0..5 {
+            assert!((row[i] - x[i]).abs() < 1e-9);
+            assert!((col[i] - y[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_entries() {
+        let cost = grid_cost(4);
+        let x = [1.0, 0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0, 1.0];
+        let sol = solve_transportation(&x, &y, &cost).unwrap();
+        assert!((sol.total_cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_masses() {
+        let cost = grid_cost(3);
+        let sol = solve_transportation(&[0.0; 3], &[0.0; 3], &cost).unwrap();
+        assert_eq!(sol.total_cost, 0.0);
+        assert!(sol.flows.is_empty());
+    }
+
+    #[test]
+    fn rejects_negative_mass() {
+        let cost = grid_cost(2);
+        let err = solve_transportation(&[-1.0, 2.0], &[0.5, 0.5], &cost).unwrap_err();
+        assert!(matches!(err, TransportError::InvalidMass { index: 0, .. }));
+    }
+
+    #[test]
+    fn single_bin() {
+        let cost = grid_cost(1);
+        let sol = solve_transportation(&[7.0], &[7.0], &cost).unwrap();
+        assert_eq!(sol.total_cost, 0.0);
+        assert_eq!(sol.flows.len(), 1);
+        assert!((sol.flows[0].mass - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_to_point_mass() {
+        // Uniform over 4 bins to all-at-bin-0: cost = 0+1+2+3 = 6 per unit
+        // quarter, i.e. total 6 * 0.25 = 1.5.
+        let cost = grid_cost(4);
+        let x = [0.25; 4];
+        let y = [1.0, 0.0, 0.0, 0.0];
+        let sol = solve_transportation(&x, &y, &cost).unwrap();
+        assert!((sol.total_cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_matrix_gives_zero() {
+        let cost = CostMatrix::from_fn(3, |_, _| 0.0);
+        let sol = solve_transportation(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0], &cost).unwrap();
+        assert_eq!(sol.total_cost, 0.0);
+    }
+}

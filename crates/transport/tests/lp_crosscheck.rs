@@ -1,0 +1,175 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Cross-validates the transportation simplex against the independently
+//! written dense two-phase simplex of `earthmover-lp`.
+//!
+//! Both solvers were implemented from scratch with no shared code, so
+//! agreement on randomized instances is strong evidence that the optimal
+//! values (and hence every exact EMD the benchmarks report) are correct.
+
+use earthmover_lp::{Problem, Relation};
+use earthmover_transport::{solve_transportation, CostMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Solves the same balanced transportation instance as a textbook LP:
+/// variables `f_ij` (row-major), equality row sums and column sums.
+fn solve_via_lp(x: &[f64], y: &[f64], cost: &CostMatrix) -> f64 {
+    let n = x.len();
+    let mut objective = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            objective.push(cost.get(i, j));
+        }
+    }
+    let mut p = Problem::minimize(objective);
+    for i in 0..n {
+        let mut row = vec![0.0; n * n];
+        for j in 0..n {
+            row[i * n + j] = 1.0;
+        }
+        p.constrain(row, Relation::Eq, x[i]);
+    }
+    for j in 0..n {
+        let mut col = vec![0.0; n * n];
+        for i in 0..n {
+            col[i * n + j] = 1.0;
+        }
+        p.constrain(col, Relation::Eq, y[j]);
+    }
+    p.solve().expect("LP formulation must be feasible").objective
+}
+
+fn random_instance(rng: &mut StdRng, n: usize) -> (Vec<f64>, Vec<f64>, CostMatrix) {
+    // Random point sets in the unit square define a Euclidean ground
+    // distance; random masses normalized to a common total.
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let cost = CostMatrix::from_fn(n, |i, j| {
+        let (xi, yi) = pts[i];
+        let (xj, yj) = pts[j];
+        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+    });
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let mut y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    // Sparsify: zero out some entries to exercise degeneracy.
+    for v in x.iter_mut().chain(y.iter_mut()) {
+        if rng.gen_bool(0.3) {
+            *v = 0.0;
+        }
+    }
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    // Guard against an all-zero histogram.
+    let sx = if sx == 0.0 {
+        x[0] = 1.0;
+        1.0
+    } else {
+        sx
+    };
+    let sy = if sy == 0.0 {
+        y[0] = 1.0;
+        1.0
+    } else {
+        sy
+    };
+    for v in &mut x {
+        *v /= sx;
+    }
+    for v in &mut y {
+        *v /= sy;
+    }
+    (x, y, cost)
+}
+
+#[test]
+fn agrees_with_lp_on_random_euclidean_instances() {
+    let mut rng = StdRng::seed_from_u64(0x00EA127);
+    for trial in 0..60 {
+        let n = 2 + (trial % 7);
+        let (x, y, cost) = random_instance(&mut rng, n);
+        let ts = solve_transportation(&x, &y, &cost)
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let lp = solve_via_lp(&x, &y, &cost);
+        assert!(
+            (ts.total_cost - lp).abs() <= 1e-7 * (1.0 + lp.abs()),
+            "trial {trial} (n={n}): transport {} vs lp {lp}",
+            ts.total_cost
+        );
+    }
+}
+
+#[test]
+fn agrees_with_lp_on_integer_instances() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for trial in 0..40 {
+        let n = 2 + (trial % 5);
+        let cost = CostMatrix::from_fn(n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                ((i * 13 + j * 7 + trial) % 9 + 1) as f64
+            }
+        });
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+        let y_total: f64 = x.iter().sum();
+        if y_total == 0.0 {
+            x[0] = 1.0;
+        }
+        let total: f64 = x.iter().sum();
+        // Random composition of `total` into n non-negative integers.
+        let mut y = vec![0.0; n];
+        let mut remaining = total as i64;
+        for j in 0..n - 1 {
+            let take = rng.gen_range(0..=remaining);
+            y[j] = take as f64;
+            remaining -= take;
+        }
+        y[n - 1] = remaining as f64;
+        let ts = solve_transportation(&x, &y, &cost).unwrap();
+        let lp = solve_via_lp(&x, &y, &cost);
+        assert!(
+            (ts.total_cost - lp).abs() <= 1e-7 * (1.0 + lp.abs()),
+            "trial {trial}: transport {} vs lp {lp} (x={x:?}, y={y:?})",
+            ts.total_cost
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property: the two independent solvers agree on arbitrary balanced
+    /// instances with a symmetric zero-diagonal ground distance.
+    #[test]
+    fn prop_transport_matches_lp(
+        seed in any::<u64>(),
+        n in 2usize..7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (x, y, cost) = random_instance(&mut rng, n);
+        let ts = solve_transportation(&x, &y, &cost).unwrap();
+        let lp = solve_via_lp(&x, &y, &cost);
+        prop_assert!((ts.total_cost - lp).abs() <= 1e-7 * (1.0 + lp.abs()),
+            "transport {} vs lp {}", ts.total_cost, lp);
+    }
+
+    /// Property: optimal flows are feasible (marginals match, non-negative).
+    #[test]
+    fn prop_flows_feasible(seed in any::<u64>(), n in 1usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (x, y, cost) = random_instance(&mut rng, n);
+        let sol = solve_transportation(&x, &y, &cost).unwrap();
+        let mut row = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        for f in &sol.flows {
+            prop_assert!(f.mass > 0.0);
+            row[f.from] += f.mass;
+            col[f.to] += f.mass;
+        }
+        for i in 0..n {
+            prop_assert!((row[i] - x[i]).abs() < 1e-9);
+            prop_assert!((col[i] - y[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Reproduces the geometry figures: EMD iso-lines (paper Figure 2) and
+//! weighted Lp iso-contours (Figure 4) as PGM images.
+//!
+//! ```sh
+//! cargo run --release --example isolines
+//! ```
+//!
+//! A 2-D feature space is spanned by histograms of three bins constrained
+//! to equal mass (two degrees of freedom). Every pixel `(a, b)` maps to
+//! the histogram `[a, b, 1 - a - b]`; its gray value encodes the distance
+//! to a fixed center histogram. The EMD image shows the polytope
+//! (hyperplane-bounded) iso-surfaces that motivate diamond- and box-shaped
+//! lower bounds; the Lp images show the filter geometries of §4.2.
+
+use earthmover::imaging::pnm::save_pgm;
+use earthmover::{
+    BinGrid, CostMatrix, DistanceMeasure, ExactEmd, Histogram, LbEuclidean, LbIm, LbManhattan,
+    LbMax,
+};
+
+const SIZE: usize = 257;
+
+fn render(
+    name: &str,
+    cost: &CostMatrix,
+    center: &Histogram,
+    measure: &dyn DistanceMeasure,
+    dir: &std::path::Path,
+) {
+    let mut values = vec![0.0f64; SIZE * SIZE];
+    let mut max = 0.0f64;
+    let mut raw = vec![f64::NAN; SIZE * SIZE];
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            let a = x as f64 / (SIZE - 1) as f64;
+            let b = y as f64 / (SIZE - 1) as f64;
+            if a + b > 1.0 {
+                continue; // outside the simplex
+            }
+            let h = Histogram::new(vec![a, b, (1.0 - a - b).max(0.0)]).expect("valid");
+            let d = measure.distance(&h, center);
+            raw[y * SIZE + x] = d;
+            max = max.max(d);
+        }
+    }
+    // Normalize into [0,1]; darker = closer, banded to show iso-contours.
+    for (v, r) in values.iter_mut().zip(&raw) {
+        if r.is_nan() {
+            *v = 1.0; // outside the simplex: white
+        } else {
+            let t = r / max.max(f64::MIN_POSITIVE);
+            // 12 contour bands, like the printed figure's stripes.
+            *v = (t * 12.0).floor() / 12.0;
+        }
+    }
+    let path = dir.join(format!("{name}.pgm"));
+    save_pgm(SIZE, SIZE, &values, &path).expect("write pgm");
+    let _ = cost;
+    println!("  wrote {}", path.display());
+}
+
+fn main() {
+    // Three bins whose centroids sit on a line: ground distance |i-j|/2.
+    let grid = BinGrid::new(vec![3]);
+    let cost = grid.cost_matrix();
+    let center = Histogram::new(vec![0.34, 0.33, 0.33]).expect("valid");
+
+    let dir = std::env::temp_dir().join("earthmover-isolines");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    println!("rendering {SIZE}x{SIZE} iso-contour images (Figures 2 and 4):");
+
+    let emd = ExactEmd::new(cost.clone());
+    render("emd", &cost, &center, &emd, &dir);
+
+    let man = LbManhattan::new(&cost);
+    render("lb_man", &cost, &center, &man, &dir);
+
+    let max = LbMax::new(&cost);
+    render("lb_max", &cost, &center, &max, &dir);
+
+    let eucl = LbEuclidean::new(&cost);
+    render("lb_eucl", &cost, &center, &eucl, &dir);
+
+    let im = LbIm::new(&cost);
+    render("lb_im", &cost, &center, &im, &dir);
+
+    println!("\nCompare emd.pgm with the filters: every filter's iso-surface");
+    println!("must enclose the EMD's (lower bounding) — LB_IM hugs it tightest.");
+}

@@ -1,0 +1,48 @@
+//! Ranking queries: "give me the next nearest image" without fixing k.
+//!
+//! ```sh
+//! cargo run --release --example ranking_stream
+//! ```
+//!
+//! Interactive browsing doesn't know k in advance: the user pages
+//! through results until satisfied. `QueryEngine::nearest_stream` serves
+//! that pattern — a lazy iterator over `(id, exact EMD)` in nondecreasing
+//! order that refines only what the consumed prefix requires. This
+//! example pages through results in batches and prints how the exact-EMD
+//! work grows with each page.
+
+use earthmover::imaging::corpus::{CorpusConfig, SyntheticCorpus};
+use earthmover::{BinGrid, QueryEngine};
+
+fn main() {
+    let grid = BinGrid::new(vec![4, 4, 4]);
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(1337));
+    let n = 5_000;
+    println!("building a {n}-image database...");
+    let db = corpus.build_database(&grid, n);
+    let engine = QueryEngine::builder(&db, &grid).build();
+
+    let query = db.get(99);
+    let mut stream = engine.nearest_stream(query);
+
+    println!("\npaging through the exact EMD ranking of {n} images:");
+    for page in 0..4 {
+        print!("page {page}:");
+        for _ in 0..5 {
+            match stream.next() {
+                Some((id, d)) => print!("  #{id} ({d:.4})"),
+                None => break,
+            }
+        }
+        let stats = stream.stats();
+        println!(
+            "\n        cumulative work: {} exact EMD evaluations ({:.2}% of the database)",
+            stats.exact_evaluations,
+            100.0 * stats.selectivity()
+        );
+    }
+    println!(
+        "\nA sequential scan would have paid {n} EMD evaluations before showing\n\
+         the first result; the stream paid for each page as it was turned."
+    );
+}

@@ -1,0 +1,74 @@
+//! Signatures and partial matching: the EMD generalizations of §1.
+//!
+//! ```sh
+//! cargo run --release --example signatures
+//! ```
+//!
+//! Instead of a fixed global binning, each image is summarized by its
+//! own dominant colors (k-means clustering of pixels), producing a
+//! *signature* — a variable-length weighted point set. The EMD between
+//! signatures is a rectangular transportation problem; this example
+//! ranks corpus images against a query by signature EMD and demonstrates
+//! partial (unbalanced) matching, which deliberately sacrifices the
+//! metric property.
+
+use earthmover::core::ground::euclidean;
+use earthmover::core::signature::Signature;
+use earthmover::imaging::cluster::color_signature;
+use earthmover::imaging::corpus::{CorpusConfig, SyntheticCorpus};
+
+fn main() {
+    let config = CorpusConfig::default().with_seed(808).with_classes(6);
+    let corpus = SyntheticCorpus::new(config);
+    let n = 60;
+    let k_clusters = 5;
+
+    println!("clustering {n} images into {k_clusters}-color signatures...");
+    let signatures: Vec<Signature> = (0..n as u64)
+        .map(|id| color_signature(&corpus.generate_image(id), k_clusters, id))
+        .collect();
+
+    // Rank everything against image 0 by signature EMD.
+    let query = &signatures[0];
+    let query_class = corpus.class_of(0);
+    let mut ranked: Vec<(usize, f64)> = signatures
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, s)| {
+            (
+                i,
+                query
+                    .emd(s, euclidean)
+                    .expect("signatures share unit mass"),
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("\n10 nearest images to image 0 (class {query_class}) by signature EMD:");
+    let mut same_class = 0;
+    for (i, d) in ranked.iter().take(10) {
+        let class = corpus.class_of(*i as u64);
+        if class == query_class {
+            same_class += 1;
+        }
+        println!("  image {i:>3}  class {class}  emd {d:.4}");
+    }
+    println!("  -> {same_class}/10 share the query's scene class");
+
+    // Partial matching: compare the query against *half* of another
+    // image's signature mass — the surplus is matched for free.
+    println!("\npartial matching (unbalanced masses):");
+    let other = &signatures[6]; // same class as image 0 (6 classes)
+    let half = Signature::new(
+        other.points().to_vec(),
+        other.weights().iter().map(|w| w * 0.5).collect(),
+    )
+    .expect("well-formed");
+    let balanced = query.emd(other, euclidean).expect("balanced");
+    let (partial, flows) = query.emd_partial(&half, euclidean).expect("partial");
+    println!("  balanced EMD(query, other)      = {balanced:.4}");
+    println!("  partial  EMD(query, half-other) = {partial:.4} ({} flows)", flows.len());
+    println!("  the partial match may be cheaper: only half the mass must travel.");
+}

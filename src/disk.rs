@@ -1,0 +1,114 @@
+//! Glue between the histogram data model and the paged storage engine:
+//! store a [`HistogramDb`] as one record per histogram in an
+//! `earthmover-storage` record store.
+//!
+//! Compared to the flat checksummed format of
+//! [`earthmover_core::storage`], the paged form supports incremental
+//! appends, tombstoning, and bounded-memory scans through the buffer
+//! pool — the shape a long-running retrieval service needs.
+
+use earthmover_core::db::HistogramDb;
+use earthmover_core::histogram::Histogram;
+use earthmover_storage::{BufferPool, PageFile, RecordStore, StorageError};
+use std::path::Path;
+
+/// Record encoding: bin count (u32 LE) followed by the bins as f64 LE.
+fn encode_histogram(h: &Histogram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + h.len() * 8);
+    out.extend_from_slice(&(h.len() as u32).to_le_bytes());
+    for b in h.bins() {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+fn decode_histogram(bytes: &[u8]) -> Result<Histogram, StorageError> {
+    if bytes.len() < 4 {
+        return Err(StorageError::BadRecord);
+    }
+    let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    if bytes.len() != 4 + n * 8 {
+        return Err(StorageError::BadRecord);
+    }
+    let bins = bytes[4..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Histogram::new(bins).map_err(|_| StorageError::BadRecord)
+}
+
+/// Writes a database into a fresh paged store at `path` (one record per
+/// histogram, in id order), returning the record count.
+pub fn save_paged(db: &HistogramDb, path: impl AsRef<Path>) -> Result<usize, StorageError> {
+    let file = PageFile::create(path)?;
+    let pool = BufferPool::new(file, 64);
+    let mut store = RecordStore::create(pool)?;
+    for (_, h) in db.iter() {
+        store.append(&encode_histogram(h))?;
+    }
+    store.sync()?;
+    Ok(db.len())
+}
+
+/// Reads a database back from a paged store created by [`save_paged`].
+///
+/// `dims` must match the stored histograms (it seeds the empty database;
+/// each record is validated against it on decode).
+pub fn load_paged(path: impl AsRef<Path>, dims: usize) -> Result<HistogramDb, StorageError> {
+    let file = PageFile::open(path)?;
+    let pool = BufferPool::new(file, 64);
+    // `save_paged` always creates the chain at the first allocated page.
+    let store = RecordStore::open(pool, earthmover_storage::PageId(1))?;
+    let mut db = HistogramDb::new(dims);
+    for (_, bytes) in store.scan()? {
+        let h = decode_histogram(&bytes)?;
+        if h.len() != dims {
+            return Err(StorageError::BadRecord);
+        }
+        db.try_push(h).map_err(|_| StorageError::BadRecord)?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earthmover_imaging::corpus::{CorpusConfig, SyntheticCorpus};
+
+    #[test]
+    fn paged_round_trip() {
+        let grid = earthmover_core::ground::BinGrid::new(vec![2, 2, 2]);
+        let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(31));
+        let db = corpus.build_database(&grid, 120);
+
+        let dir = std::env::temp_dir().join("earthmover-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paged.db");
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(save_paged(&db, &path).unwrap(), 120);
+        let loaded = load_paged(&path, 8).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        for (id, h) in db.iter() {
+            // Bins re-normalize on ingest; compare within float tolerance.
+            for (a, b) in h.bins().iter().zip(loaded.get(id).bins()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_dims_is_rejected() {
+        let grid = earthmover_core::ground::BinGrid::new(vec![2, 2, 2]);
+        let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(32));
+        let db = corpus.build_database(&grid, 5);
+        let dir = std::env::temp_dir().join("earthmover-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrongdims.db");
+        let _ = std::fs::remove_file(&path);
+        save_paged(&db, &path).unwrap();
+        assert!(load_paged(&path, 64).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

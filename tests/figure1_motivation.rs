@@ -1,0 +1,102 @@
+//! The paper's Figure 1 in test form: bin-by-bin distances confuse a
+//! slight color shift with a completely different color distribution;
+//! the EMD does not.
+//!
+//! Three histograms over a 1-D tone axis:
+//! * `original`  — mass on tones 0–1,
+//! * `shifted`   — the same shape moved one bin to the right
+//!   (the "slight shift in color tone" of Figure 1, perceptually close),
+//! * `scattered` — half the mass hauled to the far end of the axis
+//!   (perceptually far).
+//!
+//! A human ranks `shifted` closer to `original` than `scattered`. L1
+//! sees the two comparisons as *identical* (each changes one bin's worth
+//! of mass); the EMD charges by how far mass travels and gets it right.
+
+use earthmover::{CostMatrix, DistanceMeasure, ExactEmd, Histogram, QuadraticForm};
+
+fn line_cost(n: usize) -> CostMatrix {
+    CostMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs())
+}
+
+fn l1(x: &Histogram, y: &Histogram) -> f64 {
+    x.bins().iter().zip(y.bins()).map(|(a, b)| (a - b).abs()).sum()
+}
+
+fn fixtures() -> (Histogram, Histogram, Histogram) {
+    // Chosen so that `shifted` and `scattered` are L1-equidistant from
+    // `original`: both comparisons change exactly one bin's worth of mass.
+    let original = Histogram::normalized(vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+    let shifted = Histogram::normalized(vec![0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+    let scattered = Histogram::normalized(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+    (original, shifted, scattered)
+}
+
+#[test]
+fn l1_cannot_rank_the_shift_correctly() {
+    let (original, shifted, scattered) = fixtures();
+    // Bin-by-bin comparison sees the one-tone shift and the cross-space
+    // scatter as *identical* — exactly the Figure 1 failure.
+    let d_shift = l1(&original, &shifted);
+    let d_scatter = l1(&original, &scattered);
+    assert!(
+        (d_shift - d_scatter).abs() < 1e-12,
+        "L1 should be blind here: shift {d_shift} vs scatter {d_scatter}"
+    );
+}
+
+#[test]
+fn emd_ranks_the_shift_as_much_closer() {
+    let (original, shifted, scattered) = fixtures();
+    let emd = ExactEmd::new(line_cost(8));
+    let d_shift = emd.distance(&original, &shifted);
+    let d_scatter = emd.distance(&original, &scattered);
+    // The shift slides the whole distribution one tone (cost 1); the
+    // scatter hauls half the mass across six tones (cost 0.5 * 6 = 3).
+    assert!((d_shift - 1.0).abs() < 1e-9, "one-bin shift: {d_shift}");
+    assert!((d_scatter - 3.0).abs() < 1e-9, "scatter: {d_scatter}");
+    assert!(
+        d_scatter >= 2.5 * d_shift,
+        "EMD must rank the scatter much farther: {d_scatter} vs {d_shift}"
+    );
+}
+
+#[test]
+fn quadratic_form_smooths_but_underseparates() {
+    // §2: the quadratic form softens the shift penalty relative to L1 but
+    // "still structural differences in images cannot be distinguished
+    // from color shifts" as crisply as under the EMD.
+    let (original, shifted, scattered) = fixtures();
+    let cost = line_cost(8);
+    let qf = QuadraticForm::from_cost(&cost);
+    let emd = ExactEmd::new(cost);
+
+    let qf_ratio = qf.distance(&original, &scattered) / qf.distance(&original, &shifted);
+    let emd_ratio = emd.distance(&original, &scattered) / emd.distance(&original, &shifted);
+    assert!(qf_ratio > 1.0, "QF at least notices the difference");
+    assert!(
+        emd_ratio > qf_ratio,
+        "EMD separates shift from scatter more sharply: {emd_ratio:.2} vs {qf_ratio:.2}"
+    );
+}
+
+#[test]
+fn every_lower_bound_respects_the_figure1_ordering_inputs() {
+    // Sanity net: the bounds stay below the EMD on these adversarial
+    // (highly structured) histograms too, not just random ones.
+    use earthmover::{LbEuclidean, LbIm, LbManhattan, LbMax};
+    let (original, shifted, scattered) = fixtures();
+    let cost = line_cost(8);
+    let emd = ExactEmd::new(cost.clone());
+    for (x, y) in [
+        (&original, &shifted),
+        (&original, &scattered),
+        (&shifted, &scattered),
+    ] {
+        let exact = emd.distance(x, y);
+        assert!(LbManhattan::new(&cost).distance(x, y) <= exact + 1e-9);
+        assert!(LbMax::new(&cost).distance(x, y) <= exact + 1e-9);
+        assert!(LbEuclidean::new(&cost).distance(x, y) <= exact + 1e-9);
+        assert!(LbIm::new(&cost).distance(x, y) <= exact + 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate scenarios beyond the defaults: HSV feature extraction,
+//! parallel scans under the engine, and incremental-cost behaviour of
+//! the index ranking.
+
+use earthmover::core::multistep::{CandidateSource, RtreeSource};
+use earthmover::core::parallel;
+use earthmover::core::reduce::AvgReducer;
+use earthmover::imaging::corpus::{CorpusConfig, SyntheticCorpus};
+use earthmover::imaging::extract::ColorSpace;
+use earthmover::{linear_scan_knn, BinGrid, DistanceMeasure, ExactEmd, QueryEngine};
+
+#[test]
+fn hsv_color_space_pipeline_is_complete() {
+    // The whole pipeline must be agnostic to the color space used for
+    // extraction — HSV histograms are just histograms.
+    let grid = BinGrid::new(vec![4, 2, 2]);
+    let config = CorpusConfig {
+        color_space: ColorSpace::Hsv,
+        ..CorpusConfig::default().with_seed(606)
+    };
+    let corpus = SyntheticCorpus::new(config);
+    let db = corpus.build_database(&grid, 200);
+    let exact = ExactEmd::new(grid.cost_matrix());
+    let engine = QueryEngine::builder(&db, &grid).build();
+    for qid in [3, 77, 151] {
+        let q = db.get(qid);
+        let multi = engine.knn(q, 7);
+        let brute = linear_scan_knn(&db, q, 7, &exact);
+        for ((_, a), (_, b)) in multi.items.iter().zip(&brute.items) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn hsv_and_rgb_histograms_differ() {
+    let grid = BinGrid::new(vec![4, 4, 4]);
+    let rgb_corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(9));
+    let hsv_corpus = SyntheticCorpus::new(CorpusConfig {
+        color_space: ColorSpace::Hsv,
+        ..CorpusConfig::default().with_seed(9)
+    });
+    let a = rgb_corpus.histogram(0, &grid);
+    let b = hsv_corpus.histogram(0, &grid);
+    assert_ne!(a.bins(), b.bins(), "projections must place mass differently");
+}
+
+#[test]
+fn parallel_scan_thread_count_does_not_change_results() {
+    let grid = BinGrid::new(vec![4, 4, 2]);
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(11));
+    let db = corpus.build_database(&grid, 301); // odd size on purpose
+    let exact = ExactEmd::new(grid.cost_matrix());
+    let q = db.get(100);
+    let baseline = parallel::scan_knn(&db, q, &exact, 7, 1);
+    for threads in [2, 4, 7, 32] {
+        let got = parallel::scan_knn(&db, q, &exact, 7, threads);
+        assert_eq!(baseline, got, "threads = {threads}");
+    }
+}
+
+#[test]
+fn index_ranking_cost_grows_with_pulls() {
+    // The optimal algorithm's early termination only pays off if the
+    // candidate source is genuinely lazy: pulling a handful of items
+    // must touch far fewer nodes than exhausting the ranking.
+    let grid = BinGrid::new(vec![4, 4, 4]);
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(13));
+    let db = corpus.build_database(&grid, 3_000);
+    let source = RtreeSource::build(&db, AvgReducer::new(grid.centroids().to_vec()));
+    let q = db.get(0);
+
+    let mut few = source.ranking(q);
+    for _ in 0..10 {
+        few.next();
+    }
+    let few_cost = few.cost();
+
+    let mut all = source.ranking(q);
+    while all.next().is_some() {}
+    let all_cost = all.cost();
+
+    assert!(
+        few_cost.node_accesses * 4 < all_cost.node_accesses,
+        "lazy ranking read {} nodes for 10 pulls vs {} for all",
+        few_cost.node_accesses,
+        all_cost.node_accesses
+    );
+}
+
+#[test]
+fn engine_rejects_mismatched_grid() {
+    let grid64 = BinGrid::new(vec![4, 4, 4]);
+    let grid16 = BinGrid::new(vec![4, 2, 2]);
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(15));
+    let db = corpus.build_database(&grid16, 10);
+    let result = std::panic::catch_unwind(|| {
+        let _ = QueryEngine::builder(&db, &grid64).build();
+    });
+    assert!(result.is_err(), "16-bin DB with 64-bin grid must be rejected");
+}
+
+#[test]
+fn quadratic_form_is_not_a_lower_bound() {
+    // Regression guard for documentation honesty: QF must never be used
+    // as a filter. Find at least one pair where QF exceeds the EMD.
+    use earthmover::QuadraticForm;
+    let grid = BinGrid::new(vec![4, 4, 4]);
+    let cost = grid.cost_matrix();
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(17));
+    let db = corpus.build_database(&grid, 40);
+    let qf = QuadraticForm::from_cost(&cost);
+    let exact = ExactEmd::new(cost);
+    let mut violations = 0;
+    for i in 0..db.len() {
+        for j in (i + 1)..db.len() {
+            if qf.distance(db.get(i), db.get(j)) > exact.distance(db.get(i), db.get(j)) + 1e-9 {
+                violations += 1;
+            }
+        }
+    }
+    assert!(
+        violations > 0,
+        "expected QF to exceed the EMD somewhere; if it never does, it \
+         could serve as a filter and the docs are wrong"
+    );
+}

@@ -1,0 +1,91 @@
+//! The EMD is a metric when the ground distance is a metric (§2 of the
+//! paper) — checked here on random triples, along with the symmetry
+//! behaviour of every filter.
+
+use earthmover::{BinGrid, DistanceMeasure, ExactEmd, Histogram, LbIm, LbManhattan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_histogram(rng: &mut StdRng, n: usize) -> Histogram {
+    let mut bins: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    for b in bins.iter_mut() {
+        if rng.gen_bool(0.3) {
+            *b = 0.0;
+        }
+    }
+    if bins.iter().sum::<f64>() == 0.0 {
+        bins[0] = 1.0;
+    }
+    Histogram::normalized(bins).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Triangle inequality: EMD(x, z) ≤ EMD(x, y) + EMD(y, z).
+    #[test]
+    fn emd_triangle_inequality(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![3, 3]);
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, 9);
+        let y = random_histogram(&mut rng, 9);
+        let z = random_histogram(&mut rng, 9);
+        let xy = exact.distance(&x, &y);
+        let yz = exact.distance(&y, &z);
+        let xz = exact.distance(&x, &z);
+        prop_assert!(xz <= xy + yz + 1e-9, "{xz} > {xy} + {yz}");
+    }
+
+    /// Symmetry: EMD(x, y) = EMD(y, x).
+    #[test]
+    fn emd_symmetry(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, 8);
+        let y = random_histogram(&mut rng, 8);
+        let a = exact.distance(&x, &y);
+        let b = exact.distance(&y, &x);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Identity of indiscernibles (one direction): EMD(x, x) = 0.
+    #[test]
+    fn emd_self_distance_is_zero(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![4, 2]);
+        let exact = ExactEmd::new(grid.cost_matrix());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, 8);
+        prop_assert!(exact.distance(&x, &x).abs() < 1e-12);
+    }
+
+    /// Non-negativity of the EMD and all filters.
+    #[test]
+    fn distances_are_non_negative(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, 8);
+        let y = random_histogram(&mut rng, 8);
+        prop_assert!(ExactEmd::new(cost.clone()).distance(&x, &y) >= 0.0);
+        prop_assert!(LbManhattan::new(&cost).distance(&x, &y) >= 0.0);
+        prop_assert!(LbIm::new(&cost).distance(&x, &y) >= 0.0);
+    }
+
+    /// The symmetric LB_IM is symmetric; the filters built from |x_i − y_i|
+    /// are symmetric by construction.
+    #[test]
+    fn filter_symmetry(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, 8);
+        let y = random_histogram(&mut rng, 8);
+        let man = LbManhattan::new(&cost);
+        prop_assert!((man.distance(&x, &y) - man.distance(&y, &x)).abs() < 1e-12);
+        let im = LbIm::new(&cost);
+        prop_assert!((im.distance(&x, &y) - im.distance(&y, &x)).abs() < 1e-12);
+    }
+}
