@@ -75,5 +75,10 @@ fn bench_scan_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_im_ablation, bench_construction, bench_scan_throughput);
+criterion_group!(
+    benches,
+    bench_im_ablation,
+    bench_construction,
+    bench_scan_throughput
+);
 criterion_main!(benches);

@@ -54,7 +54,10 @@ fn bench_queries(c: &mut Criterion) {
     });
     group.bench_function("rank_first_100", |b| {
         b.iter(|| {
-            let taken: Vec<_> = tree.rank_by_distance(black_box(&q), &metric).take(100).collect();
+            let taken: Vec<_> = tree
+                .rank_by_distance(black_box(&q), &metric)
+                .take(100)
+                .collect();
             black_box(taken)
         })
     });

@@ -177,7 +177,14 @@ fn scalability(options: &Options) {
         let w = Workload::build(dims, db_size, options.queries, 0xF167);
         let rows: Vec<Measurement> = Config::all()
             .iter()
-            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .map(|c| {
+                measure_knn(
+                    c.label(),
+                    &c.engine(&w, KnnAlgorithm::Optimal),
+                    &w.queries,
+                    k,
+                )
+            })
             .collect();
         print_table(
             &format!("Figure 7: k=10-NN, d=64, |DB| = {db_size}"),
@@ -198,7 +205,14 @@ fn dimensionality(options: &Options) {
         let w = Workload::build(dims, db_size, options.queries, 0xF168);
         let mut rows: Vec<Measurement> = Config::all()
             .iter()
-            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .map(|c| {
+                measure_knn(
+                    c.label(),
+                    &c.engine(&w, KnnAlgorithm::Optimal),
+                    &w.queries,
+                    k,
+                )
+            })
             .collect();
 
         // Sequential-scan exact EMD baseline (the "EMD" series of the
@@ -208,7 +222,7 @@ fn dimensionality(options: &Options) {
         let mut merged = QueryStats::default();
         let baseline_queries = &w.queries[..1.min(w.queries.len())];
         for q in baseline_queries {
-            let r = linear_scan_knn(&w.db, q, k, &exact);
+            let r = linear_scan_knn(&w.db, q, k, &exact).expect("scan failed");
             merged.merge(&r.stats);
         }
         rows.push(Measurement {
@@ -237,7 +251,14 @@ fn result_size(options: &Options) {
     for k in [1, 5, 10, 15, 20] {
         let rows: Vec<Measurement> = Config::all()
             .iter()
-            .map(|c| measure_knn(c.label(), &c.engine(&w, KnnAlgorithm::Optimal), &w.queries, k))
+            .map(|c| {
+                measure_knn(
+                    c.label(),
+                    &c.engine(&w, KnnAlgorithm::Optimal),
+                    &w.queries,
+                    k,
+                )
+            })
             .collect();
         print_table(
             &format!("Figure 9: |DB| = {db_size}, d = 64, k = {k}"),
@@ -361,15 +382,15 @@ fn direct_vs_multistep(options: &Options) {
     let w = Workload::build(dims, db_size, queries, 0xD1EC);
     let exact = ExactEmd::new(w.grid.cost_matrix());
 
-    println!(
-        "\n=== §3.1: direct M-tree(EMD) vs multistep — |DB| = {db_size}, d = 64, k = {k} ==="
-    );
+    println!("\n=== §3.1: direct M-tree(EMD) vs multistep — |DB| = {db_size}, d = 64, k = {k} ===");
 
     // Direct: index the histograms themselves under the exact EMD. Every
     // routing decision during construction already costs EMD evaluations.
     let build_start = Instant::now();
     let metric_h = |a: &earthmover_core::histogram::Histogram,
-                    b: &earthmover_core::histogram::Histogram| exact.distance(a, b);
+                    b: &earthmover_core::histogram::Histogram| {
+        exact.distance(a, b)
+    };
     let mut mtree_h = MTree::new(metric_h);
     for (_, h) in w.db.iter() {
         mtree_h.insert(h.clone());

@@ -106,9 +106,15 @@ impl Config {
                 .first_stage(FirstStage::ManhattanScan)
                 .lb_im(false)
                 .build(),
-            Config::Avg => builder.first_stage(FirstStage::AvgScan).lb_im(false).build(),
+            Config::Avg => builder
+                .first_stage(FirstStage::AvgScan)
+                .lb_im(false)
+                .build(),
             Config::Im => builder.first_stage(FirstStage::ImScan).build(),
-            Config::ComboAvg => builder.first_stage(FirstStage::AvgIndex).lb_im(true).build(),
+            Config::ComboAvg => builder
+                .first_stage(FirstStage::AvgIndex)
+                .lb_im(true)
+                .build(),
             Config::ComboMan => builder
                 .first_stage(FirstStage::ManhattanIndex { dims: 3 })
                 .lb_im(true)
@@ -141,7 +147,7 @@ pub fn measure_knn(
 ) -> Measurement {
     let mut merged = QueryStats::default();
     for q in queries {
-        let result = engine.knn(q, k);
+        let result = engine.knn(q, k).expect("benchmark query failed");
         merged.merge(&result.stats);
     }
     let n = queries.len().max(1) as f64;
@@ -228,6 +234,7 @@ mod tests {
             // All configurations retrieve identical results (completeness).
             let distances: Vec<f64> = engine
                 .knn(&w.queries[0], 5)
+                .unwrap()
                 .items
                 .iter()
                 .map(|(_, d)| *d)

@@ -135,7 +135,9 @@ mod tests {
     #[test]
     fn zero_mass_rejected() {
         let mut db = HistogramDb::new(2);
-        assert!(db.try_push(Histogram::new(vec![0.0, 0.0]).unwrap()).is_err());
+        assert!(db
+            .try_push(Histogram::new(vec![0.0, 0.0]).unwrap())
+            .is_err());
         assert!(db.is_empty());
     }
 

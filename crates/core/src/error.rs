@@ -1,0 +1,56 @@
+//! Typed errors for multistep query processing.
+//!
+//! The query pipeline degrades instead of panicking (see DESIGN.md,
+//! "Failure model and recovery"): a failing candidate source is reported
+//! as [`PipelineError::Source`] so the engine can fall back to a
+//! sequential scan, and an exact-EMD evaluation that exhausts the solver
+//! recovery ladder surfaces as [`PipelineError::Distance`].
+
+use earthmover_transport::TransportError;
+use std::fmt;
+
+/// An error produced while executing a multistep query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The first-stage candidate source failed — e.g. a corrupt or
+    /// missing index. [`crate::pipeline::QueryEngine`] reacts to this by
+    /// re-running the query on a sequential-scan source.
+    Source {
+        /// Name of the failing stage (its filter name).
+        stage: String,
+        /// Human-readable failure description.
+        reason: String,
+    },
+    /// The exact EMD could not be computed even after the full solver
+    /// recovery ladder (default pivot rule → Bland's rule → dense LP).
+    /// Carries the transport-solver error that started the ladder.
+    Distance(TransportError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Source { stage, reason } => {
+                write!(f, "candidate source '{stage}' failed: {reason}")
+            }
+            PipelineError::Distance(e) => {
+                write!(f, "exact EMD failed after solver recovery ladder: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Source { .. } => None,
+            PipelineError::Distance(e) => Some(e),
+        }
+    }
+}
+
+impl From<TransportError> for PipelineError {
+    fn from(e: TransportError) -> Self {
+        PipelineError::Distance(e)
+    }
+}

@@ -55,11 +55,12 @@
 //!
 //! let engine = QueryEngine::builder(&db, &grid).build();
 //! let query = Histogram::normalized(vec![4.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
-//! let result = engine.knn(&query, 2);
+//! let result = engine.knn(&query, 2).expect("query failed");
 //! assert_eq!(result.items[0].0, 0); // the identical histogram comes first
 //! ```
 
 pub mod db;
+pub mod error;
 pub mod ground;
 pub mod histogram;
 pub mod lower_bounds;
@@ -73,11 +74,10 @@ pub mod stats;
 pub mod storage;
 
 pub use db::HistogramDb;
+pub use error::PipelineError;
 pub use ground::BinGrid;
 pub use histogram::Histogram;
-pub use lower_bounds::{
-    DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
-};
+pub use lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax};
 
 // Re-export the substrate types users need to construct measures.
 pub use earthmover_transport::CostMatrix;

@@ -58,12 +58,7 @@ impl LbIm {
         for i in 0..n {
             let mut order: Vec<u32> = (0..n as u32).collect();
             let row = cost.row(i);
-            order.sort_by(|&a, &b| {
-                row[a as usize]
-                    .partial_cmp(&row[b as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
+            order.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]).then(a.cmp(&b)));
             sorted_rows.push(order);
         }
         let mut sorted_cols = Vec::with_capacity(n);
@@ -71,8 +66,7 @@ impl LbIm {
             let mut order: Vec<u32> = (0..n as u32).collect();
             order.sort_by(|&a, &b| {
                 cost.get(a as usize, j)
-                    .partial_cmp(&cost.get(b as usize, j))
-                    .unwrap()
+                    .total_cmp(&cost.get(b as usize, j))
                     .then(a.cmp(&b))
             });
             sorted_cols.push(order);
@@ -206,11 +200,19 @@ mod tests {
         // Symmetric max = 13.
         let (x, y, cost) = paper_example();
         let both = LbIm::new(&cost);
-        assert!((both.raw(&x, &y) - 13.0).abs() < 1e-12, "{}", both.raw(&x, &y));
+        assert!(
+            (both.raw(&x, &y) - 13.0).abs() < 1e-12,
+            "{}",
+            both.raw(&x, &y)
+        );
         let one_way = LbIm::with_options(&cost, true, false);
         assert!((one_way.raw(&x, &y) - 13.0).abs() < 1e-12);
         // The swapped direction alone gives 11.
-        assert!((one_way.raw(&y, &x) - 11.0).abs() < 1e-12, "{}", one_way.raw(&y, &x));
+        assert!(
+            (one_way.raw(&y, &x) - 11.0).abs() < 1e-12,
+            "{}",
+            one_way.raw(&y, &x)
+        );
         // Normalization by the mass 21.
         assert!((both.distance(&x, &y) - 13.0 / 21.0).abs() < 1e-12);
     }

@@ -41,6 +41,22 @@ pub trait DistanceMeasure: Send + Sync {
     /// documented precondition checked by debug assertions.
     fn distance(&self, x: &Histogram, y: &Histogram) -> f64;
 
+    /// Fallible variant of [`DistanceMeasure::distance`].
+    ///
+    /// The lower bounds are pure arithmetic and cannot fail at run time,
+    /// so the default just wraps [`DistanceMeasure::distance`]. Measures
+    /// backed by an iterative solver — notably [`ExactEmd`] — override
+    /// this to surface solver failures as typed errors instead of
+    /// panicking; the multistep algorithms call it for every exact
+    /// refinement.
+    fn try_distance(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<f64, crate::error::PipelineError> {
+        Ok(self.distance(x, y))
+    }
+
     /// Short stable name used in statistics and experiment output
     /// (e.g. `"LB_IM"`).
     fn name(&self) -> &'static str;
@@ -49,6 +65,13 @@ pub trait DistanceMeasure: Send + Sync {
 impl<T: DistanceMeasure + ?Sized> DistanceMeasure for &T {
     fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
         (**self).distance(x, y)
+    }
+    fn try_distance(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<f64, crate::error::PipelineError> {
+        (**self).try_distance(x, y)
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -2,6 +2,7 @@
 
 use super::source::CandidateSource;
 use crate::db::HistogramDb;
+use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
 use crate::stats::QueryStats;
@@ -37,14 +38,13 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.dist)
             .then(self.id.cmp(&other.id))
     }
 }
 
 fn sort_items(mut items: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
-    items.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     items
 }
 
@@ -61,14 +61,14 @@ pub fn range_query(
     epsilon: f64,
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
-) -> QueryResult {
+) -> Result<QueryResult, PipelineError> {
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
         ..Default::default()
     };
 
-    let (candidates, cost) = source.range(q, epsilon);
+    let (candidates, cost) = source.range(q, epsilon)?;
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
 
@@ -82,7 +82,7 @@ pub fn range_query(
             }
         }
         stats.exact_evaluations += 1;
-        let d = exact.distance(q, h);
+        let d = exact.try_distance(q, h)?;
         if d <= epsilon {
             items.push((id, d));
         }
@@ -91,7 +91,7 @@ pub fn range_query(
     let items = sort_items(items);
     stats.results = items.len() as u64;
     stats.elapsed = start.elapsed();
-    QueryResult { items, stats }
+    Ok(QueryResult { items, stats })
 }
 
 /// GEMINI k-NN (Faloutsos et al., §3.2 of the paper):
@@ -108,7 +108,7 @@ pub fn gemini_knn(
     q: &Histogram,
     k: usize,
     exact: &dyn DistanceMeasure,
-) -> QueryResult {
+) -> Result<QueryResult, PipelineError> {
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
@@ -116,17 +116,17 @@ pub fn gemini_knn(
     };
     if k == 0 || db.is_empty() {
         stats.elapsed = start.elapsed();
-        return QueryResult {
+        return Ok(QueryResult {
             items: Vec::new(),
             stats,
-        };
+        });
     }
 
     // Step 1: k candidates by filter distance.
-    let mut cursor = source.ranking(q);
+    let mut cursor = source.ranking(q)?;
     let mut primaries = Vec::with_capacity(k);
     while primaries.len() < k {
-        match cursor.next() {
+        match cursor.next()? {
             Some((id, _)) => primaries.push(id),
             None => break,
         }
@@ -140,13 +140,13 @@ pub fn gemini_knn(
     let mut epsilon = 0.0f64;
     for &id in &primaries {
         stats.exact_evaluations += 1;
-        let d = exact.distance(q, db.get(id));
+        let d = exact.try_distance(q, db.get(id))?;
         epsilon = epsilon.max(d);
         evaluated.push((id, d));
     }
 
     // Step 3: filter range query at ε', refine everything not yet refined.
-    let (candidates, cost) = source.range(q, epsilon);
+    let (candidates, cost) = source.range(q, epsilon)?;
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
     for (id, _) in candidates {
@@ -154,14 +154,14 @@ pub fn gemini_knn(
             continue;
         }
         stats.exact_evaluations += 1;
-        evaluated.push((id, exact.distance(q, db.get(id))));
+        evaluated.push((id, exact.try_distance(q, db.get(id))?));
     }
 
     let mut items = sort_items(evaluated);
     items.truncate(k);
     stats.results = items.len() as u64;
     stats.elapsed = start.elapsed();
-    QueryResult { items, stats }
+    Ok(QueryResult { items, stats })
 }
 
 /// Optimal multistep k-NN (Seidl & Kriegel, SIGMOD 1998).
@@ -180,7 +180,7 @@ pub fn optimal_knn(
     k: usize,
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
-) -> QueryResult {
+) -> Result<QueryResult, PipelineError> {
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
@@ -188,22 +188,22 @@ pub fn optimal_knn(
     };
     if k == 0 || db.is_empty() {
         stats.elapsed = start.elapsed();
-        return QueryResult {
+        return Ok(QueryResult {
             items: Vec::new(),
             stats,
-        };
+        });
     }
 
-    let mut cursor = source.ranking(q);
+    let mut cursor = source.ranking(q)?;
     // Max-heap of the best k exact distances seen so far.
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
-    'stream: while let Some((id, filter_dist)) = cursor.next() {
+    'stream: while let Some((id, filter_dist)) = cursor.next()? {
         let full = best.len() == k;
-        let epsilon = if full {
-            best.peek().expect("nonempty").dist
-        } else {
-            f64::INFINITY
+        // `full` guarantees the heap is nonempty (k > 0 checked above).
+        let epsilon = match best.peek() {
+            Some(top) if full => top.dist,
+            _ => f64::INFINITY,
         };
         if full && filter_dist > epsilon {
             break; // no remaining object can improve the result
@@ -218,12 +218,10 @@ pub fn optimal_knn(
             }
         }
         stats.exact_evaluations += 1;
-        let d = exact.distance(q, h);
+        let d = exact.try_distance(q, h)?;
         if !full {
             best.push(HeapEntry { dist: d, id });
-        } else if d < epsilon
-            || (d == epsilon && id < best.peek().expect("nonempty").id)
-        {
+        } else if d < epsilon || (d == epsilon && best.peek().is_some_and(|top| id < top.id)) {
             best.pop();
             best.push(HeapEntry { dist: d, id });
         }
@@ -236,7 +234,7 @@ pub fn optimal_knn(
     let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
     stats.results = items.len() as u64;
     stats.elapsed = start.elapsed();
-    QueryResult { items, stats }
+    Ok(QueryResult { items, stats })
 }
 
 /// The baseline the paper compares against: a sequential scan evaluating
@@ -246,7 +244,7 @@ pub fn linear_scan_knn(
     q: &Histogram,
     k: usize,
     exact: &dyn DistanceMeasure,
-) -> QueryResult {
+) -> Result<QueryResult, PipelineError> {
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
@@ -255,7 +253,7 @@ pub fn linear_scan_knn(
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (id, h) in db.iter() {
         stats.exact_evaluations += 1;
-        let d = exact.distance(q, h);
+        let d = exact.try_distance(q, h)?;
         best.push(HeapEntry { dist: d, id });
         if best.len() > k {
             best.pop();
@@ -264,7 +262,7 @@ pub fn linear_scan_knn(
     let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
     stats.results = items.len() as u64;
     stats.elapsed = start.elapsed();
-    QueryResult { items, stats }
+    Ok(QueryResult { items, stats })
 }
 
 #[cfg(test)]
@@ -295,8 +293,8 @@ mod tests {
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = random_histogram(&mut StdRng::seed_from_u64(5000), grid.num_bins());
         for k in [1, 3, 10] {
-            let multi = optimal_knn(&source, &db, &q, k, &[], &exact);
-            let brute = linear_scan_knn(&db, &q, k, &exact);
+            let multi = optimal_knn(&source, &db, &q, k, &[], &exact).unwrap();
+            let brute = linear_scan_knn(&db, &q, k, &exact).unwrap();
             let md: Vec<f64> = multi.items.iter().map(|(_, d)| *d).collect();
             let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
             assert_eq!(md.len(), bd.len());
@@ -316,8 +314,8 @@ mod tests {
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = random_histogram(&mut StdRng::seed_from_u64(6000), grid.num_bins());
         for k in [1, 5] {
-            let multi = gemini_knn(&source, &db, &q, k, &exact);
-            let brute = linear_scan_knn(&db, &q, k, &exact);
+            let multi = gemini_knn(&source, &db, &q, k, &exact).unwrap();
+            let brute = linear_scan_knn(&db, &q, k, &exact).unwrap();
             let md: Vec<f64> = multi.items.iter().map(|(_, d)| *d).collect();
             let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
             for (a, b) in md.iter().zip(&bd) {
@@ -336,8 +334,8 @@ mod tests {
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         for seed in 0..5 {
             let q = random_histogram(&mut StdRng::seed_from_u64(7000 + seed), grid.num_bins());
-            let opt = optimal_knn(&source, &db, &q, 5, &[], &exact);
-            let gem = gemini_knn(&source, &db, &q, 5, &exact);
+            let opt = optimal_knn(&source, &db, &q, 5, &[], &exact).unwrap();
+            let gem = gemini_knn(&source, &db, &q, 5, &exact).unwrap();
             assert!(
                 opt.stats.exact_evaluations <= gem.stats.exact_evaluations,
                 "seed {seed}: optimal {} > gemini {}",
@@ -356,7 +354,7 @@ mod tests {
         let im = LbIm::new(&cost);
         let q = random_histogram(&mut StdRng::seed_from_u64(8000), grid.num_bins());
         for eps in [0.02, 0.08, 0.2] {
-            let result = range_query(&source, &db, &q, eps, &[&im], &exact);
+            let result = range_query(&source, &db, &q, eps, &[&im], &exact).unwrap();
             let mut expect: Vec<(usize, f64)> = db
                 .iter()
                 .map(|(id, h)| (id, exact.distance(&q, h)))
@@ -379,8 +377,8 @@ mod tests {
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let im = LbIm::new(&cost);
         let q = random_histogram(&mut StdRng::seed_from_u64(9000), grid.num_bins());
-        let without = optimal_knn(&source, &db, &q, 5, &[], &exact);
-        let with = optimal_knn(&source, &db, &q, 5, &[&im], &exact);
+        let without = optimal_knn(&source, &db, &q, 5, &[], &exact).unwrap();
+        let with = optimal_knn(&source, &db, &q, 5, &[&im], &exact).unwrap();
         // Same results...
         let a: Vec<f64> = without.items.iter().map(|(_, d)| *d).collect();
         let b: Vec<f64> = with.items.iter().map(|(_, d)| *d).collect();
@@ -398,12 +396,19 @@ mod tests {
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = db.get(0).clone();
-        assert!(optimal_knn(&source, &db, &q, 0, &[], &exact).items.is_empty());
-        assert!(gemini_knn(&source, &db, &q, 0, &exact).items.is_empty());
+        assert!(optimal_knn(&source, &db, &q, 0, &[], &exact)
+            .unwrap()
+            .items
+            .is_empty());
+        assert!(gemini_knn(&source, &db, &q, 0, &exact)
+            .unwrap()
+            .items
+            .is_empty());
 
         let empty = HistogramDb::new(grid.num_bins());
         let esource = ScanSource::new(&empty, LbManhattan::new(&cost));
         assert!(optimal_knn(&esource, &empty, &q, 3, &[], &exact)
+            .unwrap()
             .items
             .is_empty());
     }
@@ -415,9 +420,9 @@ mod tests {
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = db.get(0).clone();
-        let r = optimal_knn(&source, &db, &q, 50, &[], &exact);
+        let r = optimal_knn(&source, &db, &q, 50, &[], &exact).unwrap();
         assert_eq!(r.items.len(), 7);
-        let g = gemini_knn(&source, &db, &q, 50, &exact);
+        let g = gemini_knn(&source, &db, &q, 50, &exact).unwrap();
         assert_eq!(g.items.len(), 7);
     }
 
@@ -428,7 +433,7 @@ mod tests {
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = db.get(7).clone();
-        let r = optimal_knn(&source, &db, &q, 1, &[], &exact);
+        let r = optimal_knn(&source, &db, &q, 1, &[], &exact).unwrap();
         assert!(r.items[0].1 < 1e-12);
     }
 }

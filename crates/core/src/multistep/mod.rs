@@ -22,5 +22,7 @@ mod source;
 mod stream;
 
 pub use algorithms::{gemini_knn, linear_scan_knn, optimal_knn, range_query, QueryResult};
-pub use source::{CandidateSource, RankingCursor, RtreeSource, ScanSource, SourceCost};
+pub use source::{
+    CandidateSource, FailingSource, RankingCursor, RtreeSource, ScanSource, SourceCost,
+};
 pub use stream::{nearest_stream, NearestStream};

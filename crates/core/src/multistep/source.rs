@@ -9,6 +9,7 @@
 //! distance ranking.
 
 use crate::db::HistogramDb;
+use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
 use crate::reduce::IndexReducer;
@@ -25,6 +26,12 @@ pub struct SourceCost {
 
 /// A source of first-stage candidates ordered or selected by a filter
 /// distance that lower bounds the exact distance.
+///
+/// Sources are fallible: a source backed by persistent storage (a
+/// paged index, a memory-mapped file) can hit corruption at query time.
+/// The in-memory sources here never fail, but the engine reacts to
+/// [`PipelineError::Source`] from any source by degrading to a
+/// sequential scan (see [`crate::pipeline::QueryEngine`]).
 pub trait CandidateSource {
     /// Number of database objects behind the source.
     fn len(&self) -> usize;
@@ -39,18 +46,22 @@ pub trait CandidateSource {
 
     /// Starts an incremental ranking: candidates are produced in
     /// nondecreasing filter-distance order.
-    fn ranking<'s>(&'s self, q: &Histogram) -> Box<dyn RankingCursor + 's>;
+    fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError>;
 
     /// All objects whose filter distance from `q` is at most `epsilon`,
     /// with their filter distances, plus the work performed.
-    fn range(&self, q: &Histogram, epsilon: f64) -> (Vec<(usize, f64)>, SourceCost);
+    fn range(
+        &self,
+        q: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError>;
 }
 
 /// An in-progress incremental ranking over a [`CandidateSource`].
 pub trait RankingCursor {
     /// The next candidate `(id, filter_distance)` in nondecreasing
     /// filter-distance order, or `None` when the database is exhausted.
-    fn next(&mut self) -> Option<(usize, f64)>;
+    fn next(&mut self) -> Result<Option<(usize, f64)>, PipelineError>;
 
     /// Cumulative work performed by this cursor so far.
     fn cost(&self) -> SourceCost;
@@ -92,20 +103,24 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
         self.filter.name()
     }
 
-    fn ranking<'s>(&'s self, q: &Histogram) -> Box<dyn RankingCursor + 's> {
+    fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError> {
         let mut ranked: Vec<(usize, f64)> = self
             .db
             .iter()
             .map(|(id, h)| (id, self.filter.distance(q, h)))
             .collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-        Box::new(ScanCursor {
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ok(Box::new(ScanCursor {
             evaluations: ranked.len() as u64,
             ranked: ranked.into_iter(),
-        })
+        }))
     }
 
-    fn range(&self, q: &Histogram, epsilon: f64) -> (Vec<(usize, f64)>, SourceCost) {
+    fn range(
+        &self,
+        q: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError> {
         let mut out = Vec::new();
         for (id, h) in self.db.iter() {
             let d = self.filter.distance(q, h);
@@ -113,13 +128,13 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
                 out.push((id, d));
             }
         }
-        (
+        Ok((
             out,
             SourceCost {
                 filter_evaluations: self.db.len() as u64,
                 node_accesses: 0,
             },
-        )
+        ))
     }
 }
 
@@ -129,8 +144,8 @@ struct ScanCursor {
 }
 
 impl RankingCursor for ScanCursor {
-    fn next(&mut self) -> Option<(usize, f64)> {
-        self.ranked.next()
+    fn next(&mut self) -> Result<Option<(usize, f64)>, PipelineError> {
+        Ok(self.ranked.next())
     }
 
     fn cost(&self) -> SourceCost {
@@ -199,24 +214,30 @@ impl<'a, R: IndexReducer> CandidateSource for RtreeSource<'a, R> {
         self.reducer.name()
     }
 
-    fn ranking<'s>(&'s self, q: &Histogram) -> Box<dyn RankingCursor + 's> {
+    fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError> {
         let key = self.reducer.key(q);
-        Box::new(RtreeCursor {
+        Ok(Box::new(RtreeCursor {
             inner: self.tree.rank_by_distance_owned(key, self.metric.clone()),
-        })
+        }))
     }
 
-    fn range(&self, q: &Histogram, epsilon: f64) -> (Vec<(usize, f64)>, SourceCost) {
+    fn range(
+        &self,
+        q: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError> {
         let key = self.reducer.key(q);
         let mut stats = RtreeStats::default();
-        let hits = self.tree.range_within(&key, epsilon, &self.metric, &mut stats);
-        (
+        let hits = self
+            .tree
+            .range_within(&key, epsilon, &self.metric, &mut stats);
+        Ok((
             hits.into_iter().map(|(id, d)| (id as usize, d)).collect(),
             SourceCost {
                 filter_evaluations: stats.distance_evaluations,
                 node_accesses: stats.node_accesses,
             },
-        )
+        ))
     }
 }
 
@@ -228,8 +249,8 @@ struct RtreeCursor<'t> {
 }
 
 impl<'t> RankingCursor for RtreeCursor<'t> {
-    fn next(&mut self) -> Option<(usize, f64)> {
-        self.inner.next().map(|(id, d)| (id as usize, d))
+    fn next(&mut self) -> Result<Option<(usize, f64)>, PipelineError> {
+        Ok(self.inner.next().map(|(id, d)| (id as usize, d)))
     }
 
     fn cost(&self) -> SourceCost {
@@ -238,6 +259,92 @@ impl<'t> RankingCursor for RtreeCursor<'t> {
             filter_evaluations: stats.distance_evaluations,
             node_accesses: stats.node_accesses,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failing source (fault injection)
+// ---------------------------------------------------------------------------
+
+/// A candidate source that fails on demand — the query-layer counterpart
+/// of the storage crate's fault-injecting VFS.
+///
+/// Wraps an inner source and errors either immediately (`fail_after = 0`)
+/// or after the ranking cursor has produced `fail_after` candidates,
+/// simulating an index that goes bad mid-traversal (e.g. a corrupt page
+/// deep in a persisted R-tree). Used to test the engine's degradation
+/// path; see `QueryEngine` for the fallback contract.
+pub struct FailingSource<S> {
+    inner: S,
+    fail_after: usize,
+    reason: String,
+}
+
+impl<S: CandidateSource> FailingSource<S> {
+    /// Fails `range` immediately and `ranking` cursors after they have
+    /// produced `fail_after` candidates.
+    pub fn new(inner: S, fail_after: usize, reason: impl Into<String>) -> Self {
+        FailingSource {
+            inner,
+            fail_after,
+            reason: reason.into(),
+        }
+    }
+
+    fn error(&self) -> PipelineError {
+        PipelineError::Source {
+            stage: self.inner.name().to_string(),
+            reason: self.reason.clone(),
+        }
+    }
+}
+
+impl<S: CandidateSource> CandidateSource for FailingSource<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError> {
+        if self.fail_after == 0 {
+            return Err(self.error());
+        }
+        Ok(Box::new(FailingCursor {
+            inner: self.inner.ranking(q)?,
+            remaining: self.fail_after,
+            error: self.error(),
+        }))
+    }
+
+    fn range(
+        &self,
+        _q: &Histogram,
+        _epsilon: f64,
+    ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError> {
+        Err(self.error())
+    }
+}
+
+struct FailingCursor<'s> {
+    inner: Box<dyn RankingCursor + 's>,
+    remaining: usize,
+    error: PipelineError,
+}
+
+impl<'s> RankingCursor for FailingCursor<'s> {
+    fn next(&mut self) -> Result<Option<(usize, f64)>, PipelineError> {
+        if self.remaining == 0 {
+            return Err(self.error.clone());
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+
+    fn cost(&self) -> SourceCost {
+        self.inner.cost()
     }
 }
 
@@ -266,10 +373,10 @@ mod tests {
         let (grid, db) = setup(50);
         let source = ScanSource::new(&db, LbManhattan::new(&grid.cost_matrix()));
         let q = db.get(0).clone();
-        let mut cursor = source.ranking(&q);
+        let mut cursor = source.ranking(&q).unwrap();
         let mut prev = f64::NEG_INFINITY;
         let mut count = 0;
-        while let Some((_, d)) = cursor.next() {
+        while let Some((_, d)) = cursor.next().unwrap() {
             assert!(d >= prev);
             prev = d;
             count += 1;
@@ -285,7 +392,7 @@ mod tests {
         let source = ScanSource::new(&db, filter.clone());
         let q = db.get(3).clone();
         let eps = 0.05;
-        let (hits, cost) = source.range(&q, eps);
+        let (hits, cost) = source.range(&q, eps).unwrap();
         let expect: Vec<usize> = db
             .iter()
             .filter(|(_, h)| filter.distance(&q, h) <= eps)
@@ -304,10 +411,10 @@ mod tests {
         let q = db.get(5).clone();
 
         // Ranking must be sorted and complete.
-        let mut cursor = source.ranking(&q);
+        let mut cursor = source.ranking(&q).unwrap();
         let mut seen = Vec::new();
         let mut prev = f64::NEG_INFINITY;
-        while let Some((id, d)) = cursor.next() {
+        while let Some((id, d)) = cursor.next().unwrap() {
             assert!(d >= prev - 1e-12);
             prev = d;
             seen.push(id);
@@ -320,7 +427,7 @@ mod tests {
         let metric = reducer.metric();
         let qk = reducer.key(&q);
         let eps = 0.1;
-        let (hits, _) = source.range(&q, eps);
+        let (hits, _) = source.range(&q, eps).unwrap();
         let mut got: Vec<usize> = hits.iter().map(|(id, _)| *id).collect();
         got.sort_unstable();
         let mut expect: Vec<usize> = db
@@ -332,5 +439,27 @@ mod tests {
             .collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn failing_source_errors_as_configured() {
+        let (grid, db) = setup(20);
+        let q = db.get(0).clone();
+
+        let inner = ScanSource::new(&db, LbManhattan::new(&grid.cost_matrix()));
+        let broken = FailingSource::new(inner, 0, "injected");
+        assert!(matches!(
+            broken.ranking(&q),
+            Err(PipelineError::Source { .. })
+        ));
+        assert!(broken.range(&q, 1.0).is_err());
+
+        let inner = ScanSource::new(&db, LbManhattan::new(&grid.cost_matrix()));
+        let flaky = FailingSource::new(inner, 3, "injected");
+        let mut cursor = flaky.ranking(&q).unwrap();
+        for _ in 0..3 {
+            assert!(cursor.next().unwrap().is_some());
+        }
+        assert!(matches!(cursor.next(), Err(PipelineError::Source { .. })));
     }
 }

@@ -21,6 +21,7 @@
 
 use super::source::{CandidateSource, RankingCursor};
 use crate::db::HistogramDb;
+use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
 use crate::stats::QueryStats;
@@ -51,16 +52,17 @@ impl PartialOrd for Item {
 impl Ord for Item {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by key (BinaryHeap is a max-heap), ties by id.
-        other
-            .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
-            .then(other.id.cmp(&self.id))
+        // total_cmp keeps the comparator a total order even if a NaN
+        // distance ever slips in (a filter bug must not corrupt the heap).
+        other.key.total_cmp(&self.key).then(other.id.cmp(&self.id))
     }
 }
 
 /// A lazy stream of `(object id, exact distance)` pairs in nondecreasing
 /// exact-distance order. Create with [`nearest_stream`].
+///
+/// Items are `Result`s: a source or solver failure mid-iteration is
+/// yielded once as an `Err`, after which the stream is exhausted.
 pub struct NearestStream<'a> {
     db: &'a HistogramDb,
     q: &'a Histogram,
@@ -69,6 +71,8 @@ pub struct NearestStream<'a> {
     /// The cursor item read but not yet enqueued.
     pending: Option<(usize, f64)>,
     source_exhausted: bool,
+    /// Set after yielding an `Err`; the stream then terminates.
+    failed: bool,
     intermediates: Vec<&'a dyn DistanceMeasure>,
     exact: &'a dyn DistanceMeasure,
     heap: BinaryHeap<Item>,
@@ -77,20 +81,25 @@ pub struct NearestStream<'a> {
 
 /// Starts an incremental exact-distance ranking of the database around
 /// `q`. See the module docs for the algorithm and its guarantee.
+///
+/// Errors if the candidate source cannot start a ranking (e.g. a corrupt
+/// index); failures after the stream has started are yielded as `Err`
+/// items instead.
 pub fn nearest_stream<'a>(
     source: &'a dyn CandidateSource,
     db: &'a HistogramDb,
     q: &'a Histogram,
     intermediates: Vec<&'a dyn DistanceMeasure>,
     exact: &'a dyn DistanceMeasure,
-) -> NearestStream<'a> {
-    NearestStream {
+) -> Result<NearestStream<'a>, PipelineError> {
+    Ok(NearestStream {
         db,
         q,
         source_name: source.name().to_string(),
-        cursor: source.ranking(q),
+        cursor: source.ranking(q)?,
         pending: None,
         source_exhausted: false,
+        failed: false,
         intermediates,
         exact,
         heap: BinaryHeap::new(),
@@ -98,7 +107,7 @@ pub fn nearest_stream<'a>(
             db_size: db.len(),
             ..Default::default()
         },
-    }
+    })
 }
 
 impl<'a> NearestStream<'a> {
@@ -114,21 +123,23 @@ impl<'a> NearestStream<'a> {
 
     /// Feeds cursor items into the heap while their filter distance does
     /// not exceed the current heap top (they could beat it otherwise).
-    fn feed(&mut self) {
+    fn feed(&mut self) -> Result<(), PipelineError> {
         loop {
             if self.pending.is_none() && !self.source_exhausted {
-                self.pending = self.cursor.next();
+                self.pending = self.cursor.next()?;
                 if self.pending.is_none() {
                     self.source_exhausted = true;
                 }
             }
-            let Some((id, fd)) = self.pending else { return };
+            let Some((id, fd)) = self.pending else {
+                return Ok(());
+            };
             let must_enqueue = match self.heap.peek() {
                 None => true,
                 Some(top) => fd <= top.key,
             };
             if !must_enqueue {
-                return;
+                return Ok(());
             }
             self.heap.push(Item {
                 key: fd,
@@ -141,16 +152,22 @@ impl<'a> NearestStream<'a> {
 }
 
 impl<'a> Iterator for NearestStream<'a> {
-    type Item = (usize, f64);
+    type Item = Result<(usize, f64), PipelineError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
         loop {
-            self.feed();
+            if let Err(e) = self.feed() {
+                self.failed = true;
+                return Some(Err(e));
+            }
             let item = self.heap.pop()?;
             let exact_level = self.intermediates.len() + 1;
             if item.level == exact_level {
                 self.stats.results += 1;
-                return Some((item.id, item.key));
+                return Some(Ok((item.id, item.key)));
             }
             // Escalate one bound level. Levels 1..=len are the
             // intermediates; the final level is the exact distance.
@@ -162,7 +179,13 @@ impl<'a> Iterator for NearestStream<'a> {
                 (filter.distance(self.q, h).max(item.key), item.level + 1)
             } else {
                 self.stats.exact_evaluations += 1;
-                (self.exact.distance(self.q, h), exact_level)
+                match self.exact.try_distance(self.q, h) {
+                    Ok(d) => (d, exact_level),
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
             };
             self.heap.push(Item {
                 key: new_key,
@@ -204,8 +227,8 @@ mod tests {
         let im = LbIm::new(&cost);
         let q = random_histogram(&mut StdRng::seed_from_u64(999), grid.num_bins());
 
-        let stream = nearest_stream(&source, &db, &q, vec![&im], &exact);
-        let got: Vec<(usize, f64)> = stream.collect();
+        let stream = nearest_stream(&source, &db, &q, vec![&im], &exact).unwrap();
+        let got: Vec<(usize, f64)> = stream.map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), db.len());
         // Nondecreasing and matching the brute-force distances.
         let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
@@ -222,9 +245,9 @@ mod tests {
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = random_histogram(&mut StdRng::seed_from_u64(1000), grid.num_bins());
-        let knn = super::super::optimal_knn(&source, &db, &q, 7, &[], &exact);
-        let stream = nearest_stream(&source, &db, &q, vec![], &exact);
-        let prefix: Vec<(usize, f64)> = stream.take(7).collect();
+        let knn = super::super::optimal_knn(&source, &db, &q, 7, &[], &exact).unwrap();
+        let stream = nearest_stream(&source, &db, &q, vec![], &exact).unwrap();
+        let prefix: Vec<(usize, f64)> = stream.take(7).map(|r| r.unwrap()).collect();
         for ((_, a), (_, b)) in prefix.iter().zip(&knn.items) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -239,7 +262,7 @@ mod tests {
         let im = LbIm::new(&cost);
         let q = random_histogram(&mut StdRng::seed_from_u64(1001), grid.num_bins());
 
-        let mut stream = nearest_stream(&source, &db, &q, vec![&im], &exact);
+        let mut stream = nearest_stream(&source, &db, &q, vec![&im], &exact).unwrap();
         for _ in 0..5 {
             stream.next();
         }
@@ -259,8 +282,8 @@ mod tests {
         let im = LbIm::new(&cost);
         let source = RtreeSource::build(&db, AvgReducer::new(grid.centroids().to_vec()));
         let q = random_histogram(&mut StdRng::seed_from_u64(1002), grid.num_bins());
-        let stream = nearest_stream(&source, &db, &q, vec![&im], &exact);
-        let got: Vec<f64> = stream.map(|(_, d)| d).collect();
+        let stream = nearest_stream(&source, &db, &q, vec![&im], &exact).unwrap();
+        let got: Vec<f64> = stream.map(|r| r.unwrap().1).collect();
         let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(got.len(), brute.len());
@@ -277,7 +300,28 @@ mod tests {
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let q = random_histogram(&mut StdRng::seed_from_u64(1), grid.num_bins());
-        let mut stream = nearest_stream(&source, &db, &q, vec![], &exact);
+        let mut stream = nearest_stream(&source, &db, &q, vec![], &exact).unwrap();
         assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn mid_stream_failure_yields_one_error_then_ends() {
+        use super::super::source::FailingSource;
+        let (grid, db) = setup(30, 25);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let inner = ScanSource::new(&db, LbManhattan::new(&cost));
+        let source = FailingSource::new(inner, 4, "simulated index corruption");
+        let q = random_histogram(&mut StdRng::seed_from_u64(1003), grid.num_bins());
+        let mut stream = nearest_stream(&source, &db, &q, vec![], &exact).unwrap();
+        let mut saw_err = false;
+        for item in stream.by_ref() {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "the injected failure must surface as an Err item");
+        assert!(stream.next().is_none(), "a failed stream terminates");
     }
 }

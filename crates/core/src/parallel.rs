@@ -44,6 +44,8 @@ pub fn scan_distances(
             });
         }
     })
+    // Intentional panic: a worker panic means the measure itself
+    // panicked (a bug, not a query-time condition) — propagate it.
     .expect("scan worker panicked");
     out
 }
@@ -77,7 +79,7 @@ pub fn scan_knn(
         .into_iter()
         .enumerate()
         .collect();
-    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     all.truncate(k);
     all
 }
@@ -88,22 +90,24 @@ pub fn scan_knn(
 /// The engine is shared immutably — index structures are read-only after
 /// construction — so a retrieval service can saturate all cores on a
 /// query stream without duplicating the database or the index. Results
-/// come back in input order.
+/// come back in input order; the first query error (after the engine's
+/// own degradation handling) fails the batch.
 pub fn batch_knn(
     engine: &crate::pipeline::QueryEngine<'_>,
     queries: &[Histogram],
     k: usize,
     threads: usize,
-) -> Vec<crate::multistep::QueryResult> {
+) -> Result<Vec<crate::multistep::QueryResult>, crate::error::PipelineError> {
     let n = queries.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let threads = threads.max(1).min(n);
     if threads == 1 {
         return queries.iter().map(|q| engine.knn(q, k)).collect();
     }
-    let mut out: Vec<Option<crate::multistep::QueryResult>> = (0..n).map(|_| None).collect();
+    type Slot = Option<Result<crate::multistep::QueryResult, crate::error::PipelineError>>;
+    let mut out: Vec<Slot> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         for (worker, slice) in out.chunks_mut(chunk).enumerate() {
@@ -115,6 +119,8 @@ pub fn batch_knn(
             });
         }
     })
+    // Intentional panic: a worker panic is a bug in the measure itself,
+    // not a recoverable query failure — propagate it.
     .expect("batch worker panicked");
     out.into_iter()
         .map(|r| r.expect("every slot is filled by a worker"))
@@ -214,9 +220,9 @@ mod batch_tests {
         let queries: Vec<Histogram> = (0..9)
             .map(|_| random_histogram(&mut rng, grid.num_bins()))
             .collect();
-        let sequential = batch_knn(&engine, &queries, 5, 1);
+        let sequential = batch_knn(&engine, &queries, 5, 1).unwrap();
         for threads in [2, 4, 16] {
-            let parallel = batch_knn(&engine, &queries, 5, threads);
+            let parallel = batch_knn(&engine, &queries, 5, threads).unwrap();
             assert_eq!(parallel.len(), sequential.len());
             for (p, s) in parallel.iter().zip(&sequential) {
                 let pd: Vec<f64> = p.items.iter().map(|(_, d)| *d).collect();
@@ -235,6 +241,6 @@ mod batch_tests {
         let mut db = HistogramDb::new(grid.num_bins());
         db.push(random_histogram(&mut StdRng::seed_from_u64(1), 8));
         let engine = QueryEngine::builder(&db, &grid).build();
-        assert!(batch_knn(&engine, &[], 5, 4).is_empty());
+        assert!(batch_knn(&engine, &[], 5, 4).unwrap().is_empty());
     }
 }

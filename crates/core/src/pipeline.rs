@@ -15,6 +15,7 @@
 //! experiments compare.
 
 use crate::db::HistogramDb;
+use crate::error::PipelineError;
 use crate::ground::BinGrid;
 use crate::histogram::Histogram;
 use crate::lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbIm, LbManhattan};
@@ -60,6 +61,9 @@ enum Stage<'a> {
     ManScan(ScanSource<'a, LbManhattan>),
     AvgScan(ScanSource<'a, LbAvg>),
     ImScan(ScanSource<'a, LbIm>),
+    /// A caller-supplied source (e.g. a persisted index, or a
+    /// fault-injecting wrapper in tests).
+    Custom(Box<dyn CandidateSource + Send + Sync + 'a>),
 }
 
 impl<'a> Stage<'a> {
@@ -70,6 +74,7 @@ impl<'a> Stage<'a> {
             Stage::ManScan(s) => s,
             Stage::AvgScan(s) => s,
             Stage::ImScan(s) => s,
+            Stage::Custom(s) => s.as_ref(),
         }
     }
 }
@@ -79,6 +84,7 @@ pub struct EngineBuilder<'a> {
     db: &'a HistogramDb,
     grid: &'a BinGrid,
     first_stage: FirstStage,
+    custom_source: Option<Box<dyn CandidateSource + Send + Sync + 'a>>,
     use_im: bool,
     algorithm: KnnAlgorithm,
 }
@@ -103,6 +109,20 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
+    /// Supplies the first stage directly instead of building one of the
+    /// predefined configurations — e.g. a source backed by a persisted
+    /// index, or a fault-injecting wrapper in robustness tests. Takes
+    /// precedence over [`EngineBuilder::first_stage`].
+    ///
+    /// The source's filter distance must lower bound the EMD or query
+    /// results become incomplete. If the source fails at query time the
+    /// engine degrades to a sequential scan, exactly as for the built-in
+    /// index stages.
+    pub fn custom_source(mut self, source: Box<dyn CandidateSource + Send + Sync + 'a>) -> Self {
+        self.custom_source = Some(source);
+        self
+    }
+
     /// Builds the engine: derives the cost matrix and filter weights from
     /// the grid, reduces keys, and bulk-loads the index if one was chosen.
     pub fn build(self) -> QueryEngine<'a> {
@@ -114,29 +134,38 @@ impl<'a> EngineBuilder<'a> {
         );
         let exact = ExactEmd::new(cost.clone());
         let im = self.use_im.then(|| LbIm::new(&cost));
-        let stage = match self.first_stage {
-            FirstStage::AvgIndex => Stage::AvgIndex(RtreeSource::build(
-                self.db,
-                AvgReducer::new(self.grid.centroids().to_vec()),
-            )),
-            FirstStage::ManhattanIndex { dims } => Stage::ManIndex(RtreeSource::build(
-                self.db,
-                ManhattanReducer::from_db(self.db, &cost, dims),
-            )),
-            FirstStage::ManhattanScan => {
-                Stage::ManScan(ScanSource::new(self.db, LbManhattan::new(&cost)))
+        let stage = if let Some(source) = self.custom_source {
+            Stage::Custom(source)
+        } else {
+            match self.first_stage {
+                FirstStage::AvgIndex => Stage::AvgIndex(RtreeSource::build(
+                    self.db,
+                    AvgReducer::new(self.grid.centroids().to_vec()),
+                )),
+                FirstStage::ManhattanIndex { dims } => Stage::ManIndex(RtreeSource::build(
+                    self.db,
+                    ManhattanReducer::from_db(self.db, &cost, dims),
+                )),
+                FirstStage::ManhattanScan => {
+                    Stage::ManScan(ScanSource::new(self.db, LbManhattan::new(&cost)))
+                }
+                FirstStage::AvgScan => Stage::AvgScan(ScanSource::new(
+                    self.db,
+                    LbAvg::new(self.grid.centroids().to_vec()),
+                )),
+                FirstStage::ImScan => Stage::ImScan(ScanSource::new(self.db, LbIm::new(&cost))),
             }
-            FirstStage::AvgScan => Stage::AvgScan(ScanSource::new(
-                self.db,
-                LbAvg::new(self.grid.centroids().to_vec()),
-            )),
-            FirstStage::ImScan => Stage::ImScan(ScanSource::new(self.db, LbIm::new(&cost))),
         };
+        // Degradation target: a plain sequential scan over the weighted
+        // Manhattan bound. It shares no machinery with the index stages,
+        // so an index failure cannot take it down too.
+        let fallback = ScanSource::new(self.db, LbManhattan::new(&cost));
         QueryEngine {
             db: self.db,
             exact,
             im,
             stage,
+            fallback,
             algorithm: self.algorithm,
         }
     }
@@ -146,11 +175,25 @@ impl<'a> EngineBuilder<'a> {
 ///
 /// See the crate-level example for typical usage. Engines borrow the
 /// database; build once, query many times.
+///
+/// # Graceful degradation
+///
+/// Queries return `Result`s instead of panicking. When the first-stage
+/// candidate source fails ([`PipelineError::Source`] — e.g. a corrupt
+/// persisted index), the engine transparently re-runs the query on a
+/// sequential-scan source and records the event in
+/// [`crate::stats::QueryStats::degradations`]; results stay exact because
+/// the fallback filter is also a lower bound of the EMD. Exact-distance
+/// failures are first retried internally through the solver recovery
+/// ladder (see [`ExactEmd`]) and only surface as
+/// [`PipelineError::Distance`] when the ladder is exhausted.
 pub struct QueryEngine<'a> {
     db: &'a HistogramDb,
     exact: ExactEmd,
     im: Option<LbIm>,
     stage: Stage<'a>,
+    /// Sequential-scan source used when `stage` fails at query time.
+    fallback: ScanSource<'a, LbManhattan>,
     algorithm: KnnAlgorithm,
 }
 
@@ -162,6 +205,7 @@ impl<'a> QueryEngine<'a> {
             db,
             grid,
             first_stage: FirstStage::AvgIndex,
+            custom_source: None,
             use_im: true,
             algorithm: KnnAlgorithm::Optimal,
         }
@@ -181,9 +225,12 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// k-nearest-neighbor query with the configured pipeline.
-    pub fn knn(&self, q: &Histogram, k: usize) -> QueryResult {
-        let source = self.stage.as_source();
+    fn knn_on(
+        &self,
+        source: &dyn CandidateSource,
+        q: &Histogram,
+        k: usize,
+    ) -> Result<QueryResult, PipelineError> {
         match self.algorithm {
             KnnAlgorithm::Optimal => {
                 optimal_knn(source, self.db, q, k, &self.intermediates(), &self.exact)
@@ -192,33 +239,82 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// Annotates a fallback result with the degradation that caused it.
+    fn record_degradation(result: &mut QueryResult, stage: &str, reason: &str) {
+        result.stats.degradations.push(format!(
+            "first stage '{stage}' failed ({reason}); degraded to sequential scan"
+        ));
+    }
+
+    /// k-nearest-neighbor query with the configured pipeline.
+    ///
+    /// On a first-stage source failure the query is transparently re-run
+    /// on a sequential scan (see the type docs); only exact-distance
+    /// failures that survive the solver recovery ladder surface as errors.
+    pub fn knn(&self, q: &Histogram, k: usize) -> Result<QueryResult, PipelineError> {
+        match self.knn_on(self.stage.as_source(), q, k) {
+            Err(PipelineError::Source { stage, reason }) => {
+                let mut result = self.knn_on(&self.fallback, q, k)?;
+                Self::record_degradation(&mut result, &stage, &reason);
+                Ok(result)
+            }
+            other => other,
+        }
+    }
+
     /// Incremental ranking query: a lazy stream of `(id, exact distance)`
     /// in nondecreasing distance order, refining only as much as the
     /// consumed prefix requires. The streaming counterpart of
     /// [`QueryEngine::knn`] when `k` is not known up front.
+    ///
+    /// If the configured first stage cannot start a ranking, the stream
+    /// is opened over the sequential-scan fallback instead. A failure
+    /// *mid*-stream is yielded as one `Err` item, after which the stream
+    /// ends — callers wanting automatic recovery there should fall back
+    /// to [`QueryEngine::knn`] with the count consumed so far.
     pub fn nearest_stream<'q>(
         &'q self,
         q: &'q Histogram,
-    ) -> crate::multistep::NearestStream<'q> {
-        crate::multistep::nearest_stream(
+    ) -> Result<crate::multistep::NearestStream<'q>, PipelineError> {
+        match crate::multistep::nearest_stream(
             self.stage.as_source(),
             self.db,
             q,
             self.intermediates(),
             &self.exact,
-        )
+        ) {
+            Err(PipelineError::Source { .. }) => crate::multistep::nearest_stream(
+                &self.fallback,
+                self.db,
+                q,
+                self.intermediates(),
+                &self.exact,
+            ),
+            other => other,
+        }
     }
 
-    /// ε-range query with the configured pipeline.
-    pub fn range(&self, q: &Histogram, epsilon: f64) -> QueryResult {
-        range_query(
-            self.stage.as_source(),
-            self.db,
-            q,
-            epsilon,
-            &self.intermediates(),
-            &self.exact,
-        )
+    /// ε-range query with the configured pipeline. Degrades to a
+    /// sequential scan on first-stage failure, like [`QueryEngine::knn`].
+    pub fn range(&self, q: &Histogram, epsilon: f64) -> Result<QueryResult, PipelineError> {
+        let run = |source: &dyn CandidateSource| {
+            range_query(
+                source,
+                self.db,
+                q,
+                epsilon,
+                &self.intermediates(),
+                &self.exact,
+            )
+        };
+        match run(self.stage.as_source()) {
+            Err(PipelineError::Source { stage, reason }) => {
+                let mut result = run(&self.fallback)?;
+                Self::record_degradation(&mut result, &stage, &reason);
+                Ok(result)
+            }
+            other => other,
+        }
     }
 }
 
@@ -245,7 +341,7 @@ mod tests {
         let (grid, db) = setup(60);
         let q = random_histogram(&mut StdRng::seed_from_u64(1), grid.num_bins());
         let exact = ExactEmd::new(grid.cost_matrix());
-        let brute = linear_scan_knn(&db, &q, 5, &exact);
+        let brute = linear_scan_knn(&db, &q, 5, &exact).unwrap();
         let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
 
         let stages = [
@@ -263,7 +359,7 @@ mod tests {
                         .lb_im(use_im)
                         .algorithm(alg)
                         .build();
-                    let r = engine.knn(&q, 5);
+                    let r = engine.knn(&q, 5).unwrap();
                     let rd: Vec<f64> = r.items.iter().map(|(_, d)| *d).collect();
                     assert_eq!(rd.len(), bd.len(), "{stage:?} im={use_im} {alg:?}");
                     for (a, b) in rd.iter().zip(&bd) {
@@ -291,7 +387,7 @@ mod tests {
         expect.sort_unstable();
         for stage in [FirstStage::AvgIndex, FirstStage::ManhattanIndex { dims: 3 }] {
             let engine = QueryEngine::builder(&db, &grid).first_stage(stage).build();
-            let r = engine.range(&q, eps);
+            let r = engine.range(&q, eps).unwrap();
             let mut got: Vec<usize> = r.items.iter().map(|(id, _)| *id).collect();
             got.sort_unstable();
             assert_eq!(got, expect, "{stage:?}");
@@ -304,9 +400,127 @@ mod tests {
         let q = random_histogram(&mut StdRng::seed_from_u64(3), grid.num_bins());
         let with_im = QueryEngine::builder(&db, &grid).lb_im(true).build();
         let without_im = QueryEngine::builder(&db, &grid).lb_im(false).build();
-        let a = with_im.knn(&q, 10);
-        let b = without_im.knn(&q, 10);
+        let a = with_im.knn(&q, 10).unwrap();
+        let b = without_im.knn(&q, 10).unwrap();
         assert!(a.stats.exact_evaluations <= b.stats.exact_evaluations);
+    }
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::multistep::{linear_scan_knn, FailingSource, ScanSource};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(count: usize) -> (BinGrid, HistogramDb) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(31337);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        (grid, db)
+    }
+
+    /// Acceptance test from the issue: when the index stage errors, the
+    /// engine's k-NN answer comes back correct via the scan fallback.
+    #[test]
+    fn knn_is_correct_via_scan_fallback_when_index_stage_errors() {
+        let (grid, db) = setup(80);
+        let cost = grid.cost_matrix();
+        let q = random_histogram(&mut StdRng::seed_from_u64(7), grid.num_bins());
+        let exact = ExactEmd::new(cost.clone());
+        let brute = linear_scan_knn(&db, &q, 5, &exact).unwrap();
+
+        // Fail at different depths: immediately, and mid-traversal.
+        for fail_after in [0usize, 1, 7] {
+            let broken = FailingSource::new(
+                ScanSource::new(&db, LbManhattan::new(&cost)),
+                fail_after,
+                "simulated corrupt index page",
+            );
+            let engine = QueryEngine::builder(&db, &grid)
+                .custom_source(Box::new(broken))
+                .build();
+            let r = engine.knn(&q, 5).expect("fallback must answer the query");
+            assert_eq!(r.items.len(), brute.items.len(), "fail_after={fail_after}");
+            for ((_, a), (_, b)) in r.items.iter().zip(&brute.items) {
+                assert!((a - b).abs() < 1e-9, "fail_after={fail_after}");
+            }
+            assert_eq!(
+                r.stats.degradations.len(),
+                1,
+                "fallback must be recorded in stats"
+            );
+            assert!(r.stats.degradations[0].contains("simulated corrupt index page"));
+        }
+    }
+
+    #[test]
+    fn range_degrades_to_scan_and_stays_exact() {
+        let (grid, db) = setup(60);
+        let cost = grid.cost_matrix();
+        let q = random_histogram(&mut StdRng::seed_from_u64(8), grid.num_bins());
+        let exact = ExactEmd::new(cost.clone());
+        let eps = 0.1;
+        let mut expect: Vec<usize> = db
+            .iter()
+            .filter(|(_, h)| exact.distance(&q, h) <= eps)
+            .map(|(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+
+        let broken = FailingSource::new(
+            ScanSource::new(&db, LbManhattan::new(&cost)),
+            0,
+            "index unavailable",
+        );
+        let engine = QueryEngine::builder(&db, &grid)
+            .custom_source(Box::new(broken))
+            .build();
+        let r = engine.range(&q, eps).unwrap();
+        let mut got: Vec<usize> = r.items.iter().map(|(id, _)| *id).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(r.stats.degradations.len(), 1);
+    }
+
+    #[test]
+    fn stream_opens_over_fallback_when_index_is_down() {
+        let (grid, db) = setup(40);
+        let cost = grid.cost_matrix();
+        let q = random_histogram(&mut StdRng::seed_from_u64(9), grid.num_bins());
+        let exact = ExactEmd::new(cost.clone());
+        let brute = linear_scan_knn(&db, &q, 4, &exact).unwrap();
+
+        let broken = FailingSource::new(
+            ScanSource::new(&db, LbManhattan::new(&cost)),
+            0,
+            "index unavailable",
+        );
+        let engine = QueryEngine::builder(&db, &grid)
+            .custom_source(Box::new(broken))
+            .build();
+        let prefix: Vec<(usize, f64)> = engine
+            .nearest_stream(&q)
+            .expect("stream must open over the fallback")
+            .take(4)
+            .map(|r| r.unwrap())
+            .collect();
+        for ((_, a), (_, b)) in prefix.iter().zip(&brute.items) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn healthy_engine_records_no_degradation() {
+        let (grid, db) = setup(30);
+        let q = random_histogram(&mut StdRng::seed_from_u64(10), grid.num_bins());
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let r = engine.knn(&q, 3).unwrap();
+        assert!(r.stats.degradations.is_empty());
     }
 }
 
@@ -327,8 +541,13 @@ mod stream_tests {
         }
         let engine = QueryEngine::builder(&db, &grid).build();
         let q = random_histogram(&mut rng, grid.num_bins());
-        let knn = engine.knn(&q, 6);
-        let prefix: Vec<(usize, f64)> = engine.nearest_stream(&q).take(6).collect();
+        let knn = engine.knn(&q, 6).unwrap();
+        let prefix: Vec<(usize, f64)> = engine
+            .nearest_stream(&q)
+            .unwrap()
+            .take(6)
+            .map(|r| r.unwrap())
+            .collect();
         for ((_, a), (_, b)) in prefix.iter().zip(&knn.items) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -34,7 +34,10 @@ impl fmt::Display for QuadraticFormError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuadraticFormError::WrongLength { expected, actual } => {
-                write!(f, "similarity buffer has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "similarity buffer has length {actual}, expected {expected}"
+                )
             }
             QuadraticFormError::NonFinite { row, col } => {
                 write!(f, "similarity ({row},{col}) is non-finite")

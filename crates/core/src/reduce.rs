@@ -106,12 +106,7 @@ impl ManhattanReducer {
     pub fn from_variances(variances: &[f64], cost: &CostMatrix, k: usize) -> Self {
         assert_eq!(variances.len(), cost.len(), "variance arity mismatch");
         let mut order: Vec<usize> = (0..variances.len()).collect();
-        order.sort_by(|&a, &b| {
-            variances[b]
-                .partial_cmp(&variances[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| variances[b].total_cmp(&variances[a]).then(a.cmp(&b)));
         let selected: Vec<usize> = order.into_iter().take(k).collect();
         let min_costs = min_off_diagonal_costs(cost);
         let scales = selected.iter().map(|&i| min_costs[i] / 2.0).collect();

@@ -29,6 +29,11 @@ pub struct QueryStats {
     pub results: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Degradation events recorded while answering the query — e.g. the
+    /// index first stage failed and the engine fell back to a sequential
+    /// scan. Empty for a healthy execution; results remain exact either
+    /// way (the fallback filter is also a lower bound).
+    pub degradations: Vec<String>,
 }
 
 impl QueryStats {
@@ -67,6 +72,7 @@ impl QueryStats {
         self.exact_evaluations += other.exact_evaluations;
         self.results += other.results;
         self.elapsed += other.elapsed;
+        self.degradations.extend(other.degradations.iter().cloned());
     }
 }
 

@@ -50,7 +50,10 @@ impl fmt::Display for StorageError {
             StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             StorageError::Truncated => write!(f, "file is truncated"),
             StorageError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
             }
             StorageError::InvalidData(msg) => write!(f, "invalid payload: {msg}"),
         }
@@ -164,7 +167,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }

@@ -46,10 +46,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Clu
     // squared distance from the nearest chosen center.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut dist2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dist2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
@@ -144,11 +141,7 @@ pub fn color_signature(img: &Image, k: usize, seed: u64) -> Signature {
         .collect();
     let clustering = kmeans(&points, k, 25, seed);
     let total = img.len() as f64;
-    let weights = clustering
-        .sizes
-        .iter()
-        .map(|&s| s as f64 / total)
-        .collect();
+    let weights = clustering.sizes.iter().map(|&s| s as f64 / total).collect();
     Signature::new(clustering.centroids, weights).expect("kmeans output is well-formed")
 }
 
@@ -196,7 +189,9 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect();
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
         let a = kmeans(&points, 3, 20, 42);
         let b = kmeans(&points, 3, 20, 42);
         assert_eq!(a.centroids, b.centroids);

@@ -328,8 +328,7 @@ mod tests {
         let corpus = SyntheticCorpus::new(CorpusConfig::default().with_classes(5));
         assert_eq!(corpus.class_of(0), 0);
         assert_eq!(corpus.class_of(7), 2);
-        let (_, classes) =
-            corpus.build_database_with_classes(&BinGrid::new(vec![2, 2, 2]), 10);
+        let (_, classes) = corpus.build_database_with_classes(&BinGrid::new(vec![2, 2, 2]), 10);
         assert_eq!(classes, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
     }
 

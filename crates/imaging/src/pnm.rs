@@ -87,7 +87,9 @@ pub fn decode_ppm(bytes: &[u8]) -> Result<Image, PnmError> {
         return Err(PnmError::UnsupportedMaxval(maxval));
     }
     let need = width * height * 3;
-    let data = bytes.get(offset..offset + need).ok_or(PnmError::Truncated)?;
+    let data = bytes
+        .get(offset..offset + need)
+        .ok_or(PnmError::Truncated)?;
     let pixels = data
         .chunks_exact(3)
         .map(|c| Rgb::from_u8(c[0], c[1], c[2]))
@@ -105,7 +107,9 @@ pub fn decode_pgm(bytes: &[u8]) -> Result<(usize, usize, Vec<f64>), PnmError> {
         return Err(PnmError::UnsupportedMaxval(maxval));
     }
     let need = width * height;
-    let data = bytes.get(offset..offset + need).ok_or(PnmError::Truncated)?;
+    let data = bytes
+        .get(offset..offset + need)
+        .ok_or(PnmError::Truncated)?;
     Ok((
         width,
         height,
@@ -180,7 +184,9 @@ fn parse_header(bytes: &[u8]) -> Result<([u8; 2], usize, usize, u32, usize), Pnm
     }
     // Exactly one whitespace byte separates maxval from the payload.
     if !bytes.get(pos).is_some_and(|b| b.is_ascii_whitespace()) {
-        return Err(PnmError::BadHeader("missing separator before payload".into()));
+        return Err(PnmError::BadHeader(
+            "missing separator before payload".into(),
+        ));
     }
     pos += 1;
     let (w, h, maxval) = (fields[0], fields[1], fields[2] as u32);
@@ -226,7 +232,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(decode_ppm(b"P3\n1 1\n255\n"), Err(PnmError::BadMagic)));
+        assert!(matches!(
+            decode_ppm(b"P3\n1 1\n255\n"),
+            Err(PnmError::BadMagic)
+        ));
         assert!(matches!(decode_ppm(b"X"), Err(PnmError::BadMagic)));
         // P5 payload fed to the P6 decoder.
         let pgm = encode_pgm(1, 1, &[0.5]);

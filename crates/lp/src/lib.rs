@@ -176,7 +176,9 @@ impl Problem {
     /// Validates structural consistency (arity, finiteness).
     pub fn validate(&self) -> Result<(), LpError> {
         if self.objective.iter().any(|c| !c.is_finite()) {
-            return Err(LpError::Malformed("non-finite objective coefficient".into()));
+            return Err(LpError::Malformed(
+                "non-finite objective coefficient".into(),
+            ));
         }
         for (idx, c) in self.constraints.iter().enumerate() {
             if c.coeffs.len() != self.objective.len() {

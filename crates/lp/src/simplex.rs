@@ -10,14 +10,12 @@ use crate::tableau::Tableau;
 use crate::{LpError, Problem, Relation, Sense, Solution, EPS};
 
 /// Tuning knobs for [`solve`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
     /// Hard cap on the total number of pivots across both phases.
     /// `None` derives a generous default from the problem size.
     pub max_pivots: Option<usize>,
 }
-
 
 /// Solves a linear [`Problem`] with the two-phase primal simplex method.
 ///
@@ -57,7 +55,11 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
 
     for (r, c) in problem.constraints.iter().enumerate() {
         let sign = if c.rhs < 0.0 { -1.0 } else { 1.0 };
-        let rel = if sign < 0.0 { flip(c.relation) } else { c.relation };
+        let rel = if sign < 0.0 {
+            flip(c.relation)
+        } else {
+            c.relation
+        };
         for (j, &coef) in c.coeffs.iter().enumerate() {
             t.set(r, j, sign * coef);
         }
@@ -131,13 +133,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
         };
     }
     t.install_objective(&phase2_costs);
-    run_phase(
-        &mut t,
-        cols,
-        max_pivots,
-        &mut pivots,
-        Some(artificial_base),
-    )?;
+    run_phase(&mut t, cols, max_pivots, &mut pivots, Some(artificial_base))?;
 
     let all = t.basic_solution();
     let variables = all[..n].to_vec();

@@ -239,10 +239,7 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
     /// entries and partitions by nearest promoted object (generalized
     /// hyperplane), then returns both halves with their covering radii.
     #[allow(clippy::type_complexity)]
-    fn maybe_split(
-        &mut self,
-        node: usize,
-    ) -> Option<(((T, f64), Node<T>), ((T, f64), Node<T>))> {
+    fn maybe_split(&mut self, node: usize) -> Option<(((T, f64), Node<T>), ((T, f64), Node<T>))> {
         match &self.nodes[node] {
             Node::Leaf(entries) if entries.len() > NODE_CAPACITY => {
                 let objects: Vec<T> = entries.iter().map(|e| e.object.clone()).collect();
@@ -273,7 +270,8 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
             }
             _ => {
                 // Internal overflow handled here; anything else is fine.
-                let overflow = matches!(&self.nodes[node], Node::Internal(e) if e.len() > NODE_CAPACITY);
+                let overflow =
+                    matches!(&self.nodes[node], Node::Internal(e) if e.len() > NODE_CAPACITY);
                 if !overflow {
                     return None;
                 }
@@ -351,12 +349,7 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
                 right_count += 1;
             }
         }
-        (
-            objects[a].clone(),
-            objects[b].clone(),
-            assignment,
-            dists,
-        )
+        (objects[a].clone(), objects[b].clone(), assignment, dists)
     }
 
     /// Range query: all stored objects within `epsilon` of `q`, with
@@ -371,7 +364,14 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
         (out, self.evaluations.get() - before)
     }
 
-    fn range_rec(&self, node: usize, q: &T, epsilon: f64, parent_dist: f64, out: &mut Vec<(T, f64)>) {
+    fn range_rec(
+        &self,
+        node: usize,
+        q: &T,
+        epsilon: f64,
+        parent_dist: f64,
+        out: &mut Vec<(T, f64)>,
+    ) {
         match &self.nodes[node] {
             Node::Leaf(entries) => {
                 for e in entries {
@@ -489,6 +489,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    #[allow(clippy::ptr_arg)] // MTree is instantiated with T = Vec<f64>.
     fn l2(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
         a.iter()
             .zip(b)

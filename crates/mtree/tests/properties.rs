@@ -1,3 +1,5 @@
+#![allow(clippy::ptr_arg)] // MTree is instantiated with T = Vec<f64>; metric fns must match.
+
 //! Property tests: the M-tree must return exactly the linear-scan result
 //! for any point set and any query, under multiple metrics.
 

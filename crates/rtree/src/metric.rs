@@ -90,10 +90,7 @@ impl WeightedLp {
     #[inline]
     fn accumulate(&self, diffs: impl Iterator<Item = f64>) -> f64 {
         match self.kind {
-            LpKind::L1 => diffs
-                .zip(&self.weights)
-                .map(|(d, w)| w * d.abs())
-                .sum(),
+            LpKind::L1 => diffs.zip(&self.weights).map(|(d, w)| w * d.abs()).sum(),
             LpKind::L2 => diffs
                 .zip(&self.weights)
                 .map(|(d, w)| {

@@ -80,11 +80,7 @@ impl Rect {
 
     /// Hypervolume (product of side lengths). Zero for degenerate rects.
     pub fn area(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// Sum of side lengths — a robust size proxy when areas collapse to

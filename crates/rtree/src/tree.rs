@@ -483,7 +483,8 @@ fn quadratic_split(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize
         let mut pick_pos = 0;
         let mut pick_pref = f64::NEG_INFINITY;
         for (pos, &i) in remaining.iter().enumerate() {
-            let dl = left_rect.enlargement(&rects[i]) + 1e-9 * left_rect.margin_enlargement(&rects[i]);
+            let dl =
+                left_rect.enlargement(&rects[i]) + 1e-9 * left_rect.margin_enlargement(&rects[i]);
             let dr =
                 right_rect.enlargement(&rects[i]) + 1e-9 * right_rect.margin_enlargement(&rects[i]);
             let pref = (dl - dr).abs();
@@ -494,7 +495,8 @@ fn quadratic_split(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize
         }
         let i = remaining.swap_remove(pick_pos);
         let dl = left_rect.enlargement(&rects[i]) + 1e-9 * left_rect.margin_enlargement(&rects[i]);
-        let dr = right_rect.enlargement(&rects[i]) + 1e-9 * right_rect.margin_enlargement(&rects[i]);
+        let dr =
+            right_rect.enlargement(&rects[i]) + 1e-9 * right_rect.margin_enlargement(&rects[i]);
         let to_left = match dl.partial_cmp(&dr) {
             Some(Ordering::Less) => true,
             Some(Ordering::Greater) => false,
@@ -534,13 +536,18 @@ fn str_tile(mut items: Vec<LeafEntry>, cap: usize, dims: usize, dim: usize) -> V
     }
     if dim + 1 == dims {
         // Final dimension: sort and chop into capacity-sized runs.
-        items.sort_by(|a, b| a.point[dim].partial_cmp(&b.point[dim]).unwrap_or(Ordering::Equal));
-        return items
-            .chunks(cap)
-            .map(|c| c.to_vec())
-            .collect();
+        items.sort_by(|a, b| {
+            a.point[dim]
+                .partial_cmp(&b.point[dim])
+                .unwrap_or(Ordering::Equal)
+        });
+        return items.chunks(cap).map(|c| c.to_vec()).collect();
     }
-    items.sort_by(|a, b| a.point[dim].partial_cmp(&b.point[dim]).unwrap_or(Ordering::Equal));
+    items.sort_by(|a, b| {
+        a.point[dim]
+            .partial_cmp(&b.point[dim])
+            .unwrap_or(Ordering::Equal)
+    });
     // Number of leaves this subtree will produce, and slabs per dimension.
     let leaves = items.len().div_ceil(cap);
     let slabs = (leaves as f64).powf(1.0 / (dims - dim) as f64).ceil() as usize;
@@ -613,10 +620,8 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse order: BinaryHeap is a max-heap, we want smallest first.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+        // total_cmp keeps this a genuine total order even for NaN input.
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -652,7 +657,13 @@ impl<'a, M: PointMetric> Iterator for Ranking<'a, M> {
     type Item = (u64, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        advance_ranking(self.tree, self.q, self.metric, &mut self.heap, &mut self.stats)
+        advance_ranking(
+            self.tree,
+            self.q,
+            self.metric,
+            &mut self.heap,
+            &mut self.stats,
+        )
     }
 }
 
@@ -684,7 +695,13 @@ impl<'a, M: PointMetric> Iterator for OwnedRanking<'a, M> {
     type Item = (u64, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        advance_ranking(self.tree, &self.q, &self.metric, &mut self.heap, &mut self.stats)
+        advance_ranking(
+            self.tree,
+            &self.q,
+            &self.metric,
+            &mut self.heap,
+            &mut self.stats,
+        )
     }
 }
 
@@ -867,11 +884,10 @@ mod tests {
         let t = RTree::new(3);
         let metric = WeightedLp::uniform(LpKind::L2, 3);
         let mut stats = QueryStats::default();
-        assert!(t.range_within(&[0.0; 3], 1.0, &metric, &mut stats).is_empty());
         assert!(t
-            .rank_by_distance(&[0.0; 3], &metric)
-            .next()
-            .is_none());
+            .range_within(&[0.0; 3], 1.0, &metric, &mut stats)
+            .is_empty());
+        assert!(t.rank_by_distance(&[0.0; 3], &metric).next().is_none());
     }
 
     #[test]
@@ -909,7 +925,11 @@ mod tests {
         let mut brute: Vec<f64> = pts.iter().map(|(p, _)| metric.distance(p, &q)).collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (i, (_, d)) in ranked.iter().enumerate() {
-            assert!((d - brute[i]).abs() < 1e-12, "rank {i}: {d} vs {}", brute[i]);
+            assert!(
+                (d - brute[i]).abs() < 1e-12,
+                "rank {i}: {d} vs {}",
+                brute[i]
+            );
         }
     }
 

@@ -111,7 +111,11 @@ impl BufferPool {
         Ok(result)
     }
 
-    /// Writes all dirty frames back and fsyncs the file.
+    /// Writes all dirty frames back and flushes with crash-safe
+    /// ordering: data pages are written first, then
+    /// [`PageFile::sync`] makes them durable *before* writing and
+    /// syncing the header that references them. A crash anywhere in
+    /// between leaves the previous header describing fully durable data.
     pub fn sync(&self) -> Result<(), StorageError> {
         let mut inner = self.inner.lock();
         for i in 0..inner.frames.len() {
@@ -169,7 +173,7 @@ impl Inner {
                 .filter(|(_, f)| f.pins == 0)
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .expect("buffer pool exhausted: every frame is pinned");
+                .ok_or(StorageError::PoolExhausted)?;
             if self.frames[victim].dirty {
                 let page = self.frames[victim].page;
                 let data = *self.frames[victim].data;

@@ -48,7 +48,7 @@ impl RecordStore {
     /// Creates a store on a fresh page file (allocates the first page).
     pub fn create(pool: BufferPool) -> Result<Self, StorageError> {
         let first = pool.allocate()?;
-        pool.with_page_mut(first, |p| init_page(p))?;
+        pool.with_page_mut(first, init_page)?;
         Ok(RecordStore {
             pool,
             first,
@@ -57,13 +57,28 @@ impl RecordStore {
     }
 
     /// Opens a store whose chain starts at `first` (as created earlier).
+    ///
+    /// Fails with a typed error if the chain is corrupt: a next-pointer
+    /// out of bounds yields [`StorageError::PageOutOfBounds`], a cycle
+    /// yields [`StorageError::CorruptPage`], and a page failing its
+    /// checksum yields [`StorageError::PageChecksum`].
     pub fn open(pool: BufferPool, first: PageId) -> Result<Self, StorageError> {
-        // Walk to the tail.
+        // Walk to the tail. A corrupt next-pointer could form a cycle;
+        // more hops than pages in the file proves one.
         let mut tail = first;
+        let mut hops = 0u32;
+        let max_hops = pool.num_pages();
         loop {
             let next = pool.with_page(tail, |p| read_u32(p, 0))?;
             if next == NO_PAGE {
                 break;
+            }
+            hops += 1;
+            if hops > max_hops {
+                return Err(StorageError::CorruptPage {
+                    page: tail,
+                    reason: "page chain contains a cycle",
+                });
             }
             tail = PageId(next);
         }
@@ -89,15 +104,17 @@ impl RecordStore {
             });
         }
         // Try the tail page first.
-        let fits = self.pool.with_page(self.tail, |p| {
-            let slots = read_u16(p, 4) as usize;
-            let free_start = read_u16(p, 6) as usize;
+        let tail_page = self.tail;
+        let fits = self.pool.with_page(tail_page, |p| {
+            let (slots, free_start) = page_layout(tail_page, p)?;
             let dir_end = HEADER + (slots + 1) * SLOT;
-            free_start >= record.len() && free_start - record.len() >= dir_end
-        })?;
+            Ok::<_, StorageError>(
+                free_start >= record.len() && free_start - record.len() >= dir_end,
+            )
+        })??;
         if !fits {
             let new_page = self.pool.allocate()?;
-            self.pool.with_page_mut(new_page, |p| init_page(p))?;
+            self.pool.with_page_mut(new_page, init_page)?;
             let tail = self.tail;
             self.pool
                 .with_page_mut(tail, |p| write_u32(p, 0, new_page.0))?;
@@ -105,38 +122,40 @@ impl RecordStore {
         }
         let tail = self.tail;
         let slot = self.pool.with_page_mut(tail, |p| {
-            let slots = read_u16(p, 4);
-            let free_start = read_u16(p, 6) as usize;
-            let offset = free_start - record.len();
+            let (slots, free_start) = page_layout(tail, p)?;
+            let offset = free_start
+                .checked_sub(record.len())
+                .ok_or(StorageError::CorruptPage {
+                    page: tail,
+                    reason: "free space shrank between fit check and write",
+                })?;
             p[offset..offset + record.len()].copy_from_slice(record);
-            let dir = HEADER + slots as usize * SLOT;
+            let dir = HEADER + slots * SLOT;
             write_u16(p, dir, offset as u16);
             write_u16(p, dir + 2, record.len() as u16);
-            write_u16(p, 4, slots + 1);
+            write_u16(p, 4, slots as u16 + 1);
             write_u16(p, 6, offset as u16);
-            slots
-        })?;
-        Ok(RecordId {
-            page: tail,
-            slot,
-        })
+            Ok::<_, StorageError>(slots as u16)
+        })??;
+        Ok(RecordId { page: tail, slot })
     }
 
     /// Reads a record by id.
     pub fn get(&self, id: RecordId) -> Result<Vec<u8>, StorageError> {
         let record = self.pool.with_page(id.page, |p| {
-            let slots = read_u16(p, 4);
-            if id.slot >= slots {
-                return None;
+            let (slots, _) = page_layout(id.page, p)?;
+            if id.slot as usize >= slots {
+                return Ok(None);
             }
             let dir = HEADER + id.slot as usize * SLOT;
             let offset = read_u16(p, dir);
             if offset == TOMBSTONE {
-                return None;
+                return Ok(None);
             }
             let len = read_u16(p, dir + 2) as usize;
-            Some(p[offset as usize..offset as usize + len].to_vec())
-        })?;
+            let range = record_range(id.page, offset, len)?;
+            Ok::<_, StorageError>(Some(p[range].to_vec()))
+        })??;
         record.ok_or(StorageError::BadRecord)
     }
 
@@ -144,17 +163,17 @@ impl RecordStore {
     /// store); subsequent [`RecordStore::get`] returns [`StorageError::BadRecord`].
     pub fn delete(&mut self, id: RecordId) -> Result<(), StorageError> {
         let ok = self.pool.with_page_mut(id.page, |p| {
-            let slots = read_u16(p, 4);
-            if id.slot >= slots {
-                return false;
+            let (slots, _) = page_layout(id.page, p)?;
+            if id.slot as usize >= slots {
+                return Ok(false);
             }
             let dir = HEADER + id.slot as usize * SLOT;
             if read_u16(p, dir) == TOMBSTONE {
-                return false;
+                return Ok(false);
             }
             write_u16(p, dir, TOMBSTONE);
-            true
-        })?;
+            Ok::<_, StorageError>(true)
+        })??;
         if ok {
             Ok(())
         } else {
@@ -163,33 +182,44 @@ impl RecordStore {
     }
 
     /// Scans every live record in append order.
+    ///
+    /// Corruption surfaces as a typed error naming the offending page,
+    /// never a panic: unreadable pages propagate their read error, and
+    /// structurally invalid pages yield [`StorageError::CorruptPage`].
     pub fn scan(&self) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
         let mut out = Vec::new();
         let mut page = self.first;
+        let mut hops = 0u32;
+        let max_hops = self.pool.num_pages();
         loop {
             let (next, records) = self.pool.with_page(page, |p| {
                 let next = read_u32(p, 0);
-                let slots = read_u16(p, 4);
+                let (slots, _) = page_layout(page, p)?;
                 let mut records = Vec::new();
-                for slot in 0..slots {
+                for slot in 0..slots as u16 {
                     let dir = HEADER + slot as usize * SLOT;
                     let offset = read_u16(p, dir);
                     if offset == TOMBSTONE {
                         continue;
                     }
                     let len = read_u16(p, dir + 2) as usize;
-                    records.push((
-                        slot,
-                        p[offset as usize..offset as usize + len].to_vec(),
-                    ));
+                    let range = record_range(page, offset, len)?;
+                    records.push((slot, p[range].to_vec()));
                 }
-                (next, records)
-            })?;
+                Ok::<_, StorageError>((next, records))
+            })??;
             for (slot, data) in records {
                 out.push((RecordId { page, slot }, data));
             }
             if next == NO_PAGE {
                 break;
+            }
+            hops += 1;
+            if hops > max_hops {
+                return Err(StorageError::CorruptPage {
+                    page,
+                    reason: "page chain contains a cycle",
+                });
             }
             page = PageId(next);
         }
@@ -200,6 +230,48 @@ impl RecordStore {
     pub fn sync(&self) -> Result<(), StorageError> {
         self.pool.sync()
     }
+}
+
+/// Validates a page's structural header and returns `(slot_count,
+/// free_start)`. A page that passes its checksum can still be nonsense
+/// here — e.g. a page of the wrong kind reached through a corrupt chain
+/// pointer, or any page of a v1 file (which has no checksums) after a
+/// torn write — so all derived offsets are bounds-checked before use.
+fn page_layout(page: PageId, p: &[u8; PAGE_SIZE]) -> Result<(usize, usize), StorageError> {
+    let slots = read_u16(p, 4) as usize;
+    let dir_end = HEADER + slots * SLOT;
+    if dir_end > PAGE_SIZE {
+        return Err(StorageError::CorruptPage {
+            page,
+            reason: "slot directory extends past the page",
+        });
+    }
+    let free_start = read_u16(p, 6) as usize;
+    if free_start > PAGE_SIZE || free_start < dir_end {
+        return Err(StorageError::CorruptPage {
+            page,
+            reason: "free-space pointer outside the valid range",
+        });
+    }
+    Ok((slots, free_start))
+}
+
+/// Validates that a slot's `(offset, len)` stays inside the page's
+/// record area and returns the byte range of the record.
+fn record_range(
+    page: PageId,
+    offset: u16,
+    len: usize,
+) -> Result<std::ops::Range<usize>, StorageError> {
+    let start = offset as usize;
+    let end = start + len; // u16 + u16 cannot overflow usize
+    if start < HEADER || end > PAGE_SIZE {
+        return Err(StorageError::CorruptPage {
+            page,
+            reason: "record bytes outside the page bounds",
+        });
+    }
+    Ok(start..end)
 }
 
 fn init_page(p: &mut [u8; PAGE_SIZE]) {

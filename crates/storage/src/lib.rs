@@ -44,7 +44,9 @@
 pub mod buffer;
 pub mod heap;
 pub mod pagefile;
+pub mod vfs;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use heap::{RecordId, RecordStore};
-pub use pagefile::{PageFile, PageId, StorageError, PAGE_SIZE};
+pub use pagefile::{PageFile, PageId, RecoveryReport, StorageError, PAGE_SIZE};
+pub use vfs::{FaultVfs, StdVfs, Vfs, VfsFile};

@@ -1,20 +1,52 @@
-//! Fixed-size page I/O over a single file, with a checksummed header and
-//! a free-page list.
+//! Fixed-size page I/O over a single file, with a checksummed header,
+//! per-page checksums, and a free-page list.
 //!
-//! Layout: page 0 is the header (magic, version, page count, free-list
-//! head, CRC); pages 1.. are user pages. Freed pages are chained through
+//! All I/O goes through the [`Vfs`] abstraction so the same code runs on
+//! the production `std::fs` backend and the fault-injecting test backend
+//! (see [`crate::vfs`]).
+//!
+//! # On-disk format
+//!
+//! Page 0 is the header (magic, version, page count, free-list head,
+//! header CRC); pages 1.. are user pages. Freed pages are chained through
 //! their first 4 bytes and reused before the file grows.
+//!
+//! Two format versions exist:
+//!
+//! * **v1** (legacy): physical page = [`PAGE_SIZE`] bytes, no per-page
+//!   integrity. Still readable and writable for existing files.
+//! * **v2** (current, written by [`PageFile::create`]): every physical
+//!   page carries an 8-byte trailer — a CRC-32 over `page_id ‖ content`
+//!   plus 4 reserved bytes. Covering the page id catches misdirected
+//!   writes, not just bit rot. [`PageFile::read_page`] verifies the
+//!   checksum and returns [`StorageError::PageChecksum`] on mismatch;
+//!   [`PageFile::open_with_recovery`] scans the whole file up front and
+//!   reports every corrupt page.
+//!
+//! # Crash safety
+//!
+//! [`PageFile::allocate`] and [`PageFile::free`] no longer write the
+//! header eagerly; they mark it dirty, and [`PageFile::sync`] performs
+//! the crash-safe ordering: flush data pages, fsync, then write the
+//! header and fsync again. A crash between those fsyncs leaves the old
+//! header pointing at the old (fully durable) state; at worst, freshly
+//! grown pages past `num_pages` are leaked file space, never dangling
+//! references.
 
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-/// Size of every page in bytes.
+/// Size of the usable portion of every page in bytes.
 pub const PAGE_SIZE: usize = 4096;
 
 const MAGIC: u32 = 0x454D_4450; // "EMDP"
-const VERSION: u32 = 1;
+/// Current (written) format version.
+const VERSION: u32 = 2;
+/// Legacy format version (no per-page checksums), still readable.
+const VERSION_V1: u32 = 1;
+/// Per-page trailer in v2: CRC-32 (4 bytes) + reserved (4 bytes).
+const TRAILER: usize = 8;
 /// Sentinel for "no page" in free-list links.
 const NO_PAGE: u32 = u32::MAX;
 
@@ -32,12 +64,25 @@ pub enum StorageError {
     BadHeader(String),
     /// The header checksum does not match.
     HeaderChecksum,
+    /// A page's content checksum does not match (bit rot, torn write, or
+    /// misdirected write). Carries the id of the corrupt page.
+    PageChecksum(PageId),
+    /// A page's structural invariants are violated (e.g. a slot
+    /// directory pointing outside the page).
+    CorruptPage {
+        /// The offending page.
+        page: PageId,
+        /// Which invariant failed.
+        reason: &'static str,
+    },
     /// A page id beyond the end of the file was requested.
     PageOutOfBounds(PageId),
     /// A record id did not resolve to a live record.
     BadRecord,
     /// A record exceeds the maximum storable size.
     RecordTooLarge { size: usize, max: usize },
+    /// Every buffer-pool frame is pinned; no page can be brought in.
+    PoolExhausted,
 }
 
 impl fmt::Display for StorageError {
@@ -46,10 +91,19 @@ impl fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
             StorageError::BadHeader(msg) => write!(f, "bad page-file header: {msg}"),
             StorageError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            StorageError::PageChecksum(id) => {
+                write!(f, "page {} checksum mismatch (corrupt page)", id.0)
+            }
+            StorageError::CorruptPage { page, reason } => {
+                write!(f, "page {} is corrupt: {reason}", page.0)
+            }
             StorageError::PageOutOfBounds(id) => write!(f, "page {} out of bounds", id.0),
             StorageError::BadRecord => write!(f, "record id does not resolve"),
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds the page limit {max}")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: every frame is pinned")
             }
         }
     }
@@ -63,43 +117,118 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
+/// Result of scanning a page file for corruption at open time.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Format version of the file (1 or 2).
+    pub version: u32,
+    /// Total pages according to the header, including the header page.
+    pub num_pages: u32,
+    /// Pages whose checksum failed or that could not be read. Empty for
+    /// v1 files (which carry no per-page integrity) unless truncated.
+    pub corrupt_pages: Vec<PageId>,
+}
+
+impl RecoveryReport {
+    /// Whether every page verified.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_pages.is_empty()
+    }
+}
+
 /// A file of [`PAGE_SIZE`]-byte pages with allocation and a free list.
 pub struct PageFile {
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Total pages including the header page.
     num_pages: u32,
     /// Head of the free-page chain, or [`NO_PAGE`].
     free_head: u32,
+    /// Format version of this file (1 or 2).
+    version: u32,
+    /// Whether `num_pages`/`free_head` changed since the last header
+    /// write. The header is only written by [`PageFile::sync`], after
+    /// the data pages it describes are durable.
+    header_dirty: bool,
 }
 
 impl PageFile {
-    /// Creates a new page file, truncating any existing file at `path`.
+    /// Creates a new v2 page file on the standard filesystem, truncating
+    /// any existing file at `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        Self::create_with(&StdVfs, path.as_ref())
+    }
+
+    /// Creates a new v2 page file on the given VFS backend.
+    pub fn create_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, StorageError> {
+        let file = vfs.create(path)?;
         let mut pf = PageFile {
             file,
             num_pages: 1,
             free_head: NO_PAGE,
+            version: VERSION,
+            header_dirty: false,
         };
         pf.write_header()?;
         Ok(pf)
     }
 
-    /// Opens an existing page file, validating its header.
+    /// Opens an existing page file on the standard filesystem, validating
+    /// its header. Accepts both v1 and v2 files.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_with(&StdVfs, path.as_ref())
+    }
+
+    /// Opens an existing page file on the given VFS backend.
+    pub fn open_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, StorageError> {
+        let file = vfs.open(path)?;
         let mut pf = PageFile {
             file,
             num_pages: 0,
             free_head: NO_PAGE,
+            version: VERSION,
+            header_dirty: false,
         };
         pf.read_header()?;
         Ok(pf)
+    }
+
+    /// Opens a page file and scans every page for corruption, returning
+    /// the file together with a [`RecoveryReport`] listing corrupt pages.
+    ///
+    /// Header-level failures (bad magic, header checksum) are not
+    /// recoverable and are returned as errors. Per-page failures are
+    /// collected in the report; intact pages remain readable through the
+    /// returned file, and reading a corrupt page yields
+    /// [`StorageError::PageChecksum`].
+    pub fn open_with_recovery(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        Self::open_with_recovery_with(&StdVfs, path.as_ref())
+    }
+
+    /// [`PageFile::open_with_recovery`] on the given VFS backend.
+    pub fn open_with_recovery_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let mut pf = Self::open_with(vfs, path)?;
+        let mut report = RecoveryReport {
+            version: pf.version,
+            num_pages: pf.num_pages,
+            corrupt_pages: Vec::new(),
+        };
+        let mut buf = [0u8; PAGE_SIZE];
+        for id in 1..pf.num_pages {
+            let id = PageId(id);
+            match pf.read_page(id, &mut buf) {
+                Ok(()) => {}
+                Err(StorageError::PageChecksum(_)) | Err(StorageError::Io(_)) => {
+                    report.corrupt_pages.push(id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((pf, report))
     }
 
     /// Number of pages, including the header page.
@@ -107,60 +236,139 @@ impl PageFile {
         self.num_pages
     }
 
+    /// On-disk format version of this file (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Physical bytes per page slot (content plus v2 trailer).
+    fn phys_page(&self) -> u64 {
+        (PAGE_SIZE + if self.version >= VERSION { TRAILER } else { 0 }) as u64
+    }
+
+    fn page_offset(&self, id: PageId) -> u64 {
+        id.0 as u64 * self.phys_page()
+    }
+
+    /// CRC over `page_id ‖ content`, so a page written to the wrong slot
+    /// fails verification even if its bytes are intact.
+    fn page_crc(id: PageId, content: &[u8; PAGE_SIZE]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(&id.0.to_le_bytes());
+        crc.update(content);
+        crc.finish()
+    }
+
+    /// Writes `content` to the physical slot of `id` (with trailer on
+    /// v2), without bounds checks. Used for all page writes including
+    /// the header.
+    fn write_page_raw(
+        &mut self,
+        id: PageId,
+        content: &[u8; PAGE_SIZE],
+    ) -> Result<(), StorageError> {
+        let offset = self.page_offset(id);
+        if self.version >= VERSION {
+            let mut phys = [0u8; PAGE_SIZE + TRAILER];
+            phys[..PAGE_SIZE].copy_from_slice(content);
+            let crc = Self::page_crc(id, content);
+            phys[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc.to_le_bytes());
+            self.file.write_all_at(&phys, offset)?;
+        } else {
+            self.file.write_all_at(content, offset)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the physical slot of `id` into `buf`, verifying the v2
+    /// trailer checksum.
+    fn read_page_raw(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        let offset = self.page_offset(id);
+        if self.version >= VERSION {
+            let mut phys = [0u8; PAGE_SIZE + TRAILER];
+            self.file.read_exact_at(&mut phys, offset)?;
+            buf.copy_from_slice(&phys[..PAGE_SIZE]);
+            let stored = u32::from_le_bytes(
+                phys[PAGE_SIZE..PAGE_SIZE + 4]
+                    .try_into()
+                    .expect("4-byte slice"),
+            );
+            if stored != Self::page_crc(id, buf) {
+                return Err(StorageError::PageChecksum(id));
+            }
+        } else {
+            self.file.read_exact_at(buf, offset)?;
+        }
+        Ok(())
+    }
+
     fn write_header(&mut self) -> Result<(), StorageError> {
         let mut page = [0u8; PAGE_SIZE];
         page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-        page[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        page[4..8].copy_from_slice(&self.version.to_le_bytes());
         page[8..12].copy_from_slice(&self.num_pages.to_le_bytes());
         page[12..16].copy_from_slice(&self.free_head.to_le_bytes());
         let crc = crc32(&page[0..16]);
         page[16..20].copy_from_slice(&crc.to_le_bytes());
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&page)?;
+        self.write_page_raw(PageId(0), &page)?;
+        self.header_dirty = false;
         Ok(())
     }
 
     fn read_header(&mut self) -> Result<(), StorageError> {
         let mut page = [0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.read_exact(&mut page)?;
-        let magic = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
+        // The header's own CRC at bytes 16..20 authenticates it on both
+        // versions; the v2 page trailer is verified for data pages only,
+        // since the version isn't known until the header is parsed.
+        self.file.read_exact_at(&mut page, 0)?;
+        let magic = u32::from_le_bytes(page[0..4].try_into().expect("4-byte slice"));
         if magic != MAGIC {
             return Err(StorageError::BadHeader("wrong magic".into()));
         }
-        let version = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(StorageError::BadHeader(format!("unsupported version {version}")));
+        let version = u32::from_le_bytes(page[4..8].try_into().expect("4-byte slice"));
+        if version != VERSION_V1 && version != VERSION {
+            return Err(StorageError::BadHeader(format!(
+                "unsupported version {version}"
+            )));
         }
-        let stored_crc = u32::from_le_bytes(page[16..20].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(page[16..20].try_into().expect("4-byte slice"));
         if stored_crc != crc32(&page[0..16]) {
             return Err(StorageError::HeaderChecksum);
         }
-        self.num_pages = u32::from_le_bytes(page[8..12].try_into().expect("4 bytes"));
-        self.free_head = u32::from_le_bytes(page[12..16].try_into().expect("4 bytes"));
+        self.version = version;
+        self.num_pages = u32::from_le_bytes(page[8..12].try_into().expect("4-byte slice"));
+        self.free_head = u32::from_le_bytes(page[12..16].try_into().expect("4-byte slice"));
         Ok(())
     }
 
     /// Allocates a page: reuses the free list when possible, otherwise
     /// grows the file. The page's previous contents are unspecified; the
     /// caller overwrites it.
+    ///
+    /// The header is not written until [`PageFile::sync`]; a crash before
+    /// then loses the allocation (the grown file space is leaked, never
+    /// referenced).
     pub fn allocate(&mut self) -> Result<PageId, StorageError> {
         if self.free_head != NO_PAGE {
             let id = PageId(self.free_head);
             let mut buf = [0u8; PAGE_SIZE];
             self.read_page(id, &mut buf)?;
-            self.free_head = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-            self.write_header()?;
+            self.free_head = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
+            self.header_dirty = true;
             return Ok(id);
         }
         let id = PageId(self.num_pages);
-        self.num_pages += 1;
-        // Extend the file with a zero page.
+        let grown = self
+            .num_pages
+            .checked_add(1)
+            .ok_or(StorageError::PageOutOfBounds(id))?;
+        // Extend the file with a zero page (checksummed on v2). Only
+        // count the page once the write succeeded, so a failed grow
+        // (e.g. ENOSPC) leaves the file state consistent.
         let zero = [0u8; PAGE_SIZE];
-        self.file
-            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(&zero)?;
-        self.write_header()?;
+        self.write_page_raw(id, &zero)?;
+        self.num_pages = grown;
+        self.header_dirty = true;
         Ok(id)
     }
 
@@ -171,7 +379,8 @@ impl PageFile {
         buf[0..4].copy_from_slice(&self.free_head.to_le_bytes());
         self.write_page(id, &buf)?;
         self.free_head = id.0;
-        self.write_header()
+        self.header_dirty = true;
+        Ok(())
     }
 
     fn check_bounds(&self, id: PageId) -> Result<(), StorageError> {
@@ -181,57 +390,83 @@ impl PageFile {
         Ok(())
     }
 
-    /// Reads a page into `buf`.
+    /// Reads a page into `buf`, verifying its checksum on v2 files.
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
         self.check_bounds(id)?;
-        self.file
-            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)?;
-        Ok(())
+        self.read_page_raw(id, buf)
     }
 
-    /// Writes a page from `buf`.
+    /// Writes a page from `buf` (with a fresh checksum on v2 files).
     pub fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), StorageError> {
         self.check_bounds(id)?;
-        self.file
-            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(buf)?;
-        Ok(())
+        self.write_page_raw(id, buf)
     }
 
-    /// Flushes file contents to stable storage.
+    /// Flushes to stable storage with crash-safe ordering: data pages
+    /// are made durable *before* the header that references them.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.file.sync_all()?;
+        self.file.sync_data()?;
+        if self.header_dirty {
+            self.write_header()?;
+            self.file.sync_data()?;
+        }
         Ok(())
     }
 }
 
-/// CRC-32 (IEEE), table-driven; shared with `earthmover-core::storage`
-/// in spirit but kept dependency-free here.
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// Incremental CRC-32 (IEEE), table-driven.
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let table = crc_table();
+        for &b in bytes {
+            self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
     use std::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
         table
-    });
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc ^ 0xFFFF_FFFF
+    })
+}
+
+/// One-shot CRC-32 (IEEE) of `bytes`.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::FaultVfs;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("earthmover-pagefile-tests");
@@ -268,6 +503,7 @@ mod tests {
         }
         let mut pf = PageFile::open(&path).unwrap();
         assert_eq!(pf.num_pages(), 3);
+        assert_eq!(pf.version(), 2);
         let mut back = [0u8; PAGE_SIZE];
         pf.read_page(PageId(1), &mut back).unwrap();
         assert_eq!(back[0], 9);
@@ -334,5 +570,155 @@ mod tests {
             Err(StorageError::BadHeader(_))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_files_remain_readable_and_writable() {
+        // Hand-craft a v1 file: header + one data page, no trailers.
+        let path = temp_path("v1.db");
+        let mut bytes = vec![0u8; 2 * PAGE_SIZE];
+        bytes[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes()); // version 1
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes()); // num_pages
+        bytes[12..16].copy_from_slice(&NO_PAGE.to_le_bytes());
+        let crc = crc32(&bytes[0..16]);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        bytes[PAGE_SIZE + 33] = 77; // data in page 1
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.version(), 1);
+        assert_eq!(pf.num_pages(), 2);
+        let mut back = [0u8; PAGE_SIZE];
+        pf.read_page(PageId(1), &mut back).unwrap();
+        assert_eq!(back[33], 77);
+
+        // Writing and growing keeps the v1 layout.
+        let id = pf.allocate().unwrap();
+        let page = [5u8; PAGE_SIZE];
+        pf.write_page(id, &page).unwrap();
+        pf.sync().unwrap();
+        let mut pf = PageFile::open(&path).unwrap();
+        assert_eq!(pf.version(), 1);
+        pf.read_page(id, &mut back).unwrap();
+        assert_eq!(back[0], 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_checksum() {
+        let vfs = FaultVfs::new();
+        let path = Path::new("flip.db");
+        let mut pf = PageFile::create_with(&vfs, path).unwrap();
+        let id = pf.allocate().unwrap();
+        let page = [0xA5u8; PAGE_SIZE];
+        pf.write_page(id, &page).unwrap();
+        pf.sync().unwrap();
+        drop(pf);
+
+        // Flip one bit in the middle of page 1's content.
+        let phys = PAGE_SIZE + TRAILER;
+        assert!(vfs.flip_bit(path, phys + 1000, 2));
+
+        let mut pf = PageFile::open_with(&vfs, path).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        match pf.read_page(id, &mut buf) {
+            Err(StorageError::PageChecksum(p)) => assert_eq!(p, id),
+            other => panic!("expected PageChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_with_recovery_reports_corrupt_pages() {
+        let vfs = FaultVfs::new();
+        let path = Path::new("recover.db");
+        let mut pf = PageFile::create_with(&vfs, path).unwrap();
+        let ids: Vec<PageId> = (0..4).map(|_| pf.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let page = [i as u8 + 1; PAGE_SIZE];
+            pf.write_page(id, &page).unwrap();
+        }
+        pf.sync().unwrap();
+        drop(pf);
+
+        // Corrupt pages 2 and 4; pages 1 and 3 stay intact.
+        let phys = PAGE_SIZE + TRAILER;
+        assert!(vfs.flip_bit(path, 2 * phys + 17, 0));
+        assert!(vfs.flip_bit(path, 4 * phys + 90, 7));
+
+        let (mut pf, report) = PageFile::open_with_recovery_with(&vfs, path).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.num_pages, 5);
+        assert_eq!(report.corrupt_pages, vec![PageId(2), PageId(4)]);
+        assert!(!report.is_clean());
+
+        // Intact pages still read; corrupt ones error.
+        let mut buf = [0u8; PAGE_SIZE];
+        pf.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        pf.read_page(PageId(3), &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+        assert!(matches!(
+            pf.read_page(PageId(2), &mut buf),
+            Err(StorageError::PageChecksum(PageId(2)))
+        ));
+    }
+
+    #[test]
+    fn crash_before_sync_keeps_old_header() {
+        let vfs = FaultVfs::new();
+        let path = Path::new("crash.db");
+        let mut pf = PageFile::create_with(&vfs, path).unwrap();
+        let a = pf.allocate().unwrap();
+        let page = [9u8; PAGE_SIZE];
+        pf.write_page(a, &page).unwrap();
+        pf.sync().unwrap();
+
+        // Allocate + write another page but crash before syncing.
+        let b = pf.allocate().unwrap();
+        pf.write_page(b, &page).unwrap();
+        drop(pf);
+        vfs.crash();
+
+        let (mut pf, report) = PageFile::open_with_recovery_with(&vfs, path).unwrap();
+        // The unsynced allocation is invisible; the durable prefix is intact.
+        assert_eq!(pf.num_pages(), 2);
+        assert!(report.is_clean());
+        let mut buf = [0u8; PAGE_SIZE];
+        pf.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn torn_data_write_is_caught_by_checksum() {
+        let vfs = FaultVfs::new();
+        let path = Path::new("torn.db");
+        let mut pf = PageFile::create_with(&vfs, path).unwrap();
+        let a = pf.allocate().unwrap();
+        pf.sync().unwrap();
+        // Overwrite page 1 but crash mid-write: only the first sector of
+        // the new content lands; the rest is the old (zero) page, so the
+        // stored CRC cannot match the mixed content.
+        let page = [0xEEu8; PAGE_SIZE];
+        pf.write_page(a, &page).unwrap();
+        drop(pf);
+        vfs.crash_with_partial(0, 512);
+
+        let (_, report) = PageFile::open_with_recovery_with(&vfs, path).unwrap();
+        assert_eq!(report.corrupt_pages, vec![a]);
+    }
+
+    #[test]
+    fn enospc_surfaces_as_typed_io_error() {
+        let vfs = FaultVfs::new();
+        let path = Path::new("enospc.db");
+        let mut pf = PageFile::create_with(&vfs, path).unwrap();
+        vfs.set_write_budget(Some(0));
+        let err = pf.allocate().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(err.to_string().contains("ENOSPC"));
+        // Clearing the fault lets the same handle continue.
+        vfs.set_write_budget(None);
+        pf.allocate().unwrap();
     }
 }

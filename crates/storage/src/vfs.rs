@@ -1,0 +1,516 @@
+//! Virtual file system abstraction under the page file.
+//!
+//! [`PageFile`](crate::PageFile) performs all I/O through the [`VfsFile`]
+//! trait so the same code runs on two backends:
+//!
+//! * [`StdVfs`] — the production backend over `std::fs`.
+//! * [`FaultVfs`] — a deterministic in-memory backend for tests. It keeps
+//!   a *durable* image (what would survive a power loss) separate from
+//!   the *current* image (what reads observe), and can inject short
+//!   reads/writes, an exhausted write budget (ENOSPC), bit flips in the
+//!   durable media, and crashes that tear the last unsynced write at a
+//!   configurable sector boundary.
+//!
+//! The fault backend models a disk with a volatile write cache: writes
+//! land in the current image immediately and are logged as *pending*;
+//! [`VfsFile::sync_data`] makes all pending writes durable;
+//! [`FaultVfs::crash`] discards everything since the last sync, and
+//! [`FaultVfs::crash_with_partial`] persists a prefix of the pending
+//! writes plus a torn fragment of the next one — the standard model for
+//! crash-consistency testing.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Positioned file I/O, the only interface the page file uses.
+///
+/// `read_at`/`write_at` may transfer fewer bytes than requested (the
+/// fault backend does so deliberately); callers use the looping
+/// [`VfsFile::read_exact_at`]/[`VfsFile::write_all_at`] helpers.
+pub trait VfsFile: Send {
+    /// Reads up to `buf.len()` bytes at `offset`, returning the count
+    /// transferred (0 at end of file).
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+
+    /// Writes up to `buf.len()` bytes at `offset`, returning the count
+    /// transferred. Extends the file as needed.
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<usize>;
+
+    /// Forces written data to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+
+    /// Current file length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// Whether the file is empty.
+    fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Reads exactly `buf.len()` bytes at `offset`, looping over short
+    /// reads; fails with `UnexpectedEof` if the file ends first.
+    fn read_exact_at(&mut self, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.read_at(buf, offset) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "unexpected end of file",
+                    ))
+                }
+                Ok(n) => {
+                    buf = &mut buf[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes all of `buf` at `offset`, looping over short writes.
+    fn write_all_at(&mut self, mut buf: &[u8], mut offset: u64) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.write_at(buf, offset) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write whole buffer",
+                    ))
+                }
+                Ok(n) => {
+                    buf = &buf[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Factory for [`VfsFile`] handles, keyed by path.
+pub trait Vfs {
+    /// Creates (truncating if present) a file at `path`.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing file at `path` for read/write.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+}
+
+// ---------------------------------------------------------------------------
+// Production backend
+// ---------------------------------------------------------------------------
+
+/// The production VFS over `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+struct StdFile {
+    file: File,
+}
+
+impl VfsFile for StdFile {
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read(buf)
+    }
+
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting backend
+// ---------------------------------------------------------------------------
+
+/// A logged write that has not been made durable yet.
+struct PendingWrite {
+    offset: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct FileState {
+    /// What reads observe right now.
+    current: Vec<u8>,
+    /// What survives a crash (updated by `sync_data`).
+    durable: Vec<u8>,
+    /// Writes since the last sync, in issue order.
+    pending: Vec<PendingWrite>,
+}
+
+#[derive(Default)]
+struct FaultState {
+    files: HashMap<PathBuf, FileState>,
+    /// Remaining `write_at` calls before ENOSPC; `None` = unlimited.
+    write_budget: Option<u64>,
+    /// Max bytes transferred per `write_at` call.
+    short_write_limit: Option<usize>,
+    /// Max bytes transferred per `read_at` call.
+    short_read_limit: Option<usize>,
+    /// Sector size at which crashed writes tear.
+    torn_write_granularity: usize,
+}
+
+/// Deterministic in-memory fault-injecting VFS.
+///
+/// Clone the handle freely: all clones share state, so a test can keep a
+/// handle while the storage stack owns files created through another.
+#[derive(Clone, Default)]
+pub struct FaultVfs {
+    inner: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fresh backend with no files and no faults armed.
+    pub fn new() -> Self {
+        let vfs = FaultVfs::default();
+        vfs.inner.lock().torn_write_granularity = 512;
+        vfs
+    }
+
+    /// Arms an ENOSPC fault: after `writes` more `write_at` calls, every
+    /// further write fails. `None` disarms.
+    pub fn set_write_budget(&self, writes: Option<u64>) {
+        self.inner.lock().write_budget = writes;
+    }
+
+    /// Caps the bytes transferred per `write_at` call (exercises the
+    /// short-write loop in callers). `None` disarms.
+    pub fn set_short_writes(&self, limit: Option<usize>) {
+        self.inner.lock().short_write_limit = limit;
+    }
+
+    /// Caps the bytes transferred per `read_at` call. `None` disarms.
+    pub fn set_short_reads(&self, limit: Option<usize>) {
+        self.inner.lock().short_read_limit = limit;
+    }
+
+    /// Sets the sector size at which a torn crash write is cut (default
+    /// 512 bytes).
+    pub fn set_torn_write_granularity(&self, bytes: usize) {
+        self.inner.lock().torn_write_granularity = bytes.max(1);
+    }
+
+    /// Flips one bit of the durable (and current) image of `path`,
+    /// simulating media corruption. Returns `false` if the file does not
+    /// exist or is shorter than `byte` bytes.
+    pub fn flip_bit(&self, path: impl AsRef<Path>, byte: usize, bit: u8) -> bool {
+        let mut state = self.inner.lock();
+        let Some(file) = state.files.get_mut(path.as_ref()) else {
+            return false;
+        };
+        let mask = 1u8 << (bit & 7);
+        let mut hit = false;
+        if let Some(b) = file.durable.get_mut(byte) {
+            *b ^= mask;
+            hit = true;
+        }
+        if let Some(b) = file.current.get_mut(byte) {
+            *b ^= mask;
+            hit = true;
+        }
+        hit
+    }
+
+    /// Simulates a power loss: every file reverts to its durable image
+    /// and all pending writes are discarded.
+    pub fn crash(&self) {
+        self.crash_with_partial(0, 0);
+    }
+
+    /// Simulates a power loss where the volatile cache was partially
+    /// flushed: for each file, the first `persist_writes` pending writes
+    /// become durable in full, then the next pending write (if any) is
+    /// torn — only its first `torn_bytes` bytes, rounded down to the
+    /// torn-write granularity, survive. Everything later is discarded.
+    pub fn crash_with_partial(&self, persist_writes: usize, torn_bytes: usize) {
+        let mut state = self.inner.lock();
+        let gran = state.torn_write_granularity.max(1);
+        for file in state.files.values_mut() {
+            let pending = std::mem::take(&mut file.pending);
+            for (i, w) in pending.iter().enumerate() {
+                if i < persist_writes {
+                    apply_write(&mut file.durable, w.offset, &w.data);
+                } else {
+                    let keep = (torn_bytes / gran) * gran;
+                    let keep = keep.min(w.data.len());
+                    if keep > 0 {
+                        apply_write(&mut file.durable, w.offset, &w.data[..keep]);
+                    }
+                    break;
+                }
+            }
+            file.current = file.durable.clone();
+        }
+    }
+
+    /// Number of pending (unsynced) writes on `path`.
+    pub fn pending_writes(&self, path: impl AsRef<Path>) -> usize {
+        self.inner
+            .lock()
+            .files
+            .get(path.as_ref())
+            .map_or(0, |f| f.pending.len())
+    }
+
+    /// Whether a file exists in the backend.
+    pub fn exists(&self, path: impl AsRef<Path>) -> bool {
+        self.inner.lock().files.contains_key(path.as_ref())
+    }
+}
+
+fn apply_write(target: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    let offset = offset as usize;
+    let end = offset + data.len();
+    if target.len() < end {
+        target.resize(end, 0);
+    }
+    target[offset..end].copy_from_slice(data);
+}
+
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    path: PathBuf,
+}
+
+impl FaultFile {
+    fn with_state<R>(
+        &mut self,
+        f: impl FnOnce(&mut FaultState, &PathBuf) -> io::Result<R>,
+    ) -> io::Result<R> {
+        let mut state = self.state.lock();
+        f(&mut state, &self.path)
+    }
+}
+
+fn file_of<'a>(state: &'a mut FaultState, path: &PathBuf) -> io::Result<&'a mut FileState> {
+    state
+        .files
+        .get_mut(path)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed from fault vfs"))
+}
+
+impl VfsFile for FaultFile {
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.with_state(|state, path| {
+            let limit = state.short_read_limit;
+            let file = file_of(state, path)?;
+            let len = file.current.len() as u64;
+            if offset >= len {
+                return Ok(0);
+            }
+            let mut n = buf.len().min((len - offset) as usize);
+            if let Some(limit) = limit {
+                n = n.min(limit.max(1));
+            }
+            let offset = offset as usize;
+            buf[..n].copy_from_slice(&file.current[offset..offset + n]);
+            Ok(n)
+        })
+    }
+
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        self.with_state(|state, path| {
+            match state.write_budget {
+                Some(0) => {
+                    return Err(io::Error::other(
+                        "no space left on device (injected ENOSPC)",
+                    ))
+                }
+                Some(ref mut budget) => *budget -= 1,
+                None => {}
+            }
+            let mut n = buf.len();
+            if let Some(limit) = state.short_write_limit {
+                n = n.min(limit.max(1));
+            }
+            let file = file_of(state, path)?;
+            apply_write(&mut file.current, offset, &buf[..n]);
+            file.pending.push(PendingWrite {
+                offset,
+                data: buf[..n].to_vec(),
+            });
+            Ok(n)
+        })
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.with_state(|state, path| {
+            let file = file_of(state, path)?;
+            file.durable = file.current.clone();
+            file.pending.clear();
+            Ok(())
+        })
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.with_state(|state, path| Ok(file_of(state, path)?.current.len() as u64))
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.inner
+            .lock()
+            .files
+            .insert(path.to_path_buf(), FileState::default());
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.inner),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if !self.inner.lock().files.contains_key(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no such file in fault vfs",
+            ));
+        }
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.inner),
+            path: path.to_path_buf(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_vfs_round_trip_and_sync() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        f.write_all_at(b"hello", 0).unwrap();
+        let mut back = [0u8; 5];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"hello");
+        assert_eq!(vfs.pending_writes("a.db"), 1);
+        f.sync_data().unwrap();
+        assert_eq!(vfs.pending_writes("a.db"), 0);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_writes() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        f.write_all_at(b"durable", 0).unwrap();
+        f.sync_data().unwrap();
+        f.write_all_at(b"VOLATILE", 0).unwrap();
+        vfs.crash();
+        let mut f = vfs.open(Path::new("a.db")).unwrap();
+        let mut back = [0u8; 7];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"durable");
+    }
+
+    #[test]
+    fn crash_with_partial_tears_at_granularity() {
+        let vfs = FaultVfs::new();
+        vfs.set_torn_write_granularity(4);
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        f.write_all_at(&[1u8; 8], 0).unwrap(); // persisted in full
+        f.write_all_at(&[2u8; 8], 8).unwrap(); // torn: 7 → 4 bytes kept
+        f.write_all_at(&[3u8; 8], 16).unwrap(); // discarded
+        vfs.crash_with_partial(1, 7);
+        let mut f = vfs.open(Path::new("a.db")).unwrap();
+        assert_eq!(f.len().unwrap(), 12);
+        let mut back = [0u8; 12];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back[..8], &[1u8; 8]);
+        assert_eq!(&back[8..12], &[2u8; 4]);
+    }
+
+    #[test]
+    fn short_reads_and_writes_still_complete_via_helpers() {
+        let vfs = FaultVfs::new();
+        vfs.set_short_writes(Some(3));
+        vfs.set_short_reads(Some(2));
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        let payload: Vec<u8> = (0..=255).collect();
+        f.write_all_at(&payload, 10).unwrap();
+        let mut back = vec![0u8; 256];
+        f.read_exact_at(&mut back, 10).unwrap();
+        assert_eq!(back, payload);
+        // Short writes really were split into many pending writes.
+        assert!(vfs.pending_writes("a.db") >= 256 / 3);
+    }
+
+    #[test]
+    fn write_budget_injects_enospc() {
+        let vfs = FaultVfs::new();
+        vfs.set_write_budget(Some(2));
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        f.write_all_at(b"x", 0).unwrap();
+        f.write_all_at(b"y", 1).unwrap();
+        let err = f.write_all_at(b"z", 2).unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"));
+        vfs.set_write_budget(None);
+        f.write_all_at(b"z", 2).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_corrupts_durable_image() {
+        let vfs = FaultVfs::new();
+        let mut f = vfs.create(Path::new("a.db")).unwrap();
+        f.write_all_at(&[0u8; 16], 0).unwrap();
+        f.sync_data().unwrap();
+        assert!(vfs.flip_bit("a.db", 5, 3));
+        let mut back = [0u8; 16];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(back[5], 1 << 3);
+        assert!(!vfs.flip_bit("a.db", 9999, 0));
+    }
+
+    #[test]
+    fn std_vfs_round_trip() {
+        let dir = std::env::temp_dir().join("earthmover-vfs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("std.db");
+        let mut f = StdVfs.create(&path).unwrap();
+        f.write_all_at(b"abc", 4).unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(f.len().unwrap(), 7);
+        let mut f = StdVfs.open(&path).unwrap();
+        let mut back = [0u8; 3];
+        f.read_exact_at(&mut back, 4).unwrap();
+        assert_eq!(&back, b"abc");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Crash-consistency tests: random workloads against the fault-injecting
+//! VFS, with simulated power loss at arbitrary points.
+//!
+//! The contract under test (see DESIGN.md, "Failure model and recovery"):
+//! after a crash, reopening the store either succeeds with exactly the
+//! state of the last sync (clean crash), or — when unsynced writes
+//! partially persisted, tearing pages — every affected page is caught by
+//! its checksum and reported as a *typed* [`StorageError`]. The store
+//! never panics and never silently returns bytes a record did not hold.
+
+use earthmover_storage::vfs::FaultVfs;
+use earthmover_storage::{BufferPool, PageFile, RecordId, RecordStore, StorageError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::Path;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append a record of the given length with a content seed.
+    Append { len: u16, seed: u8 },
+    /// Delete the k-th (mod live count) record.
+    Delete { k: u16 },
+    /// Make everything durable.
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..2000, any::<u8>()).prop_map(|(len, seed)| Op::Append { len, seed }),
+        (any::<u16>(),).prop_map(|(k,)| Op::Delete { k }),
+        Just(Op::Sync),
+    ]
+}
+
+fn record_bytes(len: u16, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+}
+
+/// Runs a workload on a fresh fault-backed store and returns
+/// `(vfs, first_page, state_at_last_sync, every_value_each_id_ever_held)`.
+type WorkloadState = (
+    FaultVfs,
+    earthmover_storage::PageId,
+    Vec<(RecordId, Vec<u8>)>,
+    HashMap<RecordId, Vec<Vec<u8>>>,
+);
+
+fn run_workload(ops: &[Op]) -> WorkloadState {
+    let vfs = FaultVfs::new();
+    let path = Path::new("crash.db");
+    let file = PageFile::create_with(&vfs, path).expect("create");
+    let pool = BufferPool::new(file, 3); // tiny pool: constant writebacks
+    let mut store = RecordStore::create(pool).expect("create store");
+    let first = store.first_page();
+    store.sync().expect("initial sync");
+
+    let mut live: Vec<(RecordId, Vec<u8>)> = Vec::new();
+    let mut synced: Vec<(RecordId, Vec<u8>)> = Vec::new();
+    let mut history: HashMap<RecordId, Vec<Vec<u8>>> = HashMap::new();
+
+    for op in ops {
+        match op {
+            Op::Append { len, seed } => {
+                let data = record_bytes(*len, *seed);
+                let id = store.append(&data).expect("append");
+                history.entry(id).or_default().push(data.clone());
+                live.push((id, data));
+            }
+            Op::Delete { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = *k as usize % live.len();
+                let (id, _) = live.remove(idx);
+                store.delete(id).expect("delete");
+            }
+            Op::Sync => {
+                store.sync().expect("sync");
+                synced = live.clone();
+            }
+        }
+    }
+    (vfs, first, synced, history)
+}
+
+/// Reopens the store after a crash. Any typed error is an acceptable
+/// outcome; a panic is not (it would abort the test process).
+fn reopen_and_scan(
+    vfs: &FaultVfs,
+    first: earthmover_storage::PageId,
+) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
+    let (file, _report) = PageFile::open_with_recovery_with(vfs, Path::new("crash.db"))?;
+    let pool = BufferPool::new(file, 3);
+    let store = RecordStore::open(pool, first)?;
+    store.scan()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A clean crash (nothing unsynced persists) must restore exactly
+    /// the state of the last sync.
+    #[test]
+    fn clean_crash_restores_last_sync(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let (vfs, first, synced, _) = run_workload(&ops);
+        vfs.crash();
+        let scanned = reopen_and_scan(&vfs, first)
+            .expect("clean crash must reopen cleanly");
+        prop_assert_eq!(scanned, synced);
+    }
+
+    /// A crash that persists an arbitrary prefix of the unsynced writes
+    /// — tearing the next one at a sector boundary — must either yield a
+    /// typed error or a scan in which every record holds bytes it
+    /// legitimately held at some point. Never a panic, never garbage.
+    #[test]
+    fn partial_crash_is_typed_error_or_valid_state(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        persist in 0usize..40,
+        torn in 0usize..8192,
+    ) {
+        let (vfs, first, synced, history) = run_workload(&ops);
+        vfs.crash_with_partial(persist, torn);
+        match reopen_and_scan(&vfs, first) {
+            Err(_typed) => {} // corruption detected and reported: acceptable
+            Ok(scanned) => {
+                for (id, data) in &scanned {
+                    let held = history.get(id).map(|v| v.contains(data)).unwrap_or(false);
+                    prop_assert!(
+                        held,
+                        "record {:?} returned bytes it never held ({} bytes)",
+                        id,
+                        data.len()
+                    );
+                }
+                // With zero unsynced writes persisted, the durable state
+                // is exactly the last sync.
+                if persist == 0 && torn < 512 {
+                    prop_assert_eq!(scanned, synced);
+                }
+            }
+        }
+    }
+}
+
+/// Bit rot in a synced data page is caught by the v2 page checksum and
+/// reported with the corrupt page's id (acceptance test from the issue).
+#[test]
+fn flipped_bit_reports_corrupt_page_id() {
+    let vfs = FaultVfs::new();
+    let path = Path::new("crash.db");
+    let file = PageFile::create_with(&vfs, path).unwrap();
+    let pool = BufferPool::new(file, 4);
+    let mut store = RecordStore::create(pool).unwrap();
+    let ids: Vec<RecordId> = (0..200u32)
+        .map(|i| store.append(&i.to_le_bytes()).unwrap())
+        .collect();
+    let first = store.first_page();
+    store.sync().unwrap();
+    drop(store);
+
+    // Flip one bit inside data page 1's content area.
+    let phys = 4096 + 8;
+    assert!(vfs.flip_bit(path, phys + 2048, 5));
+
+    let (mut file, report) = PageFile::open_with_recovery_with(&vfs, path).unwrap();
+    assert_eq!(report.corrupt_pages, vec![earthmover_storage::PageId(1)]);
+
+    // Reading the page directly yields the typed checksum error naming it.
+    let mut buf = [0u8; 4096];
+    match file.read_page(earthmover_storage::PageId(1), &mut buf) {
+        Err(StorageError::PageChecksum(p)) => assert_eq!(p.0, 1),
+        other => panic!("expected PageChecksum, got {other:?}"),
+    }
+
+    // The store surfaces it as a typed error too (no panic), since the
+    // first page of the chain is the corrupt one.
+    let pool = BufferPool::new(file, 4);
+    match RecordStore::open(pool, first) {
+        Err(StorageError::PageChecksum(p)) => assert_eq!(p.0, 1),
+        Err(other) => panic!("expected PageChecksum, got {other}"),
+        Ok(store) => {
+            // If open succeeded (first page intact in other layouts),
+            // scanning must hit the corruption.
+            match store.scan() {
+                Err(StorageError::PageChecksum(_)) => {}
+                other => panic!("expected PageChecksum from scan, got {other:?}"),
+            }
+        }
+    }
+    let _ = ids;
+}
+
+/// ENOSPC mid-append surfaces as a typed I/O error and the store remains
+/// usable once space is available again.
+#[test]
+fn enospc_mid_append_is_typed_and_recoverable() {
+    let vfs = FaultVfs::new();
+    let path = Path::new("crash.db");
+    let file = PageFile::create_with(&vfs, path).unwrap();
+    let pool = BufferPool::new(file, 2);
+    let mut store = RecordStore::create(pool).unwrap();
+    store.sync().unwrap();
+
+    vfs.set_write_budget(Some(0));
+    // Keep appending until the page chain must grow and hit the disk.
+    let mut saw_error = false;
+    for i in 0..100u32 {
+        if let Err(e) = store.append(&[7u8; 1000]) {
+            assert!(matches!(e, StorageError::Io(_)), "unexpected error {e}");
+            saw_error = true;
+            let _ = i;
+            break;
+        }
+    }
+    assert!(saw_error, "write budget of zero must surface ENOSPC");
+
+    vfs.set_write_budget(None);
+    let id = store.append(b"after recovery").unwrap();
+    assert_eq!(store.get(id).unwrap(), b"after recovery");
+}
+
+/// Short reads and writes at the VFS layer are invisible above it.
+#[test]
+fn short_io_does_not_affect_store_correctness() {
+    let vfs = FaultVfs::new();
+    vfs.set_short_writes(Some(100));
+    vfs.set_short_reads(Some(64));
+    let path = Path::new("crash.db");
+    let file = PageFile::create_with(&vfs, path).unwrap();
+    let pool = BufferPool::new(file, 2);
+    let mut store = RecordStore::create(pool).unwrap();
+    let ids: Vec<RecordId> = (0..50u32)
+        .map(|i| store.append(&record_bytes(500, i as u8)).unwrap())
+        .collect();
+    store.sync().unwrap();
+    let first = store.first_page();
+    drop(store);
+
+    let file = PageFile::open_with(&vfs, path).unwrap();
+    let pool = BufferPool::new(file, 2);
+    let store = RecordStore::open(pool, first).unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(store.get(*id).unwrap(), record_bytes(500, i as u8));
+    }
+}

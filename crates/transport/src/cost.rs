@@ -184,18 +184,23 @@ mod tests {
 
     #[test]
     fn metric_check_rejects_asymmetry() {
-        let c = CostMatrix::from_fn(2, |i, j| if i < j { 1.0 } else if i > j { 2.0 } else { 0.0 });
+        let c = CostMatrix::from_fn(2, |i, j| {
+            if i < j {
+                1.0
+            } else if i > j {
+                2.0
+            } else {
+                0.0
+            }
+        });
         assert!(!c.is_metric(1e-12));
     }
 
     #[test]
     fn metric_check_rejects_triangle_violation() {
         // d(0,2) = 10 but d(0,1) + d(1,2) = 2.
-        let c = CostMatrix::from_vec(
-            3,
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let c =
+            CostMatrix::from_vec(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]).unwrap();
         assert!(!c.is_metric(1e-12));
     }
 

@@ -47,8 +47,9 @@ pub use cost::CostMatrix;
 pub use partial::{emd_partial, emd_partial_rect};
 pub use rect::{RectCost, RectCostError};
 pub use solver::{
-    solve_transportation, solve_transportation_general, solve_transportation_rect, CostAccess,
-    Flow, TransportError, TransportSolution,
+    solve_transportation, solve_transportation_general, solve_transportation_general_with,
+    solve_transportation_rect, solve_transportation_with, CostAccess, Flow, PivotRule,
+    SolverOptions, TransportError, TransportSolution,
 };
 
 /// Mass-balance tolerance: supplies and demands must agree to within this
@@ -65,6 +66,18 @@ pub fn emd(x: &[f64], y: &[f64], cost: &CostMatrix) -> Result<f64, TransportErro
     emd_with_flow(x, y, cost).map(|(value, _)| value)
 }
 
+/// [`emd`] with explicit [`SolverOptions`] — notably
+/// [`PivotRule::Bland`] as an anti-cycling retry after
+/// [`TransportError::IterationLimit`].
+pub fn emd_with_options(
+    x: &[f64],
+    y: &[f64],
+    cost: &CostMatrix,
+    options: SolverOptions,
+) -> Result<f64, TransportError> {
+    emd_with_flow_and_options(x, y, cost, options).map(|(value, _)| value)
+}
+
 /// Like [`emd`], but also returns the optimal flow matrix as a list of
 /// `(source_bin, target_bin, mass)` triples.
 ///
@@ -75,6 +88,16 @@ pub fn emd_with_flow(
     x: &[f64],
     y: &[f64],
     cost: &CostMatrix,
+) -> Result<(f64, Vec<Flow>), TransportError> {
+    emd_with_flow_and_options(x, y, cost, SolverOptions::default())
+}
+
+/// [`emd_with_flow`] with explicit [`SolverOptions`].
+pub fn emd_with_flow_and_options(
+    x: &[f64],
+    y: &[f64],
+    cost: &CostMatrix,
+    options: SolverOptions,
 ) -> Result<(f64, Vec<Flow>), TransportError> {
     if x.len() != y.len() {
         return Err(TransportError::ShapeMismatch {
@@ -101,7 +124,7 @@ pub fn emd_with_flow(
         // Two empty histograms are identical by convention.
         return Ok((0.0, Vec::new()));
     }
-    let solution = solve_transportation(x, y, cost)?;
+    let solution = solve_transportation_with(x, y, cost, options)?;
     Ok((solution.total_cost / mass_x, solution.flows))
 }
 

@@ -86,11 +86,7 @@ pub fn emd_partial_rect<C: CostAccess>(
             }
         });
         let sol = solve_transportation_rect(x, &demands, &padded)?;
-        let flows = sol
-            .flows
-            .into_iter()
-            .filter(|f| f.to != y.len())
-            .collect();
+        let flows = sol.flows.into_iter().filter(|f| f.to != y.len()).collect();
         Ok((sol.total_cost / transported, flows))
     } else {
         // Dummy *source* supplies y's surplus at zero cost.

@@ -121,6 +121,33 @@ impl CostAccess for RectCost {
 /// Optimality tolerance on reduced costs, relative to the largest cost.
 const OPT_EPS: f64 = 1e-10;
 
+/// Entering-variable selection rule for the simplex pivots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Dantzig-style: the non-basic cell with the most negative reduced
+    /// cost enters (ties broken by lowest `(i, j)`). Fastest in practice
+    /// but can cycle on pathologically degenerate instances.
+    #[default]
+    LargestReduction,
+    /// Bland's rule: the *first* cell (in `(i, j)` order) with a negative
+    /// reduced cost enters, and the leaving cell with the lowest index is
+    /// preferred among ties. Provably never cycles, at the price of more
+    /// pivots — the right tool when [`TransportError::IterationLimit`]
+    /// was hit under the default rule.
+    Bland,
+}
+
+/// Tuning knobs for the transportation simplex.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverOptions {
+    /// Entering-variable selection rule.
+    pub pivot_rule: PivotRule,
+    /// Overrides the pivot cap. `None` uses the built-in safety net of
+    /// `20·(n·m + n + m) + 1000`. Tests use tiny caps to force
+    /// [`TransportError::IterationLimit`] deterministically.
+    pub max_pivots: Option<usize>,
+}
+
 /// Solves the balanced transportation problem `min Σ c_ij f_ij` with row
 /// sums `x` and column sums `y`.
 ///
@@ -133,6 +160,16 @@ pub fn solve_transportation(
     y: &[f64],
     cost: &CostMatrix,
 ) -> Result<TransportSolution, TransportError> {
+    solve_transportation_with(x, y, cost, SolverOptions::default())
+}
+
+/// [`solve_transportation`] with explicit [`SolverOptions`].
+pub fn solve_transportation_with(
+    x: &[f64],
+    y: &[f64],
+    cost: &CostMatrix,
+    options: SolverOptions,
+) -> Result<TransportSolution, TransportError> {
     let n = x.len();
     let m = y.len();
     if n != m || cost.len() != n {
@@ -141,7 +178,7 @@ pub fn solve_transportation(
             demands: m,
         });
     }
-    solve_transportation_general(x, y, cost)
+    solve_transportation_general_with(x, y, cost, options)
 }
 
 /// Solves a balanced transportation problem with a possibly rectangular
@@ -164,11 +201,21 @@ pub fn solve_transportation_rect(
     solve_transportation_general(x, y, cost)
 }
 
-/// Shared driver over any [`CostAccess`].
+/// Shared driver over any [`CostAccess`], with default options.
 pub fn solve_transportation_general<C: CostAccess>(
     x: &[f64],
     y: &[f64],
     cost: &C,
+) -> Result<TransportSolution, TransportError> {
+    solve_transportation_general_with(x, y, cost, SolverOptions::default())
+}
+
+/// Shared driver over any [`CostAccess`] with explicit [`SolverOptions`].
+pub fn solve_transportation_general_with<C: CostAccess>(
+    x: &[f64],
+    y: &[f64],
+    cost: &C,
+    options: SolverOptions,
 ) -> Result<TransportSolution, TransportError> {
     let n = x.len();
     let m = y.len();
@@ -195,7 +242,7 @@ pub fn solve_transportation_general<C: CostAccess>(
 
     let mut state = State::new(n, m, cost);
     state.vogel_init(x, y);
-    let pivots = state.optimize()?;
+    let pivots = state.optimize(options)?;
 
     let mut total = 0.0;
     let mut flows = Vec::new();
@@ -282,7 +329,11 @@ impl<'a, C: CostAccess> State<'a, C> {
                     }
                 }
             }
-            let pen = if second.is_finite() { second - best } else { 0.0 };
+            let pen = if second.is_finite() {
+                second - best
+            } else {
+                0.0
+            };
             (pen, best_j)
         };
         let col_penalty = |c: usize, row_open: &[bool]| -> (f64, usize) {
@@ -301,7 +352,11 @@ impl<'a, C: CostAccess> State<'a, C> {
                     }
                 }
             }
-            let pen = if second.is_finite() { second - best } else { 0.0 };
+            let pen = if second.is_finite() {
+                second - best
+            } else {
+                0.0
+            };
             (pen, best_i)
         };
 
@@ -472,27 +527,32 @@ impl<'a, C: CostAccess> State<'a, C> {
     }
 
     /// Runs MODI iterations until no reduced cost is negative.
-    fn optimize(&mut self) -> Result<usize, TransportError> {
+    fn optimize(&mut self, options: SolverOptions) -> Result<usize, TransportError> {
         let (n, m) = (self.n, self.m);
         let scale = self.cost.max().max(1.0);
         let tol = OPT_EPS * scale;
-        // Generous cap: transportation simplex converges in O(n·m) pivots in
-        // practice; the quadratic-in-cells cap is a safety net only.
-        let max_pivots = 20 * (n * m + n + m) + 1000;
+        // Generous default cap: transportation simplex converges in O(n·m)
+        // pivots in practice; the quadratic-in-cells cap is a safety net.
+        let max_pivots = options.max_pivots.unwrap_or(20 * (n * m + n + m) + 1000);
         let mut pivots = 0usize;
         loop {
             let (u, v) = self.potentials()?;
-            // Entering cell: most negative reduced cost, ties broken by
-            // lowest (i, j) for determinism.
+            // Entering cell. LargestReduction: most negative reduced cost,
+            // ties broken by lowest (i, j) for determinism. Bland: first
+            // cell in (i, j) order with any negative reduced cost —
+            // anti-cycling at the cost of more pivots.
             let mut best = -tol;
             let mut enter: Option<(usize, usize)> = None;
-            for i in 0..n {
+            'scan: for i in 0..n {
                 for j in 0..m {
                     if !self.is_basic[i * m + j] {
                         let rc = self.cost.at(i, j) - u[i] - v[j];
                         if rc < best {
                             best = rc;
                             enter = Some((i, j));
+                            if options.pivot_rule == PivotRule::Bland {
+                                break 'scan;
+                            }
                         }
                     }
                 }
@@ -562,11 +622,8 @@ mod tests {
         // Classic 3x3: supplies [20,30,25], demands [10,35,30],
         // costs [[8,6,10],[9,12,13],[14,9,16]].
         // Balanced totals = 75.
-        let cost = CostMatrix::from_vec(
-            3,
-            vec![8.0, 6.0, 10.0, 9.0, 12.0, 13.0, 14.0, 9.0, 16.0],
-        )
-        .unwrap();
+        let cost = CostMatrix::from_vec(3, vec![8.0, 6.0, 10.0, 9.0, 12.0, 13.0, 14.0, 9.0, 16.0])
+            .unwrap();
         let sol = solve_transportation(&[20.0, 30.0, 25.0], &[10.0, 35.0, 30.0], &cost).unwrap();
         // Optimum 735 verified by exhaustive enumeration of integral flow
         // matrices with these margins (and by the lp_crosscheck test).

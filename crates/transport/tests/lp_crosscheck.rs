@@ -38,13 +38,17 @@ fn solve_via_lp(x: &[f64], y: &[f64], cost: &CostMatrix) -> f64 {
         }
         p.constrain(col, Relation::Eq, y[j]);
     }
-    p.solve().expect("LP formulation must be feasible").objective
+    p.solve()
+        .expect("LP formulation must be feasible")
+        .objective
 }
 
 fn random_instance(rng: &mut StdRng, n: usize) -> (Vec<f64>, Vec<f64>, CostMatrix) {
     // Random point sets in the unit square define a Euclidean ground
     // distance; random masses normalized to a common total.
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cost = CostMatrix::from_fn(n, |i, j| {
         let (xi, yi) = pts[i];
         let (xj, yj) = pts[j];
@@ -88,8 +92,8 @@ fn agrees_with_lp_on_random_euclidean_instances() {
     for trial in 0..60 {
         let n = 2 + (trial % 7);
         let (x, y, cost) = random_instance(&mut rng, n);
-        let ts = solve_transportation(&x, &y, &cost)
-            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let ts =
+            solve_transportation(&x, &y, &cost).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         let lp = solve_via_lp(&x, &y, &cost);
         assert!(
             (ts.total_cost - lp).abs() <= 1e-7 * (1.0 + lp.abs()),

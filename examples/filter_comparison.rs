@@ -45,7 +45,10 @@ fn main() {
             .collect();
 
         println!("\n=== {n_bins}-bin histograms (grid {axes:?}) ===");
-        println!("{:<10} {:>12} {:>14}", "filter", "mean LB/EMD", "ns per eval");
+        println!(
+            "{:<10} {:>12} {:>14}",
+            "filter", "mean LB/EMD", "ns per eval"
+        );
         for filter in &filters {
             let start = Instant::now();
             let mut ratio_sum = 0.0;

@@ -29,7 +29,10 @@ fn main() {
     let (value, flows) = emd_with_flow(x.bins(), y.bins(), &cost).expect("balanced");
     println!("EMD(image 0, image 1) = {value:.6}\n");
     println!("optimal flow ({} positive entries):", flows.len());
-    println!("{:>4} {:>4} {:>10} {:>10} {:>12}", "from", "to", "mass", "cost", "contribution");
+    println!(
+        "{:>4} {:>4} {:>10} {:>10} {:>12}",
+        "from", "to", "mass", "cost", "contribution"
+    );
     let mut total = 0.0;
     for f in &flows {
         let c = cost.get(f.from, f.to);
@@ -42,10 +45,17 @@ fn main() {
             f.mass,
             c,
             contribution,
-            if f.from == f.to { "   (free: same bin)" } else { "" }
+            if f.from == f.to {
+                "   (free: same bin)"
+            } else {
+                ""
+            }
         );
     }
-    println!("\nsum of contributions / mass = {:.6} (equals the EMD)", total / x.mass());
+    println!(
+        "\nsum of contributions / mass = {:.6} (equals the EMD)",
+        total / x.mass()
+    );
 
     // Marginal check: row sums reproduce x, column sums reproduce y.
     let n = grid.num_bins();

@@ -58,7 +58,7 @@ fn main() {
             .filter(|(id, _)| *id != qid)
             .map(|(id, h)| (id, measure.distance(q, h)))
             .collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         ranked
             .iter()
             .take(k)
@@ -73,7 +73,7 @@ fn main() {
     for &qid in &queries {
         let q = db.get(qid);
         // EMD ranking via the multistep engine (excluding the query itself).
-        let emd_result = engine.knn(q, k + 1);
+        let emd_result = engine.knn(q, k + 1).expect("query failed");
         emd_hits += emd_result
             .items
             .iter()
@@ -96,7 +96,7 @@ fn main() {
     std::fs::create_dir_all(&out).expect("create output dir");
     let qid = queries[0];
     save_ppm(&corpus.generate_image(qid as u64), out.join("query.ppm")).expect("write ppm");
-    let result = engine.knn(db.get(qid), 6);
+    let result = engine.knn(db.get(qid), 6).expect("query failed");
     for (rank, (id, dist)) in result.items.iter().enumerate() {
         let path = out.join(format!("neighbor_{rank}_d{dist:.4}.ppm"));
         save_ppm(&corpus.generate_image(*id as u64), &path).expect("write ppm");

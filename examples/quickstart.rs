@@ -54,7 +54,7 @@ fn main() {
                 .build(),
         ),
     ] {
-        let result = engine.knn(query, k);
+        let result = engine.knn(query, k).expect("query failed");
         println!("\n=== {label} ===");
         println!(
             "  {k}-NN result ids: {:?}",

@@ -23,14 +23,18 @@ fn main() {
     let engine = QueryEngine::builder(&db, &grid).build();
 
     let query = db.get(99);
-    let mut stream = engine.nearest_stream(query);
+    let mut stream = engine.nearest_stream(query).expect("stream open failed");
 
     println!("\npaging through the exact EMD ranking of {n} images:");
     for page in 0..4 {
         print!("page {page}:");
         for _ in 0..5 {
             match stream.next() {
-                Some((id, d)) => print!("  #{id} ({d:.4})"),
+                Some(Ok((id, d))) => print!("  #{id} ({d:.4})"),
+                Some(Err(e)) => {
+                    println!("\nstream failed: {e}");
+                    return;
+                }
                 None => break,
             }
         }

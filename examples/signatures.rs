@@ -38,9 +38,7 @@ fn main() {
         .map(|(i, s)| {
             (
                 i,
-                query
-                    .emd(s, euclidean)
-                    .expect("signatures share unit mass"),
+                query.emd(s, euclidean).expect("signatures share unit mass"),
             )
         })
         .collect();
@@ -69,6 +67,9 @@ fn main() {
     let balanced = query.emd(other, euclidean).expect("balanced");
     let (partial, flows) = query.emd_partial(&half, euclidean).expect("partial");
     println!("  balanced EMD(query, other)      = {balanced:.4}");
-    println!("  partial  EMD(query, half-other) = {partial:.4} ({} flows)", flows.len());
+    println!(
+        "  partial  EMD(query, half-other) = {partial:.4} ({} flows)",
+        flows.len()
+    );
     println!("  the partial match may be cheaper: only half the mass must travel.");
 }

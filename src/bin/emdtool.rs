@@ -76,7 +76,9 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} {v} is not a number")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} {v} is not a number")),
     }
 }
 
@@ -114,7 +116,7 @@ fn info(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("dimensions : {}", db.dims());
     let variances = db.bin_variances();
     let mut top: Vec<(usize, f64)> = variances.iter().copied().enumerate().collect();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "top-variance bins (reduced LB_Man index candidates): {:?}",
         top.iter().take(3).map(|(i, _)| *i).collect::<Vec<_>>()
@@ -162,8 +164,12 @@ fn query(flags: &HashMap<String, String>) -> Result<(), String> {
             };
             engine.knn(&q, k)
         }
-    };
+    }
+    .map_err(|e| format!("query failed: {e}"))?;
 
+    for note in &result.stats.degradations {
+        eprintln!("warning: {note}");
+    }
     println!("{k}-NN of object {id} ({} pipeline):", pipeline);
     for (rank, (oid, dist)) in result.items.iter().enumerate() {
         println!("  {rank:>2}. object {oid:>6}  emd {dist:.6}");

@@ -27,7 +27,13 @@ fn decode_histogram(bytes: &[u8]) -> Result<Histogram, StorageError> {
         return Err(StorageError::BadRecord);
     }
     let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
-    if bytes.len() != 4 + n * 8 {
+    // Checked arithmetic: on 32-bit targets a hostile header (n near
+    // u32::MAX) would overflow `4 + n * 8` and alias a short buffer.
+    let expected = n
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(4))
+        .ok_or(StorageError::BadRecord)?;
+    if bytes.len() != expected {
         return Err(StorageError::BadRecord);
     }
     let bins = bytes[4..]
@@ -96,6 +102,22 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_record_headers_are_rejected() {
+        // Too short for the header at all.
+        assert!(decode_histogram(&[1, 2]).is_err());
+        // Bin count far larger than the buffer — must be rejected without
+        // any arithmetic overflow, even where usize is 32 bits.
+        let mut hostile = u32::MAX.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0u8; 16]);
+        assert!(decode_histogram(&hostile).is_err());
+        // Length mismatch (claims 3 bins, carries 2).
+        let mut short = 3u32.to_le_bytes().to_vec();
+        short.extend_from_slice(&1.0f64.to_le_bytes());
+        short.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(decode_histogram(&short).is_err());
     }
 
     #[test]

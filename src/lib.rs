@@ -34,7 +34,7 @@
 //! let engine = QueryEngine::builder(&db, &grid).build();
 //!
 //! // 3. Query: 5 nearest neighbors of image 0's histogram.
-//! let result = engine.knn(db.get(0), 5);
+//! let result = engine.knn(db.get(0), 5).expect("query failed");
 //! assert_eq!(result.items.len(), 5);
 //! assert_eq!(result.items[0].0, 0); // the image itself, at distance 0
 //!
@@ -53,6 +53,7 @@ pub use earthmover_storage as storage_engine;
 pub use earthmover_transport as transport;
 
 pub use earthmover_core::db::HistogramDb;
+pub use earthmover_core::error::PipelineError;
 pub use earthmover_core::ground::BinGrid;
 pub use earthmover_core::histogram::Histogram;
 pub use earthmover_core::lower_bounds::{

@@ -9,8 +9,8 @@
 
 use earthmover::core::multistep::{optimal_knn, range_query, ScanSource};
 use earthmover::{
-    linear_scan_knn, BinGrid, CostMatrix, DistanceMeasure, ExactEmd, Histogram, HistogramDb,
-    LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
+    linear_scan_knn, BinGrid, CostMatrix, DistanceMeasure, ExactEmd, Histogram, HistogramDb, LbAvg,
+    LbEuclidean, LbIm, LbManhattan, LbMax,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -111,8 +111,8 @@ proptest! {
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
         let im = LbIm::new(&cost);
 
-        let brute = linear_scan_knn(&db, &q, k, &exact);
-        let multi = optimal_knn(&source, &db, &q, k, &[&im], &exact);
+        let brute = linear_scan_knn(&db, &q, k, &exact).unwrap();
+        let multi = optimal_knn(&source, &db, &q, k, &[&im], &exact).unwrap();
         prop_assert_eq!(multi.items.len(), brute.items.len());
         for ((_, a), (_, b)) in multi.items.iter().zip(&brute.items) {
             prop_assert!((a - b).abs() < 1e-9);
@@ -133,7 +133,7 @@ proptest! {
         let q = random_histogram(&mut rng, grid.num_bins());
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
-        let result = range_query(&source, &db, &q, eps, &[], &exact);
+        let result = range_query(&source, &db, &q, eps, &[], &exact).unwrap();
         // Results are distance-ordered; compare as id sets.
         let mut got: Vec<usize> = result.items.iter().map(|(id, _)| *id).collect();
         got.sort_unstable();

@@ -18,11 +18,13 @@ fn full_pipeline_matches_brute_force_on_corpus_data() {
     let db = build(&grid, 300, 42);
     let exact = ExactEmd::new(grid.cost_matrix());
     let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(900));
-    let queries: Vec<_> = (1000..1005u64).map(|id| corpus.histogram(id, &grid)).collect();
+    let queries: Vec<_> = (1000..1005u64)
+        .map(|id| corpus.histogram(id, &grid))
+        .collect();
 
     for q in &queries {
         let q = q.clone().into_normalized().unwrap();
-        let brute = linear_scan_knn(&db, &q, 10, &exact);
+        let brute = linear_scan_knn(&db, &q, 10, &exact).unwrap();
         let bd: Vec<f64> = brute.items.iter().map(|(_, d)| *d).collect();
         for stage in [
             FirstStage::AvgIndex,
@@ -35,7 +37,7 @@ fn full_pipeline_matches_brute_force_on_corpus_data() {
                     .first_stage(stage)
                     .algorithm(alg)
                     .build();
-                let r = engine.knn(&q, 10);
+                let r = engine.knn(&q, 10).unwrap();
                 let rd: Vec<f64> = r.items.iter().map(|(_, d)| *d).collect();
                 assert_eq!(rd.len(), bd.len(), "{stage:?}/{alg:?}");
                 for (a, b) in rd.iter().zip(&bd) {
@@ -58,8 +60,8 @@ fn persistence_round_trip_preserves_query_results() {
     let engine_a = QueryEngine::builder(&db, &grid).build();
     let engine_b = QueryEngine::builder(&reloaded, &grid).build();
     let q = db.get(11);
-    let a = engine_a.knn(q, 5);
-    let b = engine_b.knn(q, 5);
+    let a = engine_a.knn(q, 5).unwrap();
+    let b = engine_b.knn(q, 5).unwrap();
     assert_eq!(
         a.items.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
         b.items.iter().map(|(id, _)| *id).collect::<Vec<_>>()
@@ -80,12 +82,14 @@ fn selectivity_improves_along_the_paper_filter_ladder() {
         let im = QueryEngine::builder(&db, &grid)
             .first_stage(FirstStage::ImScan)
             .build()
-            .knn(&q, 10);
+            .knn(&q, 10)
+            .unwrap();
         let man = QueryEngine::builder(&db, &grid)
             .first_stage(FirstStage::ManhattanScan)
             .lb_im(false)
             .build()
-            .knn(&q, 10);
+            .knn(&q, 10)
+            .unwrap();
         im_total += im.stats.exact_evaluations;
         man_total += man.stats.exact_evaluations;
     }
@@ -103,7 +107,7 @@ fn parallel_scan_agrees_with_engine_results() {
     let q = db.get(42);
     let par = earthmover::core::parallel::scan_knn(&db, q, &exact, 5, 4);
     let engine = QueryEngine::builder(&db, &grid).build();
-    let multi = engine.knn(q, 5);
+    let multi = engine.knn(q, 5).unwrap();
     for ((id_a, d_a), (id_b, d_b)) in par.iter().zip(&multi.items) {
         assert_eq!(id_a, id_b);
         assert!((d_a - d_b).abs() < 1e-9);

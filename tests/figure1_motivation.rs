@@ -20,7 +20,11 @@ fn line_cost(n: usize) -> CostMatrix {
 }
 
 fn l1(x: &Histogram, y: &Histogram) -> f64 {
-    x.bins().iter().zip(y.bins()).map(|(a, b)| (a - b).abs()).sum()
+    x.bins()
+        .iter()
+        .zip(y.bins())
+        .map(|(a, b)| (a - b).abs())
+        .sum()
 }
 
 fn fixtures() -> (Histogram, Histogram, Histogram) {

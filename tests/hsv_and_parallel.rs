@@ -24,8 +24,8 @@ fn hsv_color_space_pipeline_is_complete() {
     let engine = QueryEngine::builder(&db, &grid).build();
     for qid in [3, 77, 151] {
         let q = db.get(qid);
-        let multi = engine.knn(q, 7);
-        let brute = linear_scan_knn(&db, q, 7, &exact);
+        let multi = engine.knn(q, 7).unwrap();
+        let brute = linear_scan_knn(&db, q, 7, &exact).unwrap();
         for ((_, a), (_, b)) in multi.items.iter().zip(&brute.items) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -42,7 +42,11 @@ fn hsv_and_rgb_histograms_differ() {
     });
     let a = rgb_corpus.histogram(0, &grid);
     let b = hsv_corpus.histogram(0, &grid);
-    assert_ne!(a.bins(), b.bins(), "projections must place mass differently");
+    assert_ne!(
+        a.bins(),
+        b.bins(),
+        "projections must place mass differently"
+    );
 }
 
 #[test]
@@ -70,14 +74,14 @@ fn index_ranking_cost_grows_with_pulls() {
     let source = RtreeSource::build(&db, AvgReducer::new(grid.centroids().to_vec()));
     let q = db.get(0);
 
-    let mut few = source.ranking(q);
+    let mut few = source.ranking(q).unwrap();
     for _ in 0..10 {
-        few.next();
+        few.next().unwrap();
     }
     let few_cost = few.cost();
 
-    let mut all = source.ranking(q);
-    while all.next().is_some() {}
+    let mut all = source.ranking(q).unwrap();
+    while all.next().unwrap().is_some() {}
     let all_cost = all.cost();
 
     assert!(
@@ -97,7 +101,10 @@ fn engine_rejects_mismatched_grid() {
     let result = std::panic::catch_unwind(|| {
         let _ = QueryEngine::builder(&db, &grid64).build();
     });
-    assert!(result.is_err(), "16-bin DB with 64-bin grid must be rejected");
+    assert!(
+        result.is_err(),
+        "16-bin DB with 64-bin grid must be rejected"
+    );
 }
 
 #[test]

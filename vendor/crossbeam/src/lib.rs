@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on
+//! `std::thread::scope` (stable since Rust 1.63, after crossbeam's scoped
+//! threads were designed). Wired in through `[patch.crates-io]`.
+//!
+//! Semantics differ from real crossbeam in one corner: when a spawned
+//! thread panics, `std::thread::scope` resumes the panic on the spawning
+//! thread instead of returning `Err`. Every caller in this workspace
+//! immediately `.expect()`s the returned `Result`, so the observable
+//! behavior (a panic with the worker's payload) is the same.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Spawn handle passed to the closure of [`scope`].
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate_disjoint_slices() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|s| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                s.spawn(move |_| {
+                    for c in chunk.iter_mut() {
+                        *c = i as u32 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+}

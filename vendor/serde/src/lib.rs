@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few statistics
+//! structs as forward-looking annotations; no format crate consumes them.
+//! This stub supplies marker traits of the same names and (behind the
+//! `derive` feature) re-exports no-op derive macros, so those annotations
+//! compile without network access. Wired in through `[patch.crates-io]`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! This workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! forward-looking annotations — no serde data format crate is in the
+//! dependency tree, and nothing takes `T: Serialize` bounds. Expanding to
+//! an empty token stream keeps those annotations compiling without the
+//! real serde machinery. Wired in through `[patch.crates-io]`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
