@@ -1,0 +1,169 @@
+//! `pipeline_telemetry` — machine-readable bench emitter.
+//!
+//! Runs the paper's engine configurations over a synthetic workload and
+//! writes one JSON document (`BENCH_pipeline.json` by default) with
+//! per-configuration selectivity, throughput, and per-stage latency
+//! percentiles. CI runs this on a small corpus and archives the output,
+//! so pipeline-cost regressions leave a machine-readable trail.
+//!
+//! ```sh
+//! pipeline_telemetry --dims 16 --db-size 300 --queries 10 --k 5 \
+//!     --out BENCH_pipeline.json
+//! ```
+
+use earthmover_bench::{Config, Workload};
+use earthmover_core::pipeline::KnnAlgorithm;
+use earthmover_core::stats::QueryStats;
+use earthmover_obs::{json_escape, json_f64, LatencyHistogram};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    dims: usize,
+    db_size: usize,
+    queries: usize,
+    k: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dims: 16,
+        db_size: 300,
+        queries: 10,
+        k: 5,
+        seed: 2006,
+        out: "BENCH_pipeline.json".to_string(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = || -> Result<usize, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{flag} {value} is not a number"))
+        };
+        match flag.as_str() {
+            "--dims" => args.dims = num()?,
+            "--db-size" => args.db_size = num()?,
+            "--queries" => args.queries = num()?,
+            "--k" => args.k = num()?,
+            "--seed" => args.seed = num()? as u64,
+            "--out" => args.out = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Latency percentiles of one histogram as a JSON object.
+fn percentiles_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum_seconds\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        h.count(),
+        json_f64(h.sum_secs()),
+        json_f64(h.quantile(0.50)),
+        json_f64(h.quantile(0.95)),
+        json_f64(h.quantile(0.99)),
+    )
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    eprintln!(
+        "pipeline_telemetry: dims={} db_size={} queries={} k={}",
+        args.dims, args.db_size, args.queries, args.k
+    );
+    let workload = Workload::build(args.dims, args.db_size, args.queries, args.seed);
+
+    let mut config_blocks = Vec::new();
+    for config in Config::all() {
+        let engine = config.engine(&workload, KnnAlgorithm::Optimal);
+        let query_latency = LatencyHistogram::default();
+        // Insertion-ordered per-stage histograms (candidate source, each
+        // intermediate filter by name, exact refinement).
+        let mut stages: BTreeMap<String, LatencyHistogram> = BTreeMap::new();
+        let mut stage_order: Vec<String> = Vec::new();
+        let mut merged = QueryStats::default();
+        let wall = Instant::now();
+        for q in &workload.queries {
+            let result = engine
+                .knn(q, args.k)
+                .map_err(|e| format!("{}: query failed: {e}", config.label()))?;
+            query_latency.observe(result.stats.elapsed);
+            for (name, elapsed) in &result.stats.stage_elapsed {
+                if !stages.contains_key(name) {
+                    stage_order.push(name.clone());
+                }
+                stages.entry(name.clone()).or_default().observe(*elapsed);
+            }
+            merged.merge(&result.stats);
+        }
+        let wall = wall.elapsed().as_secs_f64();
+        let n = workload.queries.len().max(1) as f64;
+
+        let stage_json: Vec<String> = stage_order
+            .iter()
+            .map(|name| {
+                format!(
+                    "{{\"name\":\"{}\",\"latency\":{}}}",
+                    json_escape(name),
+                    percentiles_json(&stages[name])
+                )
+            })
+            .collect();
+        let degradations: Vec<String> = merged
+            .degradations
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect();
+        config_blocks.push(format!(
+            "{{\"label\":\"{}\",\"selectivity\":{},\"throughput_qps\":{},\
+             \"exact_evaluations_per_query\":{},\"node_accesses_per_query\":{},\
+             \"latency\":{},\"stages\":[{}],\"degradations\":[{}]}}",
+            json_escape(config.label()),
+            json_f64(merged.exact_evaluations as f64 / (merged.db_size.max(1) as f64 * n)),
+            json_f64(if wall > 0.0 { n / wall } else { 0.0 }),
+            json_f64(merged.exact_evaluations as f64 / n),
+            json_f64(merged.node_accesses as f64 / n),
+            percentiles_json(&query_latency),
+            stage_json.join(","),
+            degradations.join(","),
+        ));
+        eprintln!(
+            "  {:<18} selectivity {:.4} ({} stages timed)",
+            config.label(),
+            merged.exact_evaluations as f64 / (merged.db_size.max(1) as f64 * n),
+            stage_order.len()
+        );
+    }
+
+    let doc = format!(
+        "{{\"schema\":\"bench_pipeline/v1\",\"dims\":{},\"db_size\":{},\
+         \"queries\":{},\"k\":{},\"seed\":{},\"configs\":[{}]}}",
+        args.dims,
+        args.db_size,
+        args.queries,
+        args.k,
+        args.seed,
+        config_blocks.join(","),
+    );
+    std::fs::write(&args.out, &doc).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

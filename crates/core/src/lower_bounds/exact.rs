@@ -5,9 +5,18 @@ use super::DistanceMeasure;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use earthmover_lp::{Problem, Relation};
+use earthmover_obs as obs;
 use earthmover_transport::{
     emd_with_options, CostMatrix, PivotRule, SolverOptions, TransportError,
 };
+
+/// Degradation note for ladder rung 1 (Bland's anti-cycling rule).
+pub const RUNG_BLAND: &str =
+    "exact EMD: transportation simplex hit its pivot cap; recovered via Bland's rule";
+
+/// Degradation note for ladder rung 2 (independent dense two-phase LP).
+pub const RUNG_DENSE_LP: &str =
+    "exact EMD: transportation simplex exhausted; recovered via dense LP";
 
 /// Exact EMD refinement step, backed by the transportation simplex.
 ///
@@ -53,23 +62,46 @@ impl ExactEmd {
     /// Computes the EMD through the recovery ladder (see the type docs),
     /// returning a typed error instead of panicking.
     pub fn try_distance(&self, x: &Histogram, y: &Histogram) -> Result<f64, PipelineError> {
+        self.try_distance_traced(x, y).map(|(d, _)| d)
+    }
+
+    /// [`ExactEmd::try_distance`] plus the recovery-ladder rung that
+    /// produced the value: `None` for the default pivot rule, or a note
+    /// naming the fallback (Bland's rule / dense LP). Emits an
+    /// `exact_emd` span with the rung as an attribute (0 = default,
+    /// 1 = Bland, 2 = dense LP).
+    pub fn try_distance_traced(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<(f64, Option<&'static str>), PipelineError> {
         debug_assert!(
             x.mass_matches(y, 1e-7),
             "EMD requires equal-mass histograms: {} vs {}",
             x.mass(),
             y.mass()
         );
+        let mut span = obs::span!("exact_emd", bins = x.len());
         let default = SolverOptions::default();
         match emd_with_options(x.bins(), y.bins(), &self.cost, default) {
-            Ok(v) => Ok(v),
+            Ok(v) => {
+                span.record("rung", 0.0);
+                Ok((v, None))
+            }
             Err(TransportError::IterationLimit) => {
                 let bland = SolverOptions {
                     pivot_rule: PivotRule::Bland,
                     max_pivots: None,
                 };
                 match emd_with_options(x.bins(), y.bins(), &self.cost, bland) {
-                    Ok(v) => Ok(v),
-                    Err(TransportError::IterationLimit) => self.lp_distance(x, y),
+                    Ok(v) => {
+                        span.record("rung", 1.0);
+                        Ok((v, Some(RUNG_BLAND)))
+                    }
+                    Err(TransportError::IterationLimit) => {
+                        span.record("rung", 2.0);
+                        self.lp_distance(x, y).map(|v| (v, Some(RUNG_DENSE_LP)))
+                    }
                     Err(e) => Err(PipelineError::Distance(e)),
                 }
             }
@@ -132,6 +164,14 @@ impl DistanceMeasure for ExactEmd {
         ExactEmd::try_distance(self, x, y)
     }
 
+    fn try_distance_noted(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<(f64, Option<&'static str>), PipelineError> {
+        self.try_distance_traced(x, y)
+    }
+
     fn name(&self) -> &'static str {
         "EMD"
     }
@@ -164,6 +204,16 @@ mod tests {
         let x = Histogram::normalized(vec![1.0, 2.0, 0.0, 1.0, 1.0]).unwrap();
         let y = Histogram::normalized(vec![0.0, 1.0, 3.0, 0.0, 1.0]).unwrap();
         assert_eq!(m.try_distance(&x, &y).unwrap(), m.distance(&x, &y));
+    }
+
+    #[test]
+    fn healthy_path_reports_no_rung_note() {
+        let m = ExactEmd::new(line_cost(4));
+        let x = Histogram::normalized(vec![1.0, 2.0, 1.0, 0.5]).unwrap();
+        let y = Histogram::normalized(vec![0.5, 1.0, 2.0, 1.0]).unwrap();
+        let (d, note) = m.try_distance_traced(&x, &y).unwrap();
+        assert!((d - m.distance(&x, &y)).abs() < 1e-12);
+        assert_eq!(note, None, "default rung must not report a degradation");
     }
 
     #[test]

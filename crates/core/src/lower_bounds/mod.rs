@@ -57,6 +57,21 @@ pub trait DistanceMeasure: Send + Sync {
         Ok(self.distance(x, y))
     }
 
+    /// Like [`DistanceMeasure::try_distance`], but also reports how the
+    /// value was obtained: `None` for the normal path, or a degradation
+    /// note when the measure had to fall back internally (e.g.
+    /// [`ExactEmd`] leaving its default simplex rung for Bland's rule or
+    /// the dense LP). The multistep algorithms surface the note in
+    /// [`crate::stats::QueryStats::degradations`] so solver fallbacks are
+    /// visible per query, not just solver-internal.
+    fn try_distance_noted(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<(f64, Option<&'static str>), crate::error::PipelineError> {
+        self.try_distance(x, y).map(|d| (d, None))
+    }
+
     /// Short stable name used in statistics and experiment output
     /// (e.g. `"LB_IM"`).
     fn name(&self) -> &'static str;
@@ -72,6 +87,13 @@ impl<T: DistanceMeasure + ?Sized> DistanceMeasure for &T {
         y: &Histogram,
     ) -> Result<f64, crate::error::PipelineError> {
         (**self).try_distance(x, y)
+    }
+    fn try_distance_noted(
+        &self,
+        x: &Histogram,
+        y: &Histogram,
+    ) -> Result<(f64, Option<&'static str>), crate::error::PipelineError> {
+        (**self).try_distance_noted(x, y)
     }
     fn name(&self) -> &'static str {
         (**self).name()

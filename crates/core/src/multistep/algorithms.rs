@@ -5,10 +5,22 @@ use crate::db::HistogramDb;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
-use crate::stats::QueryStats;
+use crate::stats::{stage, QueryStats};
+use earthmover_obs as obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Runs `f`, adding its wall-clock time to `acc`. The per-stage timing
+/// backbone: cheap enough (two monotonic clock reads) to wrap individual
+/// filter evaluations, whose cost is dominated by the distance math.
+#[inline]
+fn timed<T>(acc: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *acc += start.elapsed();
+    out
+}
 
 /// The outcome of a multistep query: result objects with their exact
 /// distances (ascending), plus the work performed.
@@ -62,35 +74,50 @@ pub fn range_query(
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    let mut span = obs::span!("range_query", epsilon = epsilon);
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
         ..Default::default()
     };
 
-    let (candidates, cost) = source.range(q, epsilon)?;
+    let mut source_time = Duration::ZERO;
+    let (candidates, cost) = timed(&mut source_time, || source.range(q, epsilon))?;
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
 
+    let mut filter_times: Vec<Duration> = vec![Duration::ZERO; intermediates.len()];
+    let mut exact_time = Duration::ZERO;
     let mut items = Vec::new();
     'candidates: for (id, _) in candidates {
         let h = db.get(id);
-        for filter in intermediates {
+        for (fi, filter) in intermediates.iter().enumerate() {
             stats.add_filter_evaluations(filter.name(), 1);
-            if filter.distance(q, h) > epsilon {
+            if timed(&mut filter_times[fi], || filter.distance(q, h)) > epsilon {
                 continue 'candidates;
             }
         }
         stats.exact_evaluations += 1;
-        let d = exact.try_distance(q, h)?;
+        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        if let Some(note) = note {
+            stats.record_degradation_once(note);
+        }
         if d <= epsilon {
             items.push((id, d));
         }
     }
 
+    stats.add_stage_elapsed(stage::CANDIDATES, source_time);
+    for (filter, t) in intermediates.iter().zip(filter_times) {
+        stats.add_stage_elapsed(filter.name(), t);
+    }
+    stats.add_stage_elapsed(stage::EXACT, exact_time);
+
     let items = sort_items(items);
     stats.results = items.len() as u64;
-    stats.elapsed = start.elapsed();
+    stats.set_elapsed(start.elapsed());
+    span.record("exact_evaluations", stats.exact_evaluations as f64);
+    span.record("results", stats.results as f64);
     Ok(QueryResult { items, stats })
 }
 
@@ -109,24 +136,28 @@ pub fn gemini_knn(
     k: usize,
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    let mut span = obs::span!("gemini_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
         ..Default::default()
     };
     if k == 0 || db.is_empty() {
-        stats.elapsed = start.elapsed();
+        stats.set_elapsed(start.elapsed());
         return Ok(QueryResult {
             items: Vec::new(),
             stats,
         });
     }
 
+    let mut source_time = Duration::ZERO;
+    let mut exact_time = Duration::ZERO;
+
     // Step 1: k candidates by filter distance.
-    let mut cursor = source.ranking(q)?;
+    let mut cursor = timed(&mut source_time, || source.ranking(q))?;
     let mut primaries = Vec::with_capacity(k);
     while primaries.len() < k {
-        match cursor.next()? {
+        match timed(&mut source_time, || cursor.next())? {
             Some((id, _)) => primaries.push(id),
             None => break,
         }
@@ -140,13 +171,16 @@ pub fn gemini_knn(
     let mut epsilon = 0.0f64;
     for &id in &primaries {
         stats.exact_evaluations += 1;
-        let d = exact.try_distance(q, db.get(id))?;
+        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, db.get(id)))?;
+        if let Some(note) = note {
+            stats.record_degradation_once(note);
+        }
         epsilon = epsilon.max(d);
         evaluated.push((id, d));
     }
 
     // Step 3: filter range query at ε', refine everything not yet refined.
-    let (candidates, cost) = source.range(q, epsilon)?;
+    let (candidates, cost) = timed(&mut source_time, || source.range(q, epsilon))?;
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
     for (id, _) in candidates {
@@ -154,13 +188,21 @@ pub fn gemini_knn(
             continue;
         }
         stats.exact_evaluations += 1;
-        evaluated.push((id, exact.try_distance(q, db.get(id))?));
+        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, db.get(id)))?;
+        if let Some(note) = note {
+            stats.record_degradation_once(note);
+        }
+        evaluated.push((id, d));
     }
+
+    stats.add_stage_elapsed(stage::CANDIDATES, source_time);
+    stats.add_stage_elapsed(stage::EXACT, exact_time);
 
     let mut items = sort_items(evaluated);
     items.truncate(k);
     stats.results = items.len() as u64;
-    stats.elapsed = start.elapsed();
+    stats.set_elapsed(start.elapsed());
+    span.record("exact_evaluations", stats.exact_evaluations as f64);
     Ok(QueryResult { items, stats })
 }
 
@@ -181,24 +223,29 @@ pub fn optimal_knn(
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    let mut span = obs::span!("optimal_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
         ..Default::default()
     };
     if k == 0 || db.is_empty() {
-        stats.elapsed = start.elapsed();
+        stats.set_elapsed(start.elapsed());
         return Ok(QueryResult {
             items: Vec::new(),
             stats,
         });
     }
 
-    let mut cursor = source.ranking(q)?;
+    let mut source_time = Duration::ZERO;
+    let mut filter_times: Vec<Duration> = vec![Duration::ZERO; intermediates.len()];
+    let mut exact_time = Duration::ZERO;
+
+    let mut cursor = timed(&mut source_time, || source.ranking(q))?;
     // Max-heap of the best k exact distances seen so far.
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
-    'stream: while let Some((id, filter_dist)) = cursor.next()? {
+    'stream: while let Some((id, filter_dist)) = timed(&mut source_time, || cursor.next())? {
         let full = best.len() == k;
         // `full` guarantees the heap is nonempty (k > 0 checked above).
         let epsilon = match best.peek() {
@@ -210,15 +257,18 @@ pub fn optimal_knn(
         }
         let h = db.get(id);
         if full {
-            for filter in intermediates {
+            for (fi, filter) in intermediates.iter().enumerate() {
                 stats.add_filter_evaluations(filter.name(), 1);
-                if filter.distance(q, h) > epsilon {
+                if timed(&mut filter_times[fi], || filter.distance(q, h)) > epsilon {
                     continue 'stream;
                 }
             }
         }
         stats.exact_evaluations += 1;
-        let d = exact.try_distance(q, h)?;
+        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        if let Some(note) = note {
+            stats.record_degradation_once(note);
+        }
         if !full {
             best.push(HeapEntry { dist: d, id });
         } else if d < epsilon || (d == epsilon && best.peek().is_some_and(|top| id < top.id)) {
@@ -231,9 +281,16 @@ pub fn optimal_knn(
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
 
+    stats.add_stage_elapsed(stage::CANDIDATES, source_time);
+    for (filter, t) in intermediates.iter().zip(filter_times) {
+        stats.add_stage_elapsed(filter.name(), t);
+    }
+    stats.add_stage_elapsed(stage::EXACT, exact_time);
+
     let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
     stats.results = items.len() as u64;
-    stats.elapsed = start.elapsed();
+    stats.set_elapsed(start.elapsed());
+    span.record("exact_evaluations", stats.exact_evaluations as f64);
     Ok(QueryResult { items, stats })
 }
 
@@ -245,23 +302,30 @@ pub fn linear_scan_knn(
     k: usize,
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    let mut span = obs::span!("linear_scan_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
         ..Default::default()
     };
+    let mut exact_time = Duration::ZERO;
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (id, h) in db.iter() {
         stats.exact_evaluations += 1;
-        let d = exact.try_distance(q, h)?;
+        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        if let Some(note) = note {
+            stats.record_degradation_once(note);
+        }
         best.push(HeapEntry { dist: d, id });
         if best.len() > k {
             best.pop();
         }
     }
+    stats.add_stage_elapsed(stage::EXACT, exact_time);
     let items = sort_items(best.into_iter().map(|e| (e.id, e.dist)).collect());
     stats.results = items.len() as u64;
-    stats.elapsed = start.elapsed();
+    stats.set_elapsed(start.elapsed());
+    span.record("exact_evaluations", stats.exact_evaluations as f64);
     Ok(QueryResult { items, stats })
 }
 
@@ -424,6 +488,70 @@ mod tests {
         assert_eq!(r.items.len(), 7);
         let g = gemini_knn(&source, &db, &q, 50, &exact).unwrap();
         assert_eq!(g.items.len(), 7);
+    }
+
+    #[test]
+    fn stage_timings_cover_every_pipeline_stage() {
+        let (grid, db) = setup(80, 19);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let im = LbIm::new(&cost);
+        let q = random_histogram(&mut StdRng::seed_from_u64(9500), grid.num_bins());
+        let r = optimal_knn(&source, &db, &q, 5, &[&im], &exact).unwrap();
+        let s = &r.stats;
+        // All three stages appear, and exact refinement took real time.
+        assert!(s.stage_time(stage::CANDIDATES).is_some());
+        assert!(s.stage_time("LB_IM").is_some());
+        assert!(s.stage_time(stage::EXACT).unwrap() > Duration::ZERO);
+        // The breakdown never exceeds the total.
+        let stage_sum: Duration = s.stage_elapsed.iter().map(|(_, d)| *d).sum();
+        assert!(stage_sum <= s.elapsed, "{stage_sum:?} > {:?}", s.elapsed);
+        assert_eq!(s.elapsed_max, s.elapsed, "single query: max == total");
+    }
+
+    /// An exact measure that reports a solver-degradation note on every
+    /// pair — exercises the rung plumbing without needing a pathological
+    /// transportation instance.
+    struct DegradedExact(ExactEmd);
+    impl DistanceMeasure for DegradedExact {
+        fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
+            self.0.distance(x, y)
+        }
+        fn try_distance_noted(
+            &self,
+            x: &Histogram,
+            y: &Histogram,
+        ) -> Result<(f64, Option<&'static str>), PipelineError> {
+            self.0
+                .try_distance(x, y)
+                .map(|d| (d, Some("stub: solver recovered via Bland's rule")))
+        }
+        fn name(&self) -> &'static str {
+            "EMD"
+        }
+    }
+
+    #[test]
+    fn solver_rung_notes_surface_once_in_degradations() {
+        let (grid, db) = setup(40, 20);
+        let cost = grid.cost_matrix();
+        let exact = DegradedExact(ExactEmd::new(cost.clone()));
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let q = random_histogram(&mut StdRng::seed_from_u64(9600), grid.num_bins());
+        for result in [
+            optimal_knn(&source, &db, &q, 5, &[], &exact).unwrap(),
+            gemini_knn(&source, &db, &q, 5, &exact).unwrap(),
+            range_query(&source, &db, &q, 0.2, &[], &exact).unwrap(),
+            linear_scan_knn(&db, &q, 5, &exact).unwrap(),
+        ] {
+            assert!(result.stats.exact_evaluations > 1);
+            assert_eq!(
+                result.stats.degradations,
+                vec!["stub: solver recovered via Bland's rule".to_string()],
+                "many degraded evaluations must collapse to one note"
+            );
+        }
     }
 
     #[test]

@@ -24,9 +24,11 @@ use crate::db::HistogramDb;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
-use crate::stats::QueryStats;
+use crate::stats::{stage, QueryStats};
+use earthmover_obs as obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Escalation state of a queued candidate: how many bound levels it has
 /// passed (0 = source filter only; `intermediates.len()` = next is exact).
@@ -77,6 +79,8 @@ pub struct NearestStream<'a> {
     exact: &'a dyn DistanceMeasure,
     heap: BinaryHeap<Item>,
     stats: QueryStats,
+    /// Open for the whole stream lifetime; closes (and reports) on drop.
+    _span: obs::Span,
 }
 
 /// Starts an incremental exact-distance ranking of the database around
@@ -107,6 +111,7 @@ pub fn nearest_stream<'a>(
             db_size: db.len(),
             ..Default::default()
         },
+        _span: obs::span!("nearest_stream"),
     })
 }
 
@@ -126,7 +131,11 @@ impl<'a> NearestStream<'a> {
     fn feed(&mut self) -> Result<(), PipelineError> {
         loop {
             if self.pending.is_none() && !self.source_exhausted {
-                self.pending = self.cursor.next()?;
+                let start = Instant::now();
+                let next = self.cursor.next();
+                self.stats
+                    .add_stage_elapsed(stage::CANDIDATES, start.elapsed());
+                self.pending = next?;
                 if self.pending.is_none() {
                     self.source_exhausted = true;
                 }
@@ -175,12 +184,23 @@ impl<'a> Iterator for NearestStream<'a> {
             let (new_key, new_level) = if item.level < self.intermediates.len() {
                 let filter = self.intermediates[item.level];
                 self.stats.add_filter_evaluations(filter.name(), 1);
+                let start = Instant::now();
+                let d = filter.distance(self.q, h);
+                self.stats.add_stage_elapsed(filter.name(), start.elapsed());
                 // A tighter bound never shrinks: keep the max.
-                (filter.distance(self.q, h).max(item.key), item.level + 1)
+                (d.max(item.key), item.level + 1)
             } else {
                 self.stats.exact_evaluations += 1;
-                match self.exact.try_distance(self.q, h) {
-                    Ok(d) => (d, exact_level),
+                let start = Instant::now();
+                let refined = self.exact.try_distance_noted(self.q, h);
+                self.stats.add_stage_elapsed(stage::EXACT, start.elapsed());
+                match refined {
+                    Ok((d, note)) => {
+                        if let Some(note) = note {
+                            self.stats.record_degradation_once(note);
+                        }
+                        (d, exact_level)
+                    }
                     Err(e) => {
                         self.failed = true;
                         return Some(Err(e));

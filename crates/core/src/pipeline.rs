@@ -23,6 +23,7 @@ use crate::multistep::{
     gemini_knn, optimal_knn, range_query, CandidateSource, QueryResult, RtreeSource, ScanSource,
 };
 use crate::reduce::{AvgReducer, ManhattanReducer};
+use earthmover_obs as obs;
 
 /// How the first (candidate-generating) stage is organized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,8 +253,10 @@ impl<'a> QueryEngine<'a> {
     /// on a sequential scan (see the type docs); only exact-distance
     /// failures that survive the solver recovery ladder surface as errors.
     pub fn knn(&self, q: &Histogram, k: usize) -> Result<QueryResult, PipelineError> {
+        let mut span = obs::span!("engine_knn", k = k);
         match self.knn_on(self.stage.as_source(), q, k) {
             Err(PipelineError::Source { stage, reason }) => {
+                span.record("degraded", 1.0);
                 let mut result = self.knn_on(&self.fallback, q, k)?;
                 Self::record_degradation(&mut result, &stage, &reason);
                 Ok(result)
@@ -297,6 +300,7 @@ impl<'a> QueryEngine<'a> {
     /// ε-range query with the configured pipeline. Degrades to a
     /// sequential scan on first-stage failure, like [`QueryEngine::knn`].
     pub fn range(&self, q: &Histogram, epsilon: f64) -> Result<QueryResult, PipelineError> {
+        let mut span = obs::span!("engine_range", epsilon = epsilon);
         let run = |source: &dyn CandidateSource| {
             range_query(
                 source,
@@ -309,6 +313,7 @@ impl<'a> QueryEngine<'a> {
         };
         match run(self.stage.as_source()) {
             Err(PipelineError::Source { stage, reason }) => {
+                span.record("degraded", 1.0);
                 let mut result = run(&self.fallback)?;
                 Self::record_degradation(&mut result, &stage, &reason);
                 Ok(result)
@@ -521,6 +526,46 @@ mod degradation_tests {
         let engine = QueryEngine::builder(&db, &grid).build();
         let r = engine.knn(&q, 3).unwrap();
         assert!(r.stats.degradations.is_empty());
+    }
+
+    /// Issue satellite: a fault-injected first stage must yield exactly
+    /// one `degradations` entry and results identical to a healthy run.
+    #[test]
+    fn faulted_first_stage_matches_healthy_run_with_one_degradation() {
+        let (grid, db) = setup(70);
+        let cost = grid.cost_matrix();
+        let q = random_histogram(&mut StdRng::seed_from_u64(11), grid.num_bins());
+
+        let healthy = QueryEngine::builder(&db, &grid).build();
+        let good = healthy.knn(&q, 6).unwrap();
+        assert!(good.stats.degradations.is_empty());
+
+        let broken = FailingSource::new(
+            ScanSource::new(&db, LbManhattan::new(&cost)),
+            2,
+            "fault-injected index stage",
+        );
+        let faulted = QueryEngine::builder(&db, &grid)
+            .custom_source(Box::new(broken))
+            .build();
+        let r = faulted.knn(&q, 6).unwrap();
+
+        assert_eq!(
+            r.stats.degradations.len(),
+            1,
+            "fault must surface exactly once, got {:?}",
+            r.stats.degradations
+        );
+        assert_eq!(r.items.len(), good.items.len());
+        for ((id_f, d_f), (id_h, d_h)) in r.items.iter().zip(&good.items) {
+            assert_eq!(id_f, id_h, "result ids must match the healthy run");
+            assert!((d_f - d_h).abs() < 1e-9);
+        }
+        // The degraded run still reports a per-stage time breakdown.
+        assert!(
+            r.stats.stage_time(crate::stats::stage::EXACT).is_some(),
+            "fallback path must keep stage timings"
+        );
     }
 }
 

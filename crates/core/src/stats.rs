@@ -4,10 +4,24 @@
 //! *selectivity* (the fraction of the database that reaches the exact EMD
 //! refinement step) and *response time*. [`QueryStats`] captures both,
 //! plus the hardware-independent operation counts (filter evaluations,
-//! index node accesses) that make runs comparable across machines.
+//! index node accesses) that make runs comparable across machines, and a
+//! per-stage wall-clock breakdown (where inside the pipeline the time
+//! went: candidate generation, each scan filter, exact refinement).
 
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Canonical stage names used in [`QueryStats::stage_elapsed`].
+///
+/// Intermediate filter stages use the filter's own
+/// [`crate::lower_bounds::DistanceMeasure::name`] (e.g. `"LB_IM"`); these
+/// constants name the two stages every pipeline has.
+pub mod stage {
+    /// First stage: candidate generation (index traversal or filter scan).
+    pub const CANDIDATES: &str = "candidates";
+    /// Final stage: exact EMD refinement.
+    pub const EXACT: &str = "exact";
+}
 
 /// Counters and timing for one multistep query execution.
 ///
@@ -15,6 +29,9 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryStats {
     /// Number of database objects (the selectivity denominator).
+    /// Merging keeps the **max**, not the sum — merged records describe
+    /// workloads over the *same* database, so the database size is a
+    /// property, not an accumulator.
     pub db_size: usize,
     /// Filter distance evaluations per pipeline stage, in stage order.
     /// The first entry is the candidate source (index or scan filter);
@@ -27,12 +44,25 @@ pub struct QueryStats {
     pub exact_evaluations: u64,
     /// Result set size.
     pub results: u64,
-    /// Wall-clock execution time.
+    /// Wall-clock execution time. Merging **sums**, so a merged record
+    /// holds the total time across the workload.
     pub elapsed: Duration,
+    /// Worst-case single-query wall-clock time. For a single execution
+    /// this equals [`QueryStats::elapsed`]; merging keeps the **max**, so
+    /// a merged record exposes the workload's slowest query alongside the
+    /// summed total.
+    pub elapsed_max: Duration,
+    /// Wall-clock time per pipeline stage, in stage order: the candidate
+    /// source ([`stage::CANDIDATES`]), each intermediate filter (by its
+    /// filter name), and exact refinement ([`stage::EXACT`]). Stage times
+    /// sum to slightly less than `elapsed` (loop bookkeeping is outside
+    /// any stage). Merging sums per stage.
+    pub stage_elapsed: Vec<(String, Duration)>,
     /// Degradation events recorded while answering the query — e.g. the
     /// index first stage failed and the engine fell back to a sequential
-    /// scan. Empty for a healthy execution; results remain exact either
-    /// way (the fallback filter is also a lower bound).
+    /// scan, or the exact-EMD solver left its default rung (Bland /
+    /// dense-LP recovery). Empty for a healthy execution; results remain
+    /// exact either way.
     pub degradations: Vec<String>,
 }
 
@@ -62,7 +92,47 @@ impl QueryStats {
         self.filter_evaluations.iter().map(|(_, c)| c).sum()
     }
 
-    /// Merges another record (e.g. to average across query workloads).
+    /// Adds wall-clock time to a named stage, merging into an existing
+    /// entry with the same name if present.
+    pub fn add_stage_elapsed(&mut self, stage: &str, elapsed: Duration) {
+        if let Some(entry) = self.stage_elapsed.iter_mut().find(|(n, _)| n == stage) {
+            entry.1 += elapsed;
+        } else {
+            self.stage_elapsed.push((stage.to_string(), elapsed));
+        }
+    }
+
+    /// The recorded time of a named stage, if any.
+    pub fn stage_time(&self, stage: &str) -> Option<Duration> {
+        self.stage_elapsed
+            .iter()
+            .find(|(n, _)| n == stage)
+            .map(|(_, d)| *d)
+    }
+
+    /// Finalizes single-query timing: sets `elapsed` and seeds
+    /// `elapsed_max` with the same value so later [`QueryStats::merge`]
+    /// calls track the worst case correctly.
+    pub fn set_elapsed(&mut self, elapsed: Duration) {
+        self.elapsed = elapsed;
+        self.elapsed_max = elapsed;
+    }
+
+    /// Records a degradation note unless an identical note is already
+    /// present — per-pair solver fallbacks would otherwise flood the list
+    /// with duplicates on a single query.
+    pub fn record_degradation_once(&mut self, note: &str) {
+        if !self.degradations.iter().any(|d| d == note) {
+            self.degradations.push(note.to_string());
+        }
+    }
+
+    /// Merges another record (e.g. to aggregate across query workloads).
+    ///
+    /// Semantics per field: counters and `elapsed` (plus each
+    /// `stage_elapsed` entry) are **summed**; `db_size` and `elapsed_max`
+    /// keep the **max** (the database size is shared across the workload,
+    /// and `elapsed_max` is the worst-case single query).
     pub fn merge(&mut self, other: &QueryStats) {
         self.db_size = self.db_size.max(other.db_size);
         for (name, count) in &other.filter_evaluations {
@@ -72,6 +142,18 @@ impl QueryStats {
         self.exact_evaluations += other.exact_evaluations;
         self.results += other.results;
         self.elapsed += other.elapsed;
+        // A record that never went through `set_elapsed` (hand-built, or
+        // deserialized from an older format) still contributes its total
+        // elapsed as the worst-case estimate.
+        let other_max = other.elapsed_max.max(if other.elapsed_max.is_zero() {
+            other.elapsed
+        } else {
+            other.elapsed_max
+        });
+        self.elapsed_max = self.elapsed_max.max(other_max);
+        for (name, d) in &other.stage_elapsed {
+            self.add_stage_elapsed(name, *d);
+        }
         self.degradations.extend(other.degradations.iter().cloned());
     }
 }
@@ -130,5 +212,74 @@ mod tests {
         assert_eq!(a.exact_evaluations, 5);
         assert_eq!(a.node_accesses, 8);
         assert_eq!(a.filter_evaluations[0].1, 3);
+    }
+
+    #[test]
+    fn merge_sums_elapsed_and_tracks_worst_case() {
+        let mut a = QueryStats::default();
+        a.set_elapsed(Duration::from_millis(10));
+        let mut b = QueryStats::default();
+        b.set_elapsed(Duration::from_millis(30));
+        let mut c = QueryStats::default();
+        c.set_elapsed(Duration::from_millis(20));
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.elapsed, Duration::from_millis(60));
+        assert_eq!(a.elapsed_max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn merge_treats_legacy_records_elapsed_as_max() {
+        // A record built without set_elapsed (elapsed_max still zero)
+        // must still contribute to the worst case.
+        let mut a = QueryStats::default();
+        a.set_elapsed(Duration::from_millis(5));
+        let legacy = QueryStats {
+            elapsed: Duration::from_millis(40),
+            ..Default::default()
+        };
+        a.merge(&legacy);
+        assert_eq!(a.elapsed_max, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn merge_keeps_db_size_max_not_sum() {
+        let mut a = QueryStats {
+            db_size: 100,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            db_size: 100,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.db_size, 100, "db_size is a property, not an accumulator");
+    }
+
+    #[test]
+    fn stage_elapsed_merges_by_name() {
+        let mut a = QueryStats::default();
+        a.add_stage_elapsed(stage::CANDIDATES, Duration::from_micros(100));
+        a.add_stage_elapsed(stage::EXACT, Duration::from_micros(500));
+        let mut b = QueryStats::default();
+        b.add_stage_elapsed(stage::CANDIDATES, Duration::from_micros(50));
+        b.add_stage_elapsed("LB_IM", Duration::from_micros(70));
+        a.merge(&b);
+        assert_eq!(
+            a.stage_time(stage::CANDIDATES),
+            Some(Duration::from_micros(150))
+        );
+        assert_eq!(a.stage_time(stage::EXACT), Some(Duration::from_micros(500)));
+        assert_eq!(a.stage_time("LB_IM"), Some(Duration::from_micros(70)));
+        assert_eq!(a.stage_time("nope"), None);
+    }
+
+    #[test]
+    fn record_degradation_once_dedupes() {
+        let mut s = QueryStats::default();
+        s.record_degradation_once("solver fell back to Bland");
+        s.record_degradation_once("solver fell back to Bland");
+        s.record_degradation_once("other");
+        assert_eq!(s.degradations.len(), 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::tableau::Tableau;
 use crate::{LpError, Problem, Relation, Sense, Solution, EPS};
+use earthmover_obs as obs;
 
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone, Default)]
@@ -24,6 +25,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
     problem.validate()?;
     let n = problem.num_vars();
     let m = problem.constraints.len();
+    let mut span = obs::span!("lp_solve", vars = n, constraints = m);
 
     // Column layout: [0, n) structural, then one slack/surplus per Le/Ge
     // row, then one artificial per Ge/Eq row.
@@ -142,6 +144,7 @@ pub fn solve(problem: &Problem, options: &SolveOptions) -> Result<Solution, LpEr
         Sense::Minimize => raw,
         Sense::Maximize => -raw,
     };
+    span.record("pivots", pivots as f64);
     Ok(Solution {
         objective,
         variables,

@@ -45,6 +45,7 @@
 //! assert_eq!(hits.len(), 2); // objects 0 and 1
 //! ```
 
+use earthmover_obs as obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -356,12 +357,18 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
     /// their distances, plus the number of metric evaluations this query
     /// performed.
     pub fn range(&self, q: &T, epsilon: f64) -> (Vec<(T, f64)>, u64) {
+        let mut span = obs::span!("mtree_range", epsilon = epsilon);
         let before = self.evaluations.get();
         let mut out = Vec::new();
         if self.len > 0 {
             self.range_rec(self.root, q, epsilon, f64::NAN, &mut out);
         }
-        (out, self.evaluations.get() - before)
+        let evals = self.evaluations.get() - before;
+        if span.is_recording() {
+            span.record("distance_evaluations", evals as f64);
+            span.record("results", out.len() as f64);
+        }
+        (out, evals)
     }
 
     fn range_rec(
@@ -409,6 +416,7 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
     /// k-nearest neighbors by best-first search, with the number of
     /// metric evaluations the query performed.
     pub fn knn(&self, q: &T, k: usize) -> (Vec<(T, f64)>, u64) {
+        let mut span = obs::span!("mtree_knn", k = k);
         let before = self.evaluations.get();
         if k == 0 || self.len == 0 {
             return (Vec::new(), 0);
@@ -426,29 +434,37 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
             }
             match item.kind {
                 ItemKind::Object(obj) => result.push((obj, item.bound)),
-                ItemKind::Node(node) => match &self.nodes[node] {
-                    Node::Leaf(entries) => {
-                        for e in entries {
-                            let d = self.dist(&e.object, q);
-                            heap.push(HeapItem {
-                                bound: d,
-                                kind: ItemKind::Object(e.object.clone()),
-                            });
+                ItemKind::Node(node) => {
+                    obs::event!("mtree_node_access");
+                    match &self.nodes[node] {
+                        Node::Leaf(entries) => {
+                            for e in entries {
+                                let d = self.dist(&e.object, q);
+                                heap.push(HeapItem {
+                                    bound: d,
+                                    kind: ItemKind::Object(e.object.clone()),
+                                });
+                            }
+                        }
+                        Node::Internal(entries) => {
+                            for e in entries {
+                                let d = self.dist(&e.object, q);
+                                heap.push(HeapItem {
+                                    bound: (d - e.covering_radius).max(0.0),
+                                    kind: ItemKind::Node(e.child),
+                                });
+                            }
                         }
                     }
-                    Node::Internal(entries) => {
-                        for e in entries {
-                            let d = self.dist(&e.object, q);
-                            heap.push(HeapItem {
-                                bound: (d - e.covering_radius).max(0.0),
-                                kind: ItemKind::Node(e.child),
-                            });
-                        }
-                    }
-                },
+                }
             }
         }
-        (result, self.evaluations.get() - before)
+        let evals = self.evaluations.get() - before;
+        if span.is_recording() {
+            span.record("distance_evaluations", evals as f64);
+            span.record("results", result.len() as f64);
+        }
+        (result, evals)
     }
 }
 

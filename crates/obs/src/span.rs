@@ -1,0 +1,281 @@
+//! Structured spans: named, nestable timing scopes with numeric
+//! attributes, dispatched to the thread's installed [`Subscriber`].
+//!
+//! The design goal is a near-zero disabled cost: creating a [`Span`] when
+//! no subscriber is installed performs one thread-local read and *never
+//! touches the clock*. Only with a subscriber installed does a span take
+//! timestamps, carry attributes, and report a [`SpanRecord`] on drop.
+
+use crate::subscriber::Subscriber;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The subscriber receiving spans closed on this thread, if any.
+    static SUBSCRIBER: RefCell<Option<Arc<dyn Subscriber>>> = const { RefCell::new(None) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Whether a [`SpanRecord`] came from a timed scope or an instantaneous
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A timed scope: `elapsed` is the scope's wall-clock duration.
+    Span,
+    /// An instantaneous occurrence: `elapsed` is zero.
+    Event,
+}
+
+/// One closed span or emitted event, as delivered to a [`Subscriber`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static — span names are code, not data).
+    pub name: &'static str,
+    /// Timed scope or instantaneous event.
+    pub kind: SpanKind,
+    /// Nesting depth at the time the span was opened (0 = top level).
+    pub depth: u16,
+    /// Wall-clock duration of the scope (zero for events).
+    pub elapsed: Duration,
+    /// Numeric attributes attached at creation or via [`Span::record`].
+    pub attrs: Vec<(&'static str, f64)>,
+}
+
+impl SpanRecord {
+    /// The value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<f64> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Installs `subscriber` as this thread's span sink, returning a guard
+/// that restores the previous subscriber (usually none) on drop.
+///
+/// Installation is per-thread by design: the registry-free architecture
+/// means there is no global to contend on, and parallel query threads can
+/// trace independently. Subscribers themselves are `Send + Sync`, so one
+/// [`crate::RingRecorder`] can be installed on many threads at once.
+pub fn install(subscriber: Arc<dyn Subscriber>) -> InstallGuard {
+    let previous = SUBSCRIBER.with(|s| s.replace(Some(subscriber)));
+    InstallGuard { previous }
+}
+
+/// RAII guard of [`install`]; restores the previously installed
+/// subscriber when dropped.
+#[must_use = "dropping the guard immediately uninstalls the subscriber"]
+pub struct InstallGuard {
+    previous: Option<Arc<dyn Subscriber>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        SUBSCRIBER.with(|s| s.replace(self.previous.take()));
+    }
+}
+
+fn current_subscriber() -> Option<Arc<dyn Subscriber>> {
+    SUBSCRIBER.with(|s| s.borrow().clone())
+}
+
+/// The live state of a span that is actually being recorded.
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    depth: u16,
+    attrs: Vec<(&'static str, f64)>,
+    subscriber: Arc<dyn Subscriber>,
+}
+
+/// A timing scope. Create with the [`crate::span!`] macro; the span
+/// reports itself to the installed subscriber when dropped.
+///
+/// With no subscriber installed the span is inert: no timestamps, no
+/// allocation, nothing on drop.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Opens a span named `name` with initial attributes. Prefer the
+    /// [`crate::span!`] macro, which provides the `key = value` sugar.
+    pub fn new(name: &'static str, attrs: &[(&'static str, f64)]) -> Span {
+        let Some(subscriber) = current_subscriber() else {
+            return Span { active: None };
+        };
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        });
+        Span {
+            active: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+                depth,
+                attrs: attrs.to_vec(),
+                subscriber,
+            }),
+        }
+    }
+
+    /// Sets (or overwrites) a numeric attribute on the span — for values
+    /// only known after the work ran, e.g. a pivot count.
+    pub fn record(&mut self, key: &'static str, value: f64) {
+        if let Some(active) = &mut self.active {
+            if let Some(slot) = active.attrs.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                active.attrs.push((key, value));
+            }
+        }
+    }
+
+    /// True when a subscriber is receiving this span — lets call sites
+    /// skip computing expensive attributes when nobody is listening.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            active.subscriber.on_close(&SpanRecord {
+                name: active.name,
+                kind: SpanKind::Span,
+                depth: active.depth,
+                elapsed: active.start.elapsed(),
+                attrs: active.attrs,
+            });
+        }
+    }
+}
+
+/// Emits an instantaneous event to the installed subscriber (no-op when
+/// none is installed). Prefer the [`crate::event!`] macro.
+pub fn emit_event(name: &'static str, attrs: &[(&'static str, f64)]) {
+    if let Some(subscriber) = current_subscriber() {
+        subscriber.on_close(&SpanRecord {
+            name,
+            kind: SpanKind::Event,
+            depth: DEPTH.with(|d| d.get()),
+            elapsed: Duration::ZERO,
+            attrs: attrs.to_vec(),
+        });
+    }
+}
+
+/// Opens a [`Span`]: `span!("name")` or `span!("name", pairs = n, k = 5)`.
+/// Attribute values are converted with `as f64`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::new($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::new($name, &[$((stringify!($key), $value as f64)),+])
+    };
+}
+
+/// Emits an instantaneous event: `event!("name")` or
+/// `event!("name", page = id)`. Attribute values are converted with
+/// `as f64`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::emit_event($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::emit_event($name, &[$((stringify!($key), $value as f64)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RingRecorder;
+
+    #[test]
+    fn no_subscriber_means_inert_span() {
+        let span = crate::span!("nothing", x = 1);
+        assert!(!span.is_recording());
+    }
+
+    #[test]
+    fn spans_nest_and_report_depth() {
+        let recorder = Arc::new(RingRecorder::new(16));
+        let _guard = install(recorder.clone());
+        {
+            let _outer = crate::span!("outer");
+            {
+                let _inner = crate::span!("inner", k = 3);
+            }
+        }
+        let records = recorder.snapshot();
+        assert_eq!(records.len(), 2);
+        // Inner closes first.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[0].attr("k"), Some(3.0));
+        assert_eq!(records[1].name, "outer");
+        assert_eq!(records[1].depth, 0);
+    }
+
+    #[test]
+    fn record_overwrites_and_appends() {
+        let recorder = Arc::new(RingRecorder::new(4));
+        let _guard = install(recorder.clone());
+        {
+            let mut span = crate::span!("s", a = 1);
+            span.record("a", 2.0);
+            span.record("b", 9.0);
+        }
+        let r = &recorder.snapshot()[0];
+        assert_eq!(r.attr("a"), Some(2.0));
+        assert_eq!(r.attr("b"), Some(9.0));
+    }
+
+    #[test]
+    fn events_are_instantaneous() {
+        let recorder = Arc::new(RingRecorder::new(4));
+        let _guard = install(recorder.clone());
+        crate::event!("tick", page = 7);
+        let r = &recorder.snapshot()[0];
+        assert_eq!(r.kind, SpanKind::Event);
+        assert_eq!(r.elapsed, Duration::ZERO);
+        assert_eq!(r.attr("page"), Some(7.0));
+    }
+
+    #[test]
+    fn install_guard_restores_previous() {
+        let a = Arc::new(RingRecorder::new(4));
+        let b = Arc::new(RingRecorder::new(4));
+        let _ga = install(a.clone());
+        {
+            let _gb = install(b.clone());
+            crate::event!("to_b");
+        }
+        crate::event!("to_a");
+        assert_eq!(b.snapshot().len(), 1);
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(a.snapshot()[0].name, "to_a");
+    }
+
+    #[test]
+    fn depth_recovers_after_guard_scopes() {
+        let recorder = Arc::new(RingRecorder::new(8));
+        let _guard = install(recorder.clone());
+        {
+            let _s = crate::span!("one");
+        }
+        {
+            let _s = crate::span!("two");
+        }
+        let records = recorder.snapshot();
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[1].depth, 0);
+    }
+}

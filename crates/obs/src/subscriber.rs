@@ -1,0 +1,231 @@
+//! Span subscribers: where closed spans and events go.
+//!
+//! Three implementations cover the intended uses: [`NoopSubscriber`]
+//! (explicit "discard everything"), [`RingRecorder`] (bounded in-memory
+//! buffer for programmatic inspection and post-hoc aggregation), and
+//! [`JsonLinesEmitter`] (machine-readable JSON-lines stream, e.g. to
+//! stderr for `emdtool --trace-json`).
+
+use crate::span::{SpanKind, SpanRecord};
+use crate::{json_escape, json_f64};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A sink for closed spans and emitted events.
+///
+/// Implementations must be cheap and non-blocking where possible: they
+/// run inline on the instrumented thread, inside hot query loops.
+pub trait Subscriber: Send + Sync {
+    /// Called when a span closes or an event is emitted.
+    fn on_close(&self, record: &SpanRecord);
+}
+
+/// Discards everything. Installing it is equivalent to installing
+/// nothing, but makes the intent explicit (and gives tests a subscriber
+/// whose cost is exactly the dispatch overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn on_close(&self, _record: &SpanRecord) {}
+}
+
+/// A bounded in-memory recorder: keeps the most recent `capacity`
+/// records, dropping the oldest under pressure (and counting the drops,
+/// so truncation is never silent).
+#[derive(Debug)]
+pub struct RingRecorder {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl RingRecorder {
+    /// A recorder holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> RingRecorder {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the buffered records, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently buffered records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Subscriber for RingRecorder {
+    fn on_close(&self, record: &SpanRecord) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record.clone());
+    }
+}
+
+/// Streams each record as one JSON object per line to a writer.
+///
+/// Line shape:
+/// `{"name":"exact_emd","kind":"span","depth":2,"elapsed_us":12.5,"attrs":{"rung":0}}`
+///
+/// Write errors are swallowed (telemetry must never take the query path
+/// down) but counted in [`JsonLinesEmitter::write_errors`].
+pub struct JsonLinesEmitter {
+    out: Mutex<Box<dyn Write + Send>>,
+    write_errors: AtomicU64,
+}
+
+impl JsonLinesEmitter {
+    /// Emits to an arbitrary writer (a file, a pipe, a `Vec<u8>` in
+    /// tests).
+    pub fn new(out: Box<dyn Write + Send>) -> JsonLinesEmitter {
+        JsonLinesEmitter {
+            out: Mutex::new(out),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Emits to standard error — the conventional channel for traces, so
+    /// stdout stays clean for results.
+    pub fn stderr() -> JsonLinesEmitter {
+        JsonLinesEmitter::new(Box::new(std::io::stderr()))
+    }
+
+    /// Number of records lost to write errors.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Formats one record as its JSON line (without the newline).
+    pub fn format(record: &SpanRecord) -> String {
+        let kind = match record.kind {
+            SpanKind::Span => "span",
+            SpanKind::Event => "event",
+        };
+        let mut attrs = String::new();
+        for (i, (k, v)) in record.attrs.iter().enumerate() {
+            if i > 0 {
+                attrs.push(',');
+            }
+            attrs.push_str(&format!("\"{}\":{}", json_escape(k), json_f64(*v)));
+        }
+        format!(
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"depth\":{},\"elapsed_us\":{},\"attrs\":{{{}}}}}",
+            json_escape(record.name),
+            kind,
+            record.depth,
+            json_f64(record.elapsed.as_secs_f64() * 1e6),
+            attrs
+        )
+    }
+}
+
+impl Subscriber for JsonLinesEmitter {
+    fn on_close(&self, record: &SpanRecord) {
+        let line = Self::format(record);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if writeln!(out, "{line}").is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn record(name: &'static str) -> SpanRecord {
+        SpanRecord {
+            name,
+            kind: SpanKind::Span,
+            depth: 0,
+            elapsed: Duration::from_micros(250),
+            attrs: vec![("pairs", 4.0)],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = RingRecorder::new(2);
+        ring.on_close(&record("a"));
+        ring.on_close(&record("b"));
+        ring.on_close(&record("c"));
+        let names: Vec<&str> = ring.snapshot().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let line = JsonLinesEmitter::format(&record("exact_emd"));
+        assert_eq!(
+            line,
+            "{\"name\":\"exact_emd\",\"kind\":\"span\",\"depth\":0,\
+             \"elapsed_us\":250,\"attrs\":{\"pairs\":4}}"
+        );
+    }
+
+    #[test]
+    fn json_lines_writes_to_buffer() {
+        // A shared Vec<u8> writer to observe emitter output.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let emitter = JsonLinesEmitter::new(Box::new(Shared(buf.clone())));
+        emitter.on_close(&record("a"));
+        emitter.on_close(&record("b"));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert_eq!(emitter.write_errors(), 0);
+    }
+}

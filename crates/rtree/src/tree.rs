@@ -3,6 +3,7 @@
 
 use crate::metric::PointMetric;
 use crate::rect::Rect;
+use earthmover_obs as obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -303,6 +304,8 @@ impl RTree {
         stats: &mut QueryStats,
     ) -> Vec<(u64, f64)> {
         assert_eq!(q.len(), self.dims, "query arity mismatch");
+        let mut span = obs::span!("rtree_range", epsilon = epsilon);
+        let before = (stats.node_accesses, stats.distance_evaluations);
         let mut out = Vec::new();
         if self.len == 0 {
             return out;
@@ -328,6 +331,14 @@ impl RTree {
                     }
                 }
             }
+        }
+        if span.is_recording() {
+            span.record("node_accesses", (stats.node_accesses - before.0) as f64);
+            span.record(
+                "distance_evaluations",
+                (stats.distance_evaluations - before.1) as f64,
+            );
+            span.record("results", out.len() as f64);
         }
         out
     }
@@ -719,6 +730,7 @@ fn advance_ranking<M: PointMetric>(
             ItemKind::Point(id) => return Some((id, item.dist)),
             ItemKind::Node(node) => {
                 stats.node_accesses += 1;
+                obs::event!("rtree_node_access");
                 match &tree.nodes[node] {
                     Node::Leaf(entries) => {
                         for e in entries {

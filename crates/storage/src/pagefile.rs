@@ -34,6 +34,7 @@
 //! references.
 
 use crate::vfs::{StdVfs, Vfs, VfsFile};
+use earthmover_obs as obs;
 use std::fmt;
 use std::path::Path;
 
@@ -211,6 +212,7 @@ impl PageFile {
         vfs: &dyn Vfs,
         path: &Path,
     ) -> Result<(Self, RecoveryReport), StorageError> {
+        let mut span = obs::span!("storage_recovery_scan");
         let mut pf = Self::open_with(vfs, path)?;
         let mut report = RecoveryReport {
             version: pf.version,
@@ -223,10 +225,15 @@ impl PageFile {
             match pf.read_page(id, &mut buf) {
                 Ok(()) => {}
                 Err(StorageError::PageChecksum(_)) | Err(StorageError::Io(_)) => {
+                    obs::event!("storage_crc_recovery", page = id.0);
                     report.corrupt_pages.push(id);
                 }
                 Err(e) => return Err(e),
             }
+        }
+        if span.is_recording() {
+            span.record("pages", report.num_pages as f64);
+            span.record("corrupt_pages", report.corrupt_pages.len() as f64);
         }
         Ok((pf, report))
     }
@@ -267,6 +274,7 @@ impl PageFile {
         id: PageId,
         content: &[u8; PAGE_SIZE],
     ) -> Result<(), StorageError> {
+        obs::event!("storage_page_write", page = id.0);
         let offset = self.page_offset(id);
         if self.version >= VERSION {
             let mut phys = [0u8; PAGE_SIZE + TRAILER];
@@ -283,6 +291,7 @@ impl PageFile {
     /// Reads the physical slot of `id` into `buf`, verifying the v2
     /// trailer checksum.
     fn read_page_raw(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        obs::event!("storage_page_read", page = id.0);
         let offset = self.page_offset(id);
         if self.version >= VERSION {
             let mut phys = [0u8; PAGE_SIZE + TRAILER];

@@ -9,6 +9,10 @@
 //!
 //! # k-NN query using database object 42 as the query:
 //! emdtool query --db photos.emdb --id 42 --k 10 --pipeline combo
+//!
+//! # Same query with telemetry: Prometheus + JSON metric dumps and a
+//! # JSON-lines span trace on stderr:
+//! emdtool query --db photos.emdb --id 42 --metrics-out run --trace-json -
 //! ```
 //!
 //! Pipelines: `combo` (3-D LB_Avg index → LB_IM → EMD, the paper's best),
@@ -17,9 +21,12 @@
 
 use earthmover::core::storage;
 use earthmover::imaging::corpus::{CorpusConfig, SyntheticCorpus};
+use earthmover::obs;
 use earthmover::{linear_scan_knn, BinGrid, ExactEmd, FirstStage, HistogramDb, QueryEngine};
 use std::collections::HashMap;
+use std::fs::File;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +34,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage:\n  emdtool generate --out FILE [--count N] [--dims 16|32|64] [--seed S]\n  \
              emdtool info --db FILE\n  \
-             emdtool query --db FILE --id OBJ [--k K] [--pipeline combo|man|im|scan]"
+             emdtool query --db FILE --id OBJ [--k K] [--pipeline combo|man|im|scan]\n    \
+             [--metrics-out PATH]   write PATH.prom + PATH.json metric dumps\n    \
+             [--trace-json PATH|-]  stream span records as JSON lines (- = stderr)"
         );
         return ExitCode::from(2);
     };
@@ -132,6 +141,98 @@ fn info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Fans one record out to several subscribers, so `--metrics-out` and
+/// `--trace-json` can observe the same query.
+struct Tee(Vec<Arc<dyn obs::Subscriber>>);
+
+impl obs::Subscriber for Tee {
+    fn on_close(&self, record: &obs::SpanRecord) {
+        for s in &self.0 {
+            s.on_close(record);
+        }
+    }
+}
+
+/// Builds the subscriber stack requested by `--metrics-out` /
+/// `--trace-json`. Returns the recorder (for post-hoc aggregation) and
+/// the install guard keeping the stack live.
+fn telemetry(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<Arc<obs::RingRecorder>>, Option<obs::InstallGuard>), String> {
+    let mut subscribers: Vec<Arc<dyn obs::Subscriber>> = Vec::new();
+    let recorder = if flags.contains_key("metrics-out") {
+        let r = Arc::new(obs::RingRecorder::new(1 << 16));
+        subscribers.push(r.clone());
+        Some(r)
+    } else {
+        None
+    };
+    if let Some(path) = flags.get("trace-json") {
+        let emitter = if path == "-" || path == "stderr" {
+            obs::JsonLinesEmitter::stderr()
+        } else {
+            let file = File::create(path).map_err(|e| format!("--trace-json {path}: {e}"))?;
+            obs::JsonLinesEmitter::new(Box::new(file))
+        };
+        subscribers.push(Arc::new(emitter));
+    }
+    let guard = match subscribers.len() {
+        0 => None,
+        1 => Some(obs::install(subscribers.pop().expect("one subscriber"))),
+        _ => Some(obs::install(Arc::new(Tee(subscribers)))),
+    };
+    Ok((recorder, guard))
+}
+
+/// Aggregates the recorded spans and the query's own stats into a
+/// registry and writes `<base>.prom` and `<base>.json`.
+fn write_metrics(
+    base: &str,
+    recorder: &obs::RingRecorder,
+    stats: &earthmover::core::stats::QueryStats,
+) -> Result<(), String> {
+    let registry = obs::MetricsRegistry::new();
+    for record in recorder.drain() {
+        registry.observe_span(&record);
+    }
+    if recorder.dropped() > 0 {
+        registry
+            .counter("trace_records_dropped_total")
+            .inc(recorder.dropped());
+    }
+    for (name, elapsed) in &stats.stage_elapsed {
+        registry
+            .histogram(&format!("stage_{name}_seconds"))
+            .observe(*elapsed);
+    }
+    registry
+        .counter("exact_evaluations_total")
+        .inc(stats.exact_evaluations);
+    for (name, evals) in &stats.filter_evaluations {
+        registry
+            .counter(&format!("filter_{name}_evaluations_total"))
+            .inc(*evals);
+    }
+    registry
+        .counter("node_accesses_total")
+        .inc(stats.node_accesses);
+    registry
+        .counter("degradations_total")
+        .inc(stats.degradations.len() as u64);
+    registry.gauge("db_size").set(stats.db_size as f64);
+    registry.gauge("selectivity").set(stats.selectivity());
+    registry
+        .gauge("query_seconds")
+        .set(stats.elapsed.as_secs_f64());
+    let prom_path = format!("{base}.prom");
+    let json_path = format!("{base}.json");
+    std::fs::write(&prom_path, registry.to_prometheus())
+        .map_err(|e| format!("{prom_path}: {e}"))?;
+    std::fs::write(&json_path, registry.to_json()).map_err(|e| format!("{json_path}: {e}"))?;
+    eprintln!("metrics written to {prom_path} and {json_path}");
+    Ok(())
+}
+
 fn query(flags: &HashMap<String, String>) -> Result<(), String> {
     let db = load_db(flags)?;
     let id: usize = get_num(flags, "id", usize::MAX)?;
@@ -145,6 +246,7 @@ fn query(flags: &HashMap<String, String>) -> Result<(), String> {
     let pipeline = flags.get("pipeline").map(|s| s.as_str()).unwrap_or("combo");
     let grid = grid_for(db.dims())?;
     let q = db.get(id).clone();
+    let (recorder, _guard) = telemetry(flags)?;
 
     let result = match pipeline {
         "scan" => {
@@ -183,5 +285,16 @@ fn query(flags: &HashMap<String, String>) -> Result<(), String> {
         s.node_accesses,
         s.elapsed
     );
+    if !s.stage_elapsed.is_empty() {
+        let stages: Vec<String> = s
+            .stage_elapsed
+            .iter()
+            .map(|(name, d)| format!("{name} {:.1}µs", d.as_secs_f64() * 1e6))
+            .collect();
+        println!("stages: {}", stages.join(", "));
+    }
+    if let Some(recorder) = &recorder {
+        write_metrics(get(flags, "metrics-out")?, recorder, s)?;
+    }
     Ok(())
 }

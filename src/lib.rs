@@ -48,6 +48,7 @@ pub use earthmover_core as core;
 pub use earthmover_imaging as imaging;
 pub use earthmover_lp as lp;
 pub use earthmover_mtree as mtree;
+pub use earthmover_obs as obs;
 pub use earthmover_rtree as rtree;
 pub use earthmover_storage as storage_engine;
 pub use earthmover_transport as transport;
