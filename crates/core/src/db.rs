@@ -59,6 +59,7 @@ impl HistogramDb {
     /// [`HistogramDb::try_push`] that panics on an all-zero histogram —
     /// convenient for generated workloads that guarantee positive mass.
     pub fn push(&mut self, h: Histogram) -> usize {
+        // xlint:allow(panic_freedom): documented panicking convenience; fallible callers use try_push
         self.try_push(h).expect("histogram must have positive mass")
     }
 

@@ -30,7 +30,12 @@ impl PartialEq for Histogram {
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistogramError {
     /// A bin entry is negative or non-finite.
-    InvalidBin { index: usize, value: f64 },
+    InvalidBin {
+        /// Index of the offending bin.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
     /// Normalization was requested for an all-zero histogram.
     ZeroMass,
 }

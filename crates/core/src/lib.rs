@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Lower-bound filters and multistep query processing for the Earth
 //! Mover's Distance — the primary contribution of Assent, Wenning & Seidl,
 //! *"Approximation Techniques for Indexing the Earth Mover's Distance in

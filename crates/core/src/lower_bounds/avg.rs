@@ -57,6 +57,7 @@ impl LbAvg {
             return avg;
         }
         for (xi, r) in x.bins().iter().zip(&self.centroids) {
+            // xlint:allow(float_discipline): exact-zero sparsity skip; any nonzero mass must contribute
             if *xi != 0.0 {
                 for k in 0..d {
                     avg[k] += xi * r[k];

@@ -153,6 +153,7 @@ impl DistanceMeasure for ExactEmd {
         // filter-style callers that have validated their inputs. Query
         // pipelines go through `try_distance` and never reach this.
         self.try_distance(x, y).unwrap_or_else(|e| {
+            // xlint:allow(panic_freedom): documented contract of the infallible trait method; pipelines use try_distance
             panic!(
                 "exact EMD precondition violated (histograms must share arity \
                  and total mass; normalize queries before use): {e}"

@@ -424,7 +424,7 @@ mod tests {
                 .map(|(id, h)| (id, exact.distance(&q, h)))
                 .filter(|(_, d)| *d <= eps)
                 .collect();
-            expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             assert_eq!(result.items.len(), expect.len(), "eps {eps}");
             for ((ida, da), (idb, db_)) in result.items.iter().zip(&expect) {
                 assert_eq!(ida, idb);

@@ -252,7 +252,7 @@ mod tests {
         assert_eq!(got.len(), db.len());
         // Nondecreasing and matching the brute-force distances.
         let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(f64::total_cmp);
         for (i, (_, d)) in got.iter().enumerate() {
             assert!((d - brute[i]).abs() < 1e-9, "rank {i}: {d} vs {}", brute[i]);
         }
@@ -305,7 +305,7 @@ mod tests {
         let stream = nearest_stream(&source, &db, &q, vec![&im], &exact).unwrap();
         let got: Vec<f64> = stream.map(|r| r.unwrap().1).collect();
         let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(f64::total_cmp);
         assert_eq!(got.len(), brute.len());
         for (a, b) in got.iter().zip(&brute) {
             assert!((a - b).abs() < 1e-9);

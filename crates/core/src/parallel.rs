@@ -46,6 +46,7 @@ pub fn scan_distances(
     })
     // Intentional panic: a worker panic means the measure itself
     // panicked (a bug, not a query-time condition) — propagate it.
+    // xlint:allow(panic_freedom): re-raises a worker panic; swallowing it would return garbage distances
     .expect("scan worker panicked");
     out
 }
@@ -121,8 +122,10 @@ pub fn batch_knn(
     })
     // Intentional panic: a worker panic is a bug in the measure itself,
     // not a recoverable query failure — propagate it.
+    // xlint:allow(panic_freedom): re-raises a worker panic; swallowing it would return garbage results
     .expect("batch worker panicked");
     out.into_iter()
+        // xlint:allow(panic_freedom): the scope above joined every worker, so each slot is Some
         .map(|r| r.expect("every slot is filled by a worker"))
         .collect()
 }

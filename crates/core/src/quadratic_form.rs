@@ -25,9 +25,19 @@ pub struct QuadraticForm {
 #[derive(Debug, Clone, PartialEq)]
 pub enum QuadraticFormError {
     /// Matrix buffer length is not `n * n`.
-    WrongLength { expected: usize, actual: usize },
+    WrongLength {
+        /// Required buffer length (`n * n`).
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
     /// An entry is non-finite.
-    NonFinite { row: usize, col: usize },
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for QuadraticFormError {

@@ -28,11 +28,24 @@ pub struct Signature {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SignatureError {
     /// `points` and `weights` differ in length.
-    LengthMismatch { points: usize, weights: usize },
+    LengthMismatch {
+        /// Number of representative points supplied.
+        points: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
     /// A weight is negative or non-finite.
-    InvalidWeight { index: usize, value: f64 },
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
     /// Representatives have inconsistent arity.
-    RaggedPoints { index: usize },
+    RaggedPoints {
+        /// Index of the first point whose arity differs from point 0.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SignatureError {

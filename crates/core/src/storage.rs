@@ -37,7 +37,12 @@ pub enum StorageError {
     /// The file is shorter than its header promises.
     Truncated,
     /// The checksum does not match — the file is corrupt.
-    ChecksumMismatch { expected: u32, actual: u32 },
+    ChecksumMismatch {
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC computed over the file contents.
+        actual: u32,
+    },
     /// The payload contains an invalid histogram (negative/NaN bin).
     InvalidData(String),
 }
@@ -68,6 +73,31 @@ impl From<io::Error> for StorageError {
     }
 }
 
+/// Little-endian reads used by the decoder. Total functions: bytes past
+/// the end of the slice read as zero, so there is no panic path. Every
+/// caller checks the buffer length before decoding (the `< 24` and
+/// `expected_len` guards), which makes zero-extension unreachable; the
+/// checksum would reject such input anyway.
+fn le_bytes<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(bytes.iter().skip(at)) {
+        *o = *b;
+    }
+    out
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(le_bytes(bytes, at))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(le_bytes(bytes, at))
+}
+
+fn le_f64(bytes: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(le_bytes(bytes, at))
+}
+
 /// Serializes a database into the `EMDB` byte format.
 pub fn to_bytes(db: &HistogramDb) -> Vec<u8> {
     let mut buf = Vec::with_capacity(20 + db.len() * db.dims() * 8 + 4);
@@ -94,12 +124,12 @@ pub fn from_bytes(bytes: &[u8]) -> Result<HistogramDb, StorageError> {
     if &bytes[0..4] != MAGIC {
         return Err(StorageError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let version = le_u32(bytes, 4);
     if version != VERSION {
         return Err(StorageError::UnsupportedVersion(version));
     }
-    let dims = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-    let count = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let dims = le_u32(bytes, 8) as usize;
+    let count = le_u64(bytes, 12) as usize;
     if dims == 0 {
         return Err(StorageError::InvalidData("zero dimensionality".into()));
     }
@@ -111,7 +141,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<HistogramDb, StorageError> {
     if bytes.len() != expected_len {
         return Err(StorageError::Truncated);
     }
-    let stored_crc = u32::from_le_bytes(bytes[expected_len - 4..].try_into().expect("4 bytes"));
+    let stored_crc = le_u32(bytes, expected_len - 4);
     let actual_crc = crc32(&bytes[..expected_len - 4]);
     if stored_crc != actual_crc {
         return Err(StorageError::ChecksumMismatch {
@@ -125,9 +155,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<HistogramDb, StorageError> {
     for record in 0..count {
         let mut bins = Vec::with_capacity(dims);
         for _ in 0..dims {
-            bins.push(f64::from_le_bytes(
-                bytes[offset..offset + 8].try_into().expect("8 bytes"),
-            ));
+            bins.push(le_f64(bytes, offset));
             offset += 8;
         }
         let h = Histogram::new(bins)

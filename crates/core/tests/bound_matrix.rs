@@ -1,0 +1,128 @@
+//! The bound matrix: one property test covering **every**
+//! [`DistanceMeasure`] implementation at once.
+//!
+//! xlint's `admissibility_coverage` rule checks that each type
+//! implementing `DistanceMeasure` in `crates/core` is named in this
+//! file, so a new filter cannot land without joining the matrix. Two
+//! families of properties are checked on random histograms over grid
+//! ground distances:
+//!
+//! 1. **Admissibility** (the completeness precondition of §4 of the
+//!    paper): `LB(x, y) ≤ EMD(x, y)` for every lower bound, including
+//!    `ExactEmd` itself (trivially, as equality).
+//! 2. **Dominance**, the known orderings between the bounds:
+//!    `LB_Eucl ≤ LB_Man ≤ EMD` (the Lp chain: for p ≥ 1 and
+//!    sub-probability vectors, `‖·‖_p ≤ ‖·‖_1`, scaled by the
+//!    respective minimal costs) and the symmetrized independent
+//!    minimization dominating the plain one,
+//!    `LB_IM^sym = max(fwd, bwd) ≥ LB_IM^fwd`.
+
+use earthmover_core::{
+    BinGrid, DistanceMeasure, ExactEmd, Histogram, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random normalized histogram with some sparsity.
+fn random_histogram(rng: &mut StdRng, n: usize) -> Histogram {
+    let mut bins: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    for b in bins.iter_mut() {
+        if rng.gen_bool(0.4) {
+            *b = 0.0;
+        }
+    }
+    if bins.iter().sum::<f64>() == 0.0 {
+        bins[rng.gen_range(0..n)] = 1.0;
+    }
+    Histogram::normalized(bins).unwrap()
+}
+
+/// Slack for accumulated floating-point error in the LP solve.
+const EPS: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Admissibility and dominance for the full measure matrix.
+    #[test]
+    fn bound_matrix(seed in any::<u64>(), shape in 0usize..3) {
+        let axes = [vec![4, 2, 2], vec![4, 4, 2], vec![3, 3, 3]][shape].clone();
+        let grid = BinGrid::new(axes);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, grid.num_bins());
+        let y = random_histogram(&mut rng, grid.num_bins());
+
+        let exact = ExactEmd::new(cost.clone()).distance(&x, &y);
+        prop_assert!(exact.is_finite() && exact >= 0.0, "EMD = {exact}");
+
+        let lb_avg = LbAvg::new(grid.centroids().to_vec()).distance(&x, &y);
+        let lb_man = LbManhattan::new(&cost).distance(&x, &y);
+        let lb_max = LbMax::new(&cost).distance(&x, &y);
+        let lb_eucl = LbEuclidean::new(&cost).distance(&x, &y);
+        let lb_im_plain = LbIm::with_options(&cost, false, false).distance(&x, &y);
+        let lb_im_refined = LbIm::with_options(&cost, true, false).distance(&x, &y);
+        let lb_im_sym = LbIm::new(&cost).distance(&x, &y);
+
+        // 1. Admissibility: every row of the matrix is at most the EMD.
+        //    ExactEmd participates as the (trivial) identity row.
+        let rows: [(&str, f64); 8] = [
+            ("ExactEmd", ExactEmd::new(cost.clone()).distance(&x, &y)),
+            ("LbAvg", lb_avg),
+            ("LbManhattan", lb_man),
+            ("LbMax", lb_max),
+            ("LbEuclidean", lb_eucl),
+            ("LbIm plain", lb_im_plain),
+            ("LbIm refined", lb_im_refined),
+            ("LbIm symmetric", lb_im_sym),
+        ];
+        for (name, lb) in rows {
+            prop_assert!(lb <= exact + EPS, "{name}: {lb} > EMD {exact}");
+            prop_assert!(lb >= 0.0, "{name}: negative bound {lb}");
+        }
+
+        // 2a. Dominance within the Lp family: the Euclidean relaxation
+        //     never exceeds the Manhattan one.
+        prop_assert!(
+            lb_eucl <= lb_man + EPS,
+            "LB_Eucl {lb_eucl} > LB_Man {lb_man}"
+        );
+
+        // 2b. Dominance within the IM family: each strengthening of the
+        //     independent minimization only raises the bound.
+        prop_assert!(
+            lb_im_refined >= lb_im_plain - EPS,
+            "diagonal refinement lowered LB_IM: {lb_im_refined} < {lb_im_plain}"
+        );
+        prop_assert!(
+            lb_im_sym >= lb_im_refined - EPS,
+            "symmetrization lowered LB_IM: {lb_im_sym} < {lb_im_refined}"
+        );
+    }
+
+    /// The identity rows of the matrix: every measure reports a zero (or
+    /// at least admissible) self-distance, and `ExactEmd` is exactly zero.
+    #[test]
+    fn self_distance_is_zero(seed in any::<u64>()) {
+        let grid = BinGrid::new(vec![3, 3, 2]);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, grid.num_bins());
+
+        let exact = ExactEmd::new(cost.clone()).distance(&x, &x);
+        prop_assert!(exact.abs() <= EPS, "EMD(x, x) = {exact}");
+        let measures: [(&str, Box<dyn DistanceMeasure>); 6] = [
+            ("LbAvg", Box::new(LbAvg::new(grid.centroids().to_vec()))),
+            ("LbManhattan", Box::new(LbManhattan::new(&cost))),
+            ("LbMax", Box::new(LbMax::new(&cost))),
+            ("LbEuclidean", Box::new(LbEuclidean::new(&cost))),
+            ("LbIm", Box::new(LbIm::new(&cost))),
+            ("ExactEmd", Box::new(ExactEmd::new(cost.clone()))),
+        ];
+        for (name, m) in &measures {
+            let d = m.distance(&x, &x);
+            prop_assert!(d.abs() <= EPS, "{name}(x, x) = {d}");
+        }
+    }
+}

@@ -164,7 +164,7 @@ mod tests {
         assert_eq!(c.centroids.len(), 2);
         assert_eq!(c.sizes.iter().sum::<usize>(), 40);
         let mut xs: Vec<f64> = c.centroids.iter().map(|c| c[0]).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         assert!(xs[0] < 1.0 && xs[1] > 9.0);
     }
 
@@ -212,7 +212,7 @@ mod tests {
         assert_eq!(sig.len(), 2);
         // The two dominant colors should be near red and blue.
         let mut reds: Vec<f64> = sig.points().iter().map(|p| p[0]).collect();
-        reds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reds.sort_by(f64::total_cmp);
         assert!(reds[0] < 0.3 && reds[1] > 0.7);
     }
 

@@ -279,6 +279,7 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
                 let entries = match std::mem::replace(&mut self.nodes[node], Node::Leaf(Vec::new()))
                 {
                     Node::Internal(e) => e,
+                    // xlint:allow(panic_freedom): the matches! guard above proves this arm is an Internal node
                     Node::Leaf(_) => unreachable!("checked overflow above"),
                 };
                 let objects: Vec<T> = entries.iter().map(|e| e.object.clone()).collect();
@@ -338,10 +339,10 @@ impl<T: Clone, D: Fn(&T, &T) -> f64> MTree<T, D> {
             let db = self.dist(obj, &objects[b]);
             dists.push((da, db));
             // Nearest promoted object, balanced tie-break.
-            let to_left = match da.partial_cmp(&db) {
-                Some(Ordering::Less) => true,
-                Some(Ordering::Greater) => false,
-                _ => left_count <= right_count,
+            let to_left = match da.total_cmp(&db) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => left_count <= right_count,
             };
             assignment[i] = to_left;
             if to_left {
@@ -492,10 +493,7 @@ impl<T> PartialOrd for HeapItem<T> {
 impl<T> Ord for HeapItem<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we pop smallest bound first.
-        other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+        other.bound.total_cmp(&self.bound)
     }
 }
 
@@ -550,7 +548,7 @@ mod tests {
         }
         let q = vec![0.3, 0.7];
         let mut brute: Vec<f64> = pts.iter().map(|p| l2(p, &q)).collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(f64::total_cmp);
         for k in [1, 5, 20] {
             let (result, _) = tree.knn(&q, k);
             assert_eq!(result.len(), k);

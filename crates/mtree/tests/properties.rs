@@ -67,7 +67,7 @@ proptest! {
         }
         let (result, _) = tree.knn(&q, k);
         let mut brute: Vec<f64> = pts.iter().map(|p| l2(p, &q)).collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(f64::total_cmp);
         prop_assert_eq!(result.len(), k.min(pts.len()));
         for (i, (_, d)) in result.iter().enumerate() {
             prop_assert!((d - brute[i]).abs() < 1e-9, "rank {}: {} vs {}", i, d, brute[i]);
@@ -91,8 +91,8 @@ proptest! {
         let (b, _) = rev.range(&q, 10.0);
         let mut ad: Vec<f64> = a.iter().map(|(_, d)| *d).collect();
         let mut bd: Vec<f64> = b.iter().map(|(_, d)| *d).collect();
-        ad.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        bd.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        ad.sort_by(f64::total_cmp);
+        bd.sort_by(f64::total_cmp);
         prop_assert_eq!(ad.len(), bd.len());
         for (x, y) in ad.iter().zip(&bd) {
             prop_assert!((x - y).abs() < 1e-9);

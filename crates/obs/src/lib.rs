@@ -47,6 +47,7 @@
 //! thread-local read.
 
 mod metrics;
+pub mod names;
 mod span;
 mod subscriber;
 

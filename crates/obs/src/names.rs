@@ -1,0 +1,86 @@
+//! Canonical registry of every span, event, and metric name.
+//!
+//! Instrumentation names are stringly-typed: a typo at one call site
+//! does not fail compilation — it silently forks the time series and
+//! dashboards aggregate the halves separately. This module is the
+//! single source of truth; `xlint`'s `obs_naming` rule checks every
+//! `span!`/`event!`/`.counter(..)`/`.gauge(..)`/`.histogram(..)` literal
+//! in the workspace against these lists, so an unregistered name is a
+//! CI failure, not a 3 a.m. dashboard mystery.
+//!
+//! When adding instrumentation: add the name here first (keeping the
+//! DESIGN.md §9 taxonomy table in sync), then use it at the call site.
+//! Dynamically built names (`&format!(..)`) are exempt from the check;
+//! keep their prefixes documented in DESIGN.md.
+
+/// Every region-measuring span name, by pipeline layer.
+pub const SPAN_NAMES: &[&str] = &[
+    // pipeline
+    "engine_knn",
+    "engine_range",
+    // multistep algorithms
+    "range_query",
+    "gemini_knn",
+    "optimal_knn",
+    "linear_scan_knn",
+    "nearest_stream",
+    // refinement
+    "exact_emd",
+    // LP solver
+    "lp_solve",
+    // index structures
+    "rtree_range",
+    "mtree_knn",
+    "mtree_range",
+    // storage
+    "storage_recovery_scan",
+];
+
+/// Every point-in-time event name.
+pub const EVENT_NAMES: &[&str] = &[
+    "rtree_node_access",
+    "mtree_node_access",
+    "storage_page_read",
+    "storage_page_write",
+    "storage_crc_recovery",
+];
+
+/// Every statically named metric (counters, gauges, histograms).
+///
+/// Two dynamic families exist alongside these, built with `format!`:
+/// `stage_<name>_seconds` histograms and
+/// `filter_<name>_evaluations_total` counters (one per filter display
+/// name), plus the `<span>_total` / `<span>_seconds` series that
+/// [`crate::MetricsRegistry::observe_span`] derives from span names.
+pub const METRIC_NAMES: &[&str] = &[
+    "trace_records_dropped_total",
+    "exact_evaluations_total",
+    "node_accesses_total",
+    "degradations_total",
+    "db_size",
+    "selectivity",
+    "query_seconds",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut all: Vec<&str> = Vec::new();
+        all.extend(SPAN_NAMES);
+        all.extend(EVENT_NAMES);
+        all.extend(METRIC_NAMES);
+        let mut seen = std::collections::BTreeSet::new();
+        for name in all {
+            assert!(seen.insert(name), "duplicate registered name: {name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "name {name:?} must be snake_case ASCII (Prometheus-safe)"
+            );
+            assert!(!name.is_empty());
+        }
+    }
+}

@@ -252,12 +252,15 @@ impl RTree {
                 let (left_idx, right_idx) = quadratic_split(&rects, self.min_entries);
                 let mut left = Vec::with_capacity(left_idx.len());
                 let mut right = Vec::with_capacity(right_idx.len());
+                // `quadratic_split` returns a partition, so every index is
+                // distinct and in range; `extend` over the taken Option
+                // keeps this total without asserting that invariant here.
                 let mut taken: Vec<Option<LeafEntry>> = entries.into_iter().map(Some).collect();
                 for i in left_idx {
-                    left.push(taken[i].take().expect("split index used twice"));
+                    left.extend(taken.get_mut(i).and_then(Option::take));
                 }
                 for i in right_idx {
-                    right.push(taken[i].take().expect("split index used twice"));
+                    right.extend(taken.get_mut(i).and_then(Option::take));
                 }
                 let right_rect = rect_of_points(&right);
                 self.nodes[node] = Node::Leaf(left);
@@ -272,10 +275,10 @@ impl RTree {
                 let mut right = Vec::with_capacity(right_idx.len());
                 let mut taken: Vec<Option<ChildEntry>> = children.into_iter().map(Some).collect();
                 for i in left_idx {
-                    left.push(taken[i].take().expect("split index used twice"));
+                    left.extend(taken.get_mut(i).and_then(Option::take));
                 }
                 for i in right_idx {
-                    right.push(taken[i].take().expect("split index used twice"));
+                    right.extend(taken.get_mut(i).and_then(Option::take));
                 }
                 let right_rect = rect_of_children(&right);
                 self.nodes[node] = Node::Internal(left);
@@ -508,10 +511,10 @@ fn quadratic_split(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize
         let dl = left_rect.enlargement(&rects[i]) + 1e-9 * left_rect.margin_enlargement(&rects[i]);
         let dr =
             right_rect.enlargement(&rects[i]) + 1e-9 * right_rect.margin_enlargement(&rects[i]);
-        let to_left = match dl.partial_cmp(&dr) {
-            Some(Ordering::Less) => true,
-            Some(Ordering::Greater) => false,
-            _ => left.len() <= right.len(),
+        let to_left = match dl.total_cmp(&dr) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => left.len() <= right.len(),
         };
         if to_left {
             left_rect.grow(&rects[i]);
@@ -547,18 +550,10 @@ fn str_tile(mut items: Vec<LeafEntry>, cap: usize, dims: usize, dim: usize) -> V
     }
     if dim + 1 == dims {
         // Final dimension: sort and chop into capacity-sized runs.
-        items.sort_by(|a, b| {
-            a.point[dim]
-                .partial_cmp(&b.point[dim])
-                .unwrap_or(Ordering::Equal)
-        });
+        items.sort_by(|a, b| a.point[dim].total_cmp(&b.point[dim]));
         return items.chunks(cap).map(|c| c.to_vec()).collect();
     }
-    items.sort_by(|a, b| {
-        a.point[dim]
-            .partial_cmp(&b.point[dim])
-            .unwrap_or(Ordering::Equal)
-    });
+    items.sort_by(|a, b| a.point[dim].total_cmp(&b.point[dim]));
     // Number of leaves this subtree will produce, and slabs per dimension.
     let leaves = items.len().div_ceil(cap);
     let slabs = (leaves as f64).powf(1.0 / (dims - dim) as f64).ceil() as usize;
@@ -583,11 +578,7 @@ fn str_tile_children(mut items: Vec<ChildEntry>, cap: usize, dims: usize) -> Vec
         if items.len() <= cap {
             return vec![items];
         }
-        items.sort_by(|a, b| {
-            center(&a.rect, dim)
-                .partial_cmp(&center(&b.rect, dim))
-                .unwrap_or(Ordering::Equal)
-        });
+        items.sort_by(|a, b| center(&a.rect, dim).total_cmp(&center(&b.rect, dim)));
         if dim + 1 == dims {
             return items.chunks(cap).map(|c| c.to_vec()).collect();
         }
@@ -935,7 +926,7 @@ mod tests {
         let ranked: Vec<_> = t.rank_by_distance(&q, &metric).collect();
         assert_eq!(ranked.len(), 216);
         let mut brute: Vec<f64> = pts.iter().map(|(p, _)| metric.distance(p, &q)).collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(f64::total_cmp);
         for (i, (_, d)) in ranked.iter().enumerate() {
             assert!(
                 (d - brute[i]).abs() < 1e-12,

@@ -281,15 +281,21 @@ fn init_page(p: &mut [u8; PAGE_SIZE]) {
 }
 
 fn read_u32(p: &[u8; PAGE_SIZE], at: usize) -> u32 {
-    u32::from_le_bytes(p[at..at + 4].try_into().expect("4 bytes"))
+    crate::pagefile::le_u32(p, at)
 }
 
 fn write_u32(p: &mut [u8; PAGE_SIZE], at: usize, v: u32) {
     p[at..at + 4].copy_from_slice(&v.to_le_bytes());
 }
 
+/// Total little-endian `u16` read; see [`crate::pagefile::le_u32`] for
+/// why missing bytes read as zero instead of panicking.
 fn read_u16(p: &[u8; PAGE_SIZE], at: usize) -> u16 {
-    u16::from_le_bytes(p[at..at + 2].try_into().expect("2 bytes"))
+    let mut out = [0u8; 2];
+    for (o, b) in out.iter_mut().zip(p.iter().skip(at)) {
+        *o = *b;
+    }
+    u16::from_le_bytes(out)
 }
 
 fn write_u16(p: &mut [u8; PAGE_SIZE], at: usize, v: u16) {

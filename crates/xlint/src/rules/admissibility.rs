@@ -1,0 +1,124 @@
+//! Admissibility-coverage rule (category 3).
+//!
+//! Multistep completeness (§3.3 of Assent et al.) rests on every filter
+//! being a true lower bound of the exact EMD — a property only the test
+//! suite can witness. This rule makes the witness mandatory: every type
+//! implementing `DistanceMeasure` in library code must be referenced by
+//! the bound-matrix property test, so adding a new bound without its
+//! `LB ≤ EMD` proptest fails CI before a lossy filter ships.
+
+use super::{is_ident, is_punct, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+const RULE: &str = "admissibility_coverage";
+
+/// Runs the impl-vs-matrix-test coverage check.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let trait_name = cfg
+        .str("admissibility_coverage.trait")
+        .unwrap_or("DistanceMeasure")
+        .to_string();
+    let matrix_path = cfg
+        .str("admissibility_coverage.matrix_test")
+        .unwrap_or("crates/core/tests/bound_matrix.rs")
+        .to_string();
+    let exempt: BTreeSet<String> = cfg
+        .list("admissibility_coverage.exempt")
+        .into_iter()
+        .collect();
+
+    // Idents mentioned anywhere in the matrix test file.
+    let matrix_idents: Option<BTreeSet<String>> =
+        ws.files.iter().find(|f| f.path == matrix_path).map(|f| {
+            f.lexed
+                .tokens
+                .iter()
+                .filter_map(|t| match &t.kind {
+                    TokenKind::Ident(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect()
+        });
+    let matrix_idents = match matrix_idents {
+        Some(set) => set,
+        None => {
+            em.report.diagnostics.push(Diagnostic {
+                rule: RULE,
+                path: matrix_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "bound-matrix property test `{matrix_path}` not found — every \
+                     `{trait_name}` impl must be proptest-checked against the exact EMD"
+                ),
+            });
+            return;
+        }
+    };
+
+    for fi in super::files_in_scope(ws, cfg, RULE) {
+        let lexed = &ws.files[fi].lexed;
+        let toks = &lexed.tokens;
+        for i in 0..toks.len() {
+            if lexed.test_gated[i] || !is_ident(&toks[i].kind, &trait_name) {
+                continue;
+            }
+            // Looking at `impl .. TraitName for Type`: require `for` next
+            // and an `impl` not too far back (skips plain mentions of the
+            // trait in bounds or paths).
+            if !matches!(toks.get(i + 1).map(|t| &t.kind), Some(k) if is_ident(k, "for")) {
+                continue;
+            }
+            let has_impl_back = (1..=16).any(|back| {
+                i.checked_sub(back)
+                    .and_then(|p| toks.get(p))
+                    .map(|t| is_ident(&t.kind, "impl"))
+                    .unwrap_or(false)
+            });
+            if !has_impl_back {
+                continue;
+            }
+            // The implementing type: the last ident of the path before
+            // the generics/brace (`for Foo`, `for crate::Foo<'a>`). A
+            // leading `&` marks a blanket reference impl, which is
+            // covered by the impl it forwards to.
+            let mut j = i + 2;
+            if matches!(toks.get(j).map(|t| &t.kind), Some(k) if is_punct(k, "&")) {
+                continue;
+            }
+            let mut type_name: Option<String> = None;
+            while let Some(t) = toks.get(j) {
+                match &t.kind {
+                    TokenKind::Ident(s) => {
+                        type_name = Some(s.clone());
+                        j += 1;
+                    }
+                    TokenKind::Punct("::") => j += 1,
+                    _ => break,
+                }
+            }
+            let (line, col) = (toks[i].line, toks[i].col);
+            if let Some(name) = type_name {
+                if !exempt.contains(&name) && !matrix_idents.contains(&name) {
+                    em.emit(
+                        ws,
+                        fi,
+                        RULE,
+                        line,
+                        col,
+                        format!(
+                            "`{name}` implements `{trait_name}` but does not appear in \
+                             `{matrix_path}` — add it to the bound matrix (or to \
+                             `admissibility_coverage.exempt` in xlint.toml if it is not \
+                             an EMD lower bound)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Doc-coverage rule (category 5).
+//!
+//! Top-level public items in the configured crates must carry doc
+//! comments. The compile-time complement is `#![deny(missing_docs)]`
+//! (which also covers fields and methods); this offline pass catches
+//! the same drift without a full build, and works on files the compiler
+//! might not currently reach (feature-gated modules).
+
+use super::{files_in_scope, is_punct, Emitter};
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+
+const RULE: &str = "doc_coverage";
+
+/// Item-introducing keywords that require documentation.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+/// Runs the top-level public-item doc check.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    for fi in files_in_scope(ws, cfg, RULE) {
+        let lexed = &ws.files[fi].lexed;
+        let toks = &lexed.tokens;
+        let mut depth = 0usize;
+        for i in 0..toks.len() {
+            match &toks[i].kind {
+                TokenKind::Punct("{") => {
+                    depth += 1;
+                    continue;
+                }
+                TokenKind::Punct("}") => {
+                    depth = depth.saturating_sub(1);
+                    continue;
+                }
+                _ => {}
+            }
+            // Only module-top-level items; methods and fields are the
+            // compiler's (deny(missing_docs)) job.
+            if depth != 0 || lexed.test_gated[i] {
+                continue;
+            }
+            let is_pub = matches!(&toks[i].kind, TokenKind::Ident(s) if s == "pub");
+            if !is_pub {
+                continue;
+            }
+            let mut j = i + 1;
+            // `pub(crate)` / `pub(super)` are not public API.
+            if matches!(toks.get(j).map(|t| &t.kind), Some(k) if is_punct(k, "(")) {
+                continue;
+            }
+            // Skip qualifiers: `pub const fn`, `pub unsafe fn`,
+            // `pub async fn`, `pub extern "C" fn`.
+            let mut keyword: Option<&str> = None;
+            let mut name: Option<String> = None;
+            while let Some(t) = toks.get(j) {
+                match &t.kind {
+                    TokenKind::Ident(s) if ITEM_KEYWORDS.contains(&s.as_str()) => {
+                        // `pub const NAME` vs `pub const fn name`: if the
+                        // token after `const` is `fn`, keep scanning so the
+                        // item keyword is `fn`.
+                        if s == "const"
+                            && matches!(
+                                toks.get(j + 1).map(|t| &t.kind),
+                                Some(TokenKind::Ident(n)) if n == "fn"
+                            )
+                        {
+                            j += 1;
+                            continue;
+                        }
+                        keyword = Some(match s.as_str() {
+                            "fn" => "fn",
+                            "struct" => "struct",
+                            "enum" => "enum",
+                            "trait" => "trait",
+                            "mod" => "mod",
+                            "const" => "const",
+                            "static" => "static",
+                            "type" => "type",
+                            _ => "union",
+                        });
+                        if let Some(TokenKind::Ident(n)) = toks.get(j + 1).map(|t| &t.kind) {
+                            name = Some(n.clone());
+                        }
+                        break;
+                    }
+                    TokenKind::Ident(s) if matches!(s.as_str(), "unsafe" | "async" | "extern") => {
+                        j += 1;
+                    }
+                    TokenKind::StrLit(_) => j += 1, // extern "C"
+                    _ => break,                     // `pub use`, `pub field: T`, ...
+                }
+            }
+            let keyword = match keyword {
+                Some(k) => k,
+                None => continue,
+            };
+            if has_doc_before(lexed, i) {
+                continue;
+            }
+            // `pub mod name;` is documented when the module file itself
+            // starts with `//!` inner docs.
+            if keyword == "mod" {
+                if let Some(n) = &name {
+                    if module_file_has_inner_docs(ws, &ws.files[fi].path, n) {
+                        continue;
+                    }
+                }
+            }
+            let display = name.unwrap_or_else(|| "<unnamed>".to_string());
+            em.emit(
+                ws,
+                fi,
+                RULE,
+                toks[i].line,
+                toks[i].col,
+                format!(
+                    "public {keyword} `{display}` has no doc comment — document what it \
+                     is and any invariants callers rely on"
+                ),
+            );
+        }
+    }
+}
+
+/// True when the out-of-line module `name`, declared in `decl_path`,
+/// resolves to a file whose first token is a doc comment (`//!`).
+fn module_file_has_inner_docs(ws: &Workspace, decl_path: &str, name: &str) -> bool {
+    let (dir, file) = match decl_path.rsplit_once('/') {
+        Some(split) => split,
+        None => return false,
+    };
+    let base = if matches!(file, "lib.rs" | "mod.rs" | "main.rs") {
+        dir.to_string()
+    } else {
+        format!("{dir}/{}", file.trim_end_matches(".rs"))
+    };
+    let candidates = [format!("{base}/{name}.rs"), format!("{base}/{name}/mod.rs")];
+    ws.files.iter().any(|f| {
+        candidates.iter().any(|c| c == &f.path)
+            && matches!(
+                f.lexed.tokens.first().map(|t| &t.kind),
+                Some(TokenKind::DocComment)
+            )
+    })
+}
+
+/// Walks backwards from token `i` over attribute groups; true when the
+/// first non-attribute thing above the item is a doc comment.
+fn has_doc_before(lexed: &crate::lexer::LexedFile, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    let mut j = i;
+    loop {
+        let p = match j.checked_sub(1) {
+            Some(p) => p,
+            None => return false,
+        };
+        match &toks[p].kind {
+            TokenKind::DocComment => return true,
+            // End of an attribute: `#[...]` — walk back to its `#`.
+            TokenKind::Punct("]") => {
+                let mut depth = 0usize;
+                let mut k = p;
+                loop {
+                    match &toks[k].kind {
+                        TokenKind::Punct("]") => depth += 1,
+                        TokenKind::Punct("[") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k = match k.checked_sub(1) {
+                        Some(k) => k,
+                        None => return false,
+                    };
+                }
+                // Expect the `#` (or `#!`) that opens the attribute.
+                j = match k.checked_sub(1) {
+                    Some(h) if is_punct(&toks[h].kind, "#") => h,
+                    Some(h)
+                        if is_punct(&toks[h].kind, "!")
+                            && h.checked_sub(1)
+                                .map(|g| is_punct(&toks[g].kind, "#"))
+                                .unwrap_or(false) =>
+                    {
+                        h - 1
+                    }
+                    _ => return false,
+                };
+            }
+            _ => return false,
+        }
+    }
+}

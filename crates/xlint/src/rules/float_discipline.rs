@@ -1,0 +1,108 @@
+//! Float-discipline rule (category 2).
+//!
+//! Distances in this system are `f64`s produced by long chains of
+//! floating-point arithmetic; exact `==`/`!=` against float literals is
+//! almost always a latent bug (use epsilon comparison or `total_cmp`),
+//! and `partial_cmp(..).unwrap()` panics the moment a NaN sneaks into a
+//! sort key (use `f64::total_cmp`). Legitimate exact-zero tests (e.g.
+//! skipping mass-0 bins) carry a reasoned `xlint:allow`.
+
+use super::{files_in_scope, is_ident, is_punct, Emitter};
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+
+const RULE: &str = "float_discipline";
+
+/// Runs the float-comparison checks.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    for fi in files_in_scope(ws, cfg, RULE) {
+        let lexed = &ws.files[fi].lexed;
+        let toks = &lexed.tokens;
+        for i in 0..toks.len() {
+            if lexed.test_gated[i] {
+                continue;
+            }
+            // `x == 1.0`, `1e-9 != y`, `x == -0.5`
+            if is_punct(&toks[i].kind, "==") || is_punct(&toks[i].kind, "!=") {
+                let prev_float = i
+                    .checked_sub(1)
+                    .map(|p| matches!(toks[p].kind, TokenKind::NumLit { is_float: true }))
+                    .unwrap_or(false);
+                let next_float = match toks.get(i + 1).map(|t| &t.kind) {
+                    Some(TokenKind::NumLit { is_float: true }) => true,
+                    Some(TokenKind::Punct("-")) => matches!(
+                        toks.get(i + 2).map(|t| &t.kind),
+                        Some(TokenKind::NumLit { is_float: true })
+                    ),
+                    _ => false,
+                };
+                if prev_float || next_float {
+                    em.emit(
+                        ws,
+                        fi,
+                        RULE,
+                        toks[i].line,
+                        toks[i].col,
+                        "exact float comparison — use an epsilon, `total_cmp`, or add \
+                         `// xlint:allow(float_discipline): reason` for intentional \
+                         exact-zero tests"
+                            .to_string(),
+                    );
+                }
+            }
+            // `.partial_cmp(..).unwrap()` / `.expect(..)`
+            if is_ident(&toks[i].kind, "partial_cmp")
+                && i.checked_sub(1)
+                    .map(|p| is_punct(&toks[p].kind, "."))
+                    .unwrap_or(false)
+            {
+                if let Some(end) = skip_call_args(toks, i + 1) {
+                    let chained_unwrap = is_punct_at(toks, end, ".")
+                        && (is_ident_at(toks, end + 1, "unwrap")
+                            || is_ident_at(toks, end + 1, "expect"));
+                    if chained_unwrap {
+                        em.emit(
+                            ws,
+                            fi,
+                            RULE,
+                            toks[i].line,
+                            toks[i].col,
+                            "`partial_cmp(..).unwrap()` panics on NaN — use \
+                             `f64::total_cmp` for sort keys"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If `toks[start]` opens a call's `(`, returns the index just past its
+/// matching `)`.
+fn skip_call_args(toks: &[crate::lexer::Token], start: usize) -> Option<usize> {
+    if !is_punct_at(toks, start, "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if is_punct(&t.kind, "(") {
+            depth += 1;
+        } else if is_punct(&t.kind, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+fn is_punct_at(toks: &[crate::lexer::Token], i: usize, p: &str) -> bool {
+    toks.get(i).map(|t| is_punct(&t.kind, p)).unwrap_or(false)
+}
+
+fn is_ident_at(toks: &[crate::lexer::Token], i: usize, s: &str) -> bool {
+    toks.get(i).map(|t| is_ident(&t.kind, s)).unwrap_or(false)
+}

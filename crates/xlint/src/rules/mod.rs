@@ -1,0 +1,186 @@
+//! The rule engine: shared scan context, suppression accounting, and
+//! the individual rule passes.
+//!
+//! Rule catalogue (see DESIGN.md §10):
+//!
+//! | id | category | what it enforces |
+//! |---|---|---|
+//! | `panic_freedom` | panic-freedom | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code |
+//! | `slice_indexing` | panic-freedom | no *new* `expr[...]` indexing (ratcheted per-file baseline) |
+//! | `float_discipline` | float discipline | no `==`/`!=` against float literals, no `partial_cmp().unwrap()` |
+//! | `admissibility_coverage` | admissibility | every `DistanceMeasure` impl appears in the bound-matrix property test |
+//! | `obs_naming` | observability | every `span!`/`event!`/metric name literal is declared in the obs name registry |
+//! | `doc_coverage` | documentation | top-level public items in configured crates carry doc comments |
+//! | `suppression` | hygiene | `xlint:allow` needs a reason and must actually suppress something |
+
+pub mod admissibility;
+pub mod doc_coverage;
+pub mod float_discipline;
+pub mod obs_naming;
+pub mod panic_freedom;
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Report};
+use crate::lexer::TokenKind;
+use crate::Workspace;
+
+/// Rule identifiers, in execution order.
+pub const ALL_RULES: &[&str] = &[
+    "panic_freedom",
+    "slice_indexing",
+    "float_discipline",
+    "admissibility_coverage",
+    "obs_naming",
+    "doc_coverage",
+];
+
+/// Shared mutable state while rules run: the report plus per-file
+/// bookkeeping of which suppression directives were consumed.
+pub struct Emitter {
+    /// The report being built.
+    pub report: Report,
+    /// `used[file][suppression]` — directive consumed by some rule.
+    used: Vec<Vec<bool>>,
+}
+
+impl Emitter {
+    /// Fresh emitter for a workspace.
+    pub fn new(ws: &Workspace) -> Emitter {
+        Emitter {
+            report: Report::default(),
+            used: ws
+                .files
+                .iter()
+                .map(|f| vec![false; f.lexed.suppressions.len()])
+                .collect(),
+        }
+    }
+
+    /// Returns true (and records the use) when a violation of `rule` at
+    /// `line` of file `fi` is covered by an `xlint:allow` on the same
+    /// line or the line directly above.
+    pub fn is_suppressed(&mut self, ws: &Workspace, fi: usize, line: usize, rule: &str) -> bool {
+        let sups = &ws.files[fi].lexed.suppressions;
+        for (si, sup) in sups.iter().enumerate() {
+            if (sup.line == line || sup.line + 1 == line)
+                && sup.rules.iter().any(|r| r == rule || r == "all")
+            {
+                self.used[fi][si] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits a diagnostic unless suppressed. Returns whether it was
+    /// emitted.
+    pub fn emit(
+        &mut self,
+        ws: &Workspace,
+        fi: usize,
+        rule: &'static str,
+        line: usize,
+        col: usize,
+        message: String,
+    ) -> bool {
+        if self.is_suppressed(ws, fi, line, rule) {
+            return false;
+        }
+        self.report.diagnostics.push(Diagnostic {
+            rule,
+            path: ws.files[fi].path.clone(),
+            line,
+            col,
+            message,
+        });
+        true
+    }
+
+    /// Suppression hygiene: every directive needs a reason, and must
+    /// have matched at least one would-be violation.
+    pub fn check_suppression_hygiene(&mut self, ws: &Workspace) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (si, sup) in file.lexed.suppressions.iter().enumerate() {
+                if !sup.has_reason {
+                    self.report.diagnostics.push(Diagnostic {
+                        rule: "suppression",
+                        path: file.path.clone(),
+                        line: sup.line,
+                        col: 1,
+                        message: format!(
+                            "xlint:allow({}) has no reason — write `// xlint:allow({}): why`",
+                            sup.rules.join(", "),
+                            sup.rules.join(", ")
+                        ),
+                    });
+                } else if !self.used[fi][si] {
+                    self.report.diagnostics.push(Diagnostic {
+                        rule: "suppression",
+                        path: file.path.clone(),
+                        line: sup.line,
+                        col: 1,
+                        message: format!(
+                            "unused suppression xlint:allow({}) — the code it excused is gone; remove it",
+                            sup.rules.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs every enabled rule over the workspace and returns the report.
+pub fn run_all(ws: &Workspace, cfg: &Config) -> Report {
+    let mut em = Emitter::new(ws);
+    if cfg.bool_or("rules.panic_freedom", true) {
+        panic_freedom::run(ws, cfg, &mut em);
+    }
+    if cfg.bool_or("rules.slice_indexing", true) {
+        panic_freedom::run_slice_indexing(ws, cfg, &mut em);
+    }
+    if cfg.bool_or("rules.float_discipline", true) {
+        float_discipline::run(ws, cfg, &mut em);
+    }
+    if cfg.bool_or("rules.admissibility_coverage", true) {
+        admissibility::run(ws, cfg, &mut em);
+    }
+    if cfg.bool_or("rules.obs_naming", true) {
+        obs_naming::run(ws, cfg, &mut em);
+    }
+    if cfg.bool_or("rules.doc_coverage", true) {
+        doc_coverage::run(ws, cfg, &mut em);
+    }
+    em.check_suppression_hygiene(ws);
+    let mut report = em.report;
+    report.files_scanned = ws.files.len();
+    report.finish();
+    report
+}
+
+/// Indices of files whose path starts with any of the configured
+/// prefixes (config key `<rule>.paths`), minus any `<rule>.exclude`
+/// prefixes.
+pub fn files_in_scope(ws: &Workspace, cfg: &Config, rule: &str) -> Vec<usize> {
+    let paths = cfg.list(&format!("{rule}.paths"));
+    let exclude = cfg.list(&format!("{rule}.exclude"));
+    ws.files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            paths.iter().any(|p| f.path.starts_with(p.as_str()))
+                && !exclude.iter().any(|p| f.path.starts_with(p.as_str()))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Convenience: is this token the identifier `s`?
+pub fn is_ident(kind: &TokenKind, s: &str) -> bool {
+    matches!(kind, TokenKind::Ident(i) if i == s)
+}
+
+/// Convenience: is this token the punctuation `p`?
+pub fn is_punct(kind: &TokenKind, p: &str) -> bool {
+    matches!(kind, TokenKind::Punct(q) if *q == p)
+}

@@ -1,0 +1,140 @@
+//! Observability-naming rule (category 4).
+//!
+//! A typo'd span or metric name does not fail anything at run time — it
+//! silently forks the time series, and dashboards aggregate the two
+//! halves separately. This rule pins every name literal used at an
+//! instrumentation site (`span!("..")`, `event!("..")`,
+//! `.counter("..")` / `.gauge("..")` / `.histogram("..")`) to the
+//! canonical registry in `crates/obs/src/names.rs`. Dynamically built
+//! names (`&format!(..)`) are out of scope — only literals are checked.
+
+use super::{files_in_scope, is_ident, is_punct, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+const RULE: &str = "obs_naming";
+
+/// Runs the registry check.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let registry_path = cfg
+        .str("obs_naming.registry")
+        .unwrap_or("crates/obs/src/names.rs")
+        .to_string();
+    let registry = match ws.files.iter().find(|f| f.path == registry_path) {
+        Some(f) => f,
+        None => {
+            em.report.diagnostics.push(Diagnostic {
+                rule: RULE,
+                path: registry_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!("obs name registry `{registry_path}` not found"),
+            });
+            return;
+        }
+    };
+    let spans = const_strings(registry, "SPAN_NAMES");
+    let events = const_strings(registry, "EVENT_NAMES");
+    let metrics = const_strings(registry, "METRIC_NAMES");
+
+    for fi in files_in_scope(ws, cfg, RULE) {
+        if ws.files[fi].path == registry_path {
+            continue;
+        }
+        let lexed = &ws.files[fi].lexed;
+        let toks = &lexed.tokens;
+        for i in 0..toks.len() {
+            if lexed.test_gated[i] {
+                continue;
+            }
+            // span!("name" ..) / event!("name" ..)
+            for (mac, set, kind) in [("span", &spans, "span"), ("event", &events, "event")] {
+                if is_ident(&toks[i].kind, mac)
+                    && matches!(toks.get(i + 1).map(|t| &t.kind), Some(k) if is_punct(k, "!"))
+                    && matches!(toks.get(i + 2).map(|t| &t.kind), Some(k) if is_punct(k, "("))
+                {
+                    if let Some(TokenKind::StrLit(name)) = toks.get(i + 3).map(|t| &t.kind) {
+                        check(em, ws, fi, toks[i].line, toks[i].col, kind, name, set);
+                    }
+                }
+            }
+            // .counter("name") / .gauge("name") / .histogram("name")
+            for meth in ["counter", "gauge", "histogram"] {
+                if is_ident(&toks[i].kind, meth)
+                    && i.checked_sub(1)
+                        .map(|p| is_punct(&toks[p].kind, "."))
+                        .unwrap_or(false)
+                    && matches!(toks.get(i + 1).map(|t| &t.kind), Some(k) if is_punct(k, "("))
+                {
+                    if let Some(TokenKind::StrLit(name)) = toks.get(i + 2).map(|t| &t.kind) {
+                        check(
+                            em,
+                            ws,
+                            fi,
+                            toks[i].line,
+                            toks[i].col,
+                            "metric",
+                            name,
+                            &metrics,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check(
+    em: &mut Emitter,
+    ws: &Workspace,
+    fi: usize,
+    line: usize,
+    col: usize,
+    kind: &str,
+    name: &str,
+    set: &BTreeSet<String>,
+) {
+    if !set.contains(name) {
+        em.emit(
+            ws,
+            fi,
+            RULE,
+            line,
+            col,
+            format!(
+                "{kind} name \"{name}\" is not declared in the obs name registry \
+                 (crates/obs/src/names.rs) — register it or fix the typo; unregistered \
+                 names silently fork time series"
+            ),
+        );
+    }
+}
+
+/// The string literals of `pub const <NAME>: &[&str] = &[..];` in the
+/// registry file.
+fn const_strings(file: &crate::SourceFile, const_name: &str) -> BTreeSet<String> {
+    let toks = &file.lexed.tokens;
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_ident(&toks[i].kind, const_name) {
+            let mut j = i + 1;
+            while let Some(t) = toks.get(j) {
+                match &t.kind {
+                    TokenKind::StrLit(s) => {
+                        out.insert(s.clone());
+                        j += 1;
+                    }
+                    TokenKind::Punct(";") => return out,
+                    _ => j += 1,
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}

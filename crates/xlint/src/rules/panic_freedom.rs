@@ -1,0 +1,118 @@
+//! Panic-freedom rules (category 1).
+//!
+//! `panic_freedom` bans the abort-style escape hatches in library code:
+//! `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`. Assertions (`assert!`, `debug_assert!`) stay legal —
+//! they document preconditions rather than swallow errors.
+//!
+//! `slice_indexing` flags `expr[..]` indexing, which panics out of
+//! bounds. Existing sites are grandfathered through a per-file ratchet
+//! baseline (`[baseline.slice_indexing]` in `xlint.toml`): a file may
+//! shrink its count but never grow it.
+
+use super::{files_in_scope, is_punct, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+
+const RULE: &str = "panic_freedom";
+const SLICE_RULE: &str = "slice_indexing";
+
+/// Runs the unwrap/expect/panic-macro ban.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    for fi in files_in_scope(ws, cfg, RULE) {
+        let lexed = &ws.files[fi].lexed;
+        for (i, tok) in lexed.tokens.iter().enumerate() {
+            if lexed.test_gated[i] {
+                continue;
+            }
+            let name = match &tok.kind {
+                TokenKind::Ident(s) => s.as_str(),
+                _ => continue,
+            };
+            let prev = i.checked_sub(1).map(|p| &lexed.tokens[p].kind);
+            let next = lexed.tokens.get(i + 1).map(|t| &t.kind);
+            let method_call =
+                |m: &str| -> bool { name == m && prev.map(|k| is_punct(k, ".")).unwrap_or(false) };
+            let panicking_macro =
+                |m: &str| -> bool { name == m && next.map(|k| is_punct(k, "!")).unwrap_or(false) };
+            let message = if method_call("unwrap") || method_call("expect") {
+                format!(
+                    "`.{name}(..)` in library code — return a typed error (`?`, \
+                     `PipelineError`, `StorageError`) or add `// xlint:allow({RULE}): reason`"
+                )
+            } else if panicking_macro("panic")
+                || panicking_macro("unreachable")
+                || panicking_macro("todo")
+                || panicking_macro("unimplemented")
+            {
+                format!(
+                    "`{name}!` in library code — query paths must degrade, not abort; \
+                     return an error or add `// xlint:allow({RULE}): reason`"
+                )
+            } else {
+                continue;
+            };
+            em.emit(ws, fi, RULE, tok.line, tok.col, message);
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`match x { .. }[..]` is not real code; `return [..]` is an
+/// array literal).
+const NON_INDEX_PREFIX: &[&str] = &[
+    "if", "in", "return", "else", "match", "mut", "ref", "as", "move", "loop", "while", "for",
+    "break", "continue", "where", "unsafe", "dyn", "impl", "let", "const", "static", "fn", "use",
+    "pub", "enum", "struct", "trait", "type", "mod",
+];
+
+/// Runs the ratcheted slice-indexing check.
+pub fn run_slice_indexing(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let baseline = cfg.int_table("baseline.slice_indexing");
+    for fi in files_in_scope(ws, cfg, SLICE_RULE) {
+        let lexed = &ws.files[fi].lexed;
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for (i, tok) in lexed.tokens.iter().enumerate() {
+            if lexed.test_gated[i] || !is_punct(&tok.kind, "[") {
+                continue;
+            }
+            let indexes = match i.checked_sub(1).map(|p| &lexed.tokens[p].kind) {
+                // `foo[`, `foo()[`, `foo[0][` — an expression is being
+                // indexed. `vec![` has `!` before the bracket, `#[attr]`
+                // has `#`, array types/literals have `:`/`=`/`(`/`<`.
+                Some(TokenKind::Ident(s)) => !NON_INDEX_PREFIX.contains(&s.as_str()),
+                Some(k) => is_punct(k, ")") || is_punct(k, "]"),
+                None => false,
+            };
+            if indexes && !em.is_suppressed(ws, fi, tok.line, SLICE_RULE) {
+                candidates.push((tok.line, tok.col));
+            }
+        }
+        let path = ws.files[fi].path.clone();
+        let allowed = baseline.get(&path).copied().unwrap_or(0).max(0) as usize;
+        if candidates.len() > allowed {
+            for (line, col) in &candidates {
+                em.report.diagnostics.push(Diagnostic {
+                    rule: SLICE_RULE,
+                    path: path.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "slice indexing can panic; this file has {} index sites but the \
+                         xlint.toml baseline allows {allowed} — use `.get(..)`, iterators, \
+                         or fix the baseline only when reviewed",
+                        candidates.len()
+                    ),
+                });
+            }
+        } else if candidates.len() < allowed {
+            em.report.notes.push(format!(
+                "{path}: slice_indexing baseline is {allowed} but only {} sites remain — \
+                 tighten xlint.toml",
+                candidates.len()
+            ));
+        }
+    }
+}

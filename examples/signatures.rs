@@ -42,7 +42,7 @@ fn main() {
             )
         })
         .collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     println!("\n10 nearest images to image 0 (class {query_class}) by signature EMD:");
     let mut same_class = 0;
