@@ -10,8 +10,8 @@ use std::hint::black_box;
 fn bench_im_ablation(c: &mut Criterion) {
     let w = Workload::build(64, 64, 2, 0xAB01);
     let cost = w.grid.cost_matrix();
-    let x = w.db.get(5).clone();
-    let y = w.db.get(41).clone();
+    let x = w.db.get(5).to_histogram();
+    let y = w.db.get(41).to_histogram();
 
     let mut group = c.benchmark_group("lb_im_ablation_d64");
     let configs = [
@@ -58,7 +58,7 @@ fn bench_scan_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for (_, h) in w.db.iter() {
-                acc += man.distance(q, h);
+                acc += man.distance(q, &h.to_histogram());
             }
             black_box(acc)
         })
@@ -67,7 +67,7 @@ fn bench_scan_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for (_, h) in w.db.iter() {
-                acc += im.distance(q, h);
+                acc += im.distance(q, &h.to_histogram());
             }
             black_box(acc)
         })

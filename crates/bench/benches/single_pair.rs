@@ -44,8 +44,8 @@ fn bench_single_pair(c: &mut Criterion) {
     for dims in [16usize, 32, 64] {
         let w = Workload::build(dims, 64, 2, 0xBEEF);
         let cost = w.grid.cost_matrix();
-        let x = w.db.get(3).clone();
-        let y = w.db.get(17).clone();
+        let x = w.db.get(3).to_histogram();
+        let y = w.db.get(17).to_histogram();
 
         let mut group = c.benchmark_group(format!("single_pair_d{dims}"));
 

@@ -330,7 +330,7 @@ fn tightness(options: &Options) {
             .collect();
         let exact_values: Vec<f64> = pairs
             .iter()
-            .map(|&(i, j)| exact.distance(w.db.get(i), w.db.get(j)))
+            .map(|&(i, j)| exact.distance(&w.db.get(i).to_histogram(), &w.db.get(j).to_histogram()))
             .collect();
 
         if options.csv {
@@ -351,7 +351,8 @@ fn tightness(options: &Options) {
                 if e <= 1e-12 {
                     continue;
                 }
-                let r = filter.distance(w.db.get(i), w.db.get(j)) / e;
+                let r =
+                    filter.distance(&w.db.get(i).to_histogram(), &w.db.get(j).to_histogram()) / e;
                 sum += r;
                 min = min.min(r);
                 counted += 1;
@@ -393,7 +394,7 @@ fn direct_vs_multistep(options: &Options) {
     };
     let mut mtree_h = MTree::new(metric_h);
     for (_, h) in w.db.iter() {
-        mtree_h.insert(h.clone());
+        mtree_h.insert(h.to_histogram());
     }
     let build_evals = mtree_h.distance_evaluations();
     let build_time = build_start.elapsed();

@@ -1,17 +1,29 @@
 //! The histogram database: the collection multistep queries run against.
+//!
+//! Storage is columnar: all bin masses live in one contiguous arena
+//! `Vec<f64>` with stride `dims`, so a full-database filter scan walks a
+//! single cache-friendly allocation instead of chasing one heap vector
+//! per object. Rows are handed out as cheap
+//! [`HistogramRef`](crate::histogram::HistogramRef) borrowed views;
+//! block-oriented distance kernels (see
+//! [`crate::lower_bounds::DistanceKernel`]) consume the raw arena
+//! directly via [`HistogramDb::arena`].
 
-use crate::histogram::{Histogram, HistogramError};
+use crate::histogram::{Histogram, HistogramError, HistogramRef};
 
 /// An in-memory collection of equal-arity, mass-normalized histograms.
 ///
 /// Object ids are positions (`0..len`). Every histogram is normalized to
 /// total mass 1 on ingest, which is both the paper's setting (equal-mass
 /// histograms, §2) and what makes a single filter weight vector valid for
-/// the whole database.
+/// the whole database. Internally the bins are stored row-major in one
+/// contiguous arena with stride [`HistogramDb::dims`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramDb {
     dims: usize,
-    histograms: Vec<Histogram>,
+    /// Row-major arena: histogram `id` occupies
+    /// `data[id * dims .. (id + 1) * dims]`.
+    data: Vec<f64>,
 }
 
 impl HistogramDb {
@@ -24,82 +36,101 @@ impl HistogramDb {
         assert!(dims > 0, "histogram dimensionality must be positive");
         HistogramDb {
             dims,
-            histograms: Vec::new(),
+            data: Vec::new(),
         }
     }
 
-    /// Number of bins per histogram.
+    /// Number of bins per histogram (the arena stride).
     pub fn dims(&self) -> usize {
         self.dims
     }
 
     /// Number of stored histograms.
     pub fn len(&self) -> usize {
-        self.histograms.len()
+        self.data.len() / self.dims
     }
 
     /// True when no histograms are stored.
     pub fn is_empty(&self) -> bool {
-        self.histograms.is_empty()
+        self.data.is_empty()
     }
 
     /// Appends a histogram (normalizing it to mass 1) and returns its id.
     ///
+    /// Fails with [`HistogramError::ArityMismatch`] when the histogram's
+    /// arity differs from the database's, and with
+    /// [`HistogramError::ZeroMass`] for an all-zero histogram, which
+    /// cannot be normalized.
+    pub fn try_push(&mut self, h: Histogram) -> Result<usize, HistogramError> {
+        if h.len() != self.dims {
+            return Err(HistogramError::ArityMismatch {
+                expected: self.dims,
+                got: h.len(),
+            });
+        }
+        let h = h.into_normalized()?;
+        self.data.extend_from_slice(h.bins());
+        Ok(self.len() - 1)
+    }
+
+    /// [`HistogramDb::try_push`] that panics on arity mismatch or an
+    /// all-zero histogram — convenient for generated workloads that
+    /// guarantee well-formed input.
+    pub fn push(&mut self, h: Histogram) -> usize {
+        self.try_push(h)
+            // xlint:allow(panic_freedom): documented panicking convenience; fallible callers use try_push
+            .expect("histogram must match the database arity and have positive mass")
+    }
+
+    /// Adopts a whole row-major arena of already-normalized rows. Used by
+    /// [`crate::storage`] after per-row validation; avoids one
+    /// `Histogram` allocation per record on the load path.
+    pub(crate) fn from_normalized_arena_unchecked(dims: usize, data: Vec<f64>) -> Self {
+        assert!(dims > 0, "histogram dimensionality must be positive");
+        debug_assert_eq!(
+            data.len() % dims,
+            0,
+            "arena length must be a multiple of dims"
+        );
+        HistogramDb { dims, data }
+    }
+
+    /// A borrowed view of the histogram with the given id.
+    ///
     /// # Panics
     ///
-    /// Panics on arity mismatch. Returns an error only for an all-zero
-    /// histogram, which cannot be normalized.
-    pub fn try_push(&mut self, h: Histogram) -> Result<usize, HistogramError> {
-        assert_eq!(h.len(), self.dims, "histogram arity mismatch");
-        let h = h.into_normalized()?;
-        self.histograms.push(h);
-        Ok(self.histograms.len() - 1)
+    /// Panics when `id >= self.len()`.
+    pub fn get(&self, id: usize) -> HistogramRef<'_> {
+        let start = id * self.dims;
+        HistogramRef::new(&self.data[start..start + self.dims])
     }
 
-    /// [`HistogramDb::try_push`] that panics on an all-zero histogram —
-    /// convenient for generated workloads that guarantee positive mass.
-    pub fn push(&mut self, h: Histogram) -> usize {
-        // xlint:allow(panic_freedom): documented panicking convenience; fallible callers use try_push
-        self.try_push(h).expect("histogram must have positive mass")
+    /// Iterates `(id, row view)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, HistogramRef<'_>)> {
+        self.data
+            .chunks_exact(self.dims)
+            .map(HistogramRef::new)
+            .enumerate()
     }
 
-    /// Appends an already-normalized histogram verbatim, without
-    /// re-normalizing. Used by [`crate::storage`] when reloading a
-    /// database whose contents are canonical by construction —
-    /// re-dividing by a recomputed mass of `1.0 ± ulp` would perturb the
-    /// stored bins and break bit-exact round trips.
-    pub(crate) fn push_normalized_unchecked(&mut self, h: Histogram) {
-        debug_assert_eq!(h.len(), self.dims);
-        debug_assert!((h.mass() - 1.0).abs() < 1e-6, "mass {} not ~1", h.mass());
-        self.histograms.push(h);
-    }
-
-    /// The histogram with the given id.
-    pub fn get(&self, id: usize) -> &Histogram {
-        &self.histograms[id]
-    }
-
-    /// Iterates `(id, histogram)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Histogram)> {
-        self.histograms.iter().enumerate()
-    }
-
-    /// All histograms in id order.
-    pub fn histograms(&self) -> &[Histogram] {
-        &self.histograms
+    /// The raw columnar arena: all bins row-major with stride
+    /// [`HistogramDb::dims`]. This is the input
+    /// [`crate::lower_bounds::DistanceKernel::eval_block`] consumes.
+    pub fn arena(&self) -> &[f64] {
+        &self.data
     }
 
     /// Per-bin variance across the database — the signal used to pick the
     /// three most discriminative dimensions for the reduced Manhattan
     /// index filter (§4.7).
     pub fn bin_variances(&self) -> Vec<f64> {
-        let n = self.histograms.len();
+        let n = self.len();
         if n == 0 {
             return vec![0.0; self.dims];
         }
         let mut mean = vec![0.0; self.dims];
-        for h in &self.histograms {
-            for (m, b) in mean.iter_mut().zip(h.bins()) {
+        for row in self.data.chunks_exact(self.dims) {
+            for (m, b) in mean.iter_mut().zip(row) {
                 *m += b;
             }
         }
@@ -107,8 +138,8 @@ impl HistogramDb {
             *m /= n as f64;
         }
         let mut var = vec![0.0; self.dims];
-        for h in &self.histograms {
-            for ((v, m), b) in var.iter_mut().zip(&mean).zip(h.bins()) {
+        for row in self.data.chunks_exact(self.dims) {
+            for ((v, m), b) in var.iter_mut().zip(&mean).zip(row) {
                 let d = b - m;
                 *v += d * d;
             }
@@ -129,24 +160,42 @@ mod tests {
         let mut db = HistogramDb::new(2);
         let id = db.push(Histogram::new(vec![2.0, 2.0]).unwrap());
         assert_eq!(id, 0);
-        assert!((db.get(0).mass() - 1.0).abs() < 1e-12);
-        assert!((db.get(0).get(0) - 0.5).abs() < 1e-12);
+        let h = db.get(0).to_histogram();
+        assert!((h.mass() - 1.0).abs() < 1e-12);
+        assert!((h.get(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn zero_mass_rejected() {
         let mut db = HistogramDb::new(2);
-        assert!(db
-            .try_push(Histogram::new(vec![0.0, 0.0]).unwrap())
-            .is_err());
+        assert_eq!(
+            db.try_push(Histogram::new(vec![0.0, 0.0]).unwrap()),
+            Err(HistogramError::ZeroMass)
+        );
         assert!(db.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "arity")]
-    fn arity_mismatch_panics() {
+    fn arity_mismatch_is_typed() {
         let mut db = HistogramDb::new(3);
-        db.push(Histogram::new(vec![1.0]).unwrap());
+        assert_eq!(
+            db.try_push(Histogram::new(vec![1.0]).unwrap()),
+            Err(HistogramError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn arena_is_row_major() {
+        let mut db = HistogramDb::new(2);
+        db.push(Histogram::new(vec![1.0, 3.0]).unwrap());
+        db.push(Histogram::new(vec![2.0, 2.0]).unwrap());
+        assert_eq!(db.arena(), &[0.25, 0.75, 0.5, 0.5]);
+        assert_eq!(db.get(1).bins(), &[0.5, 0.5]);
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

@@ -26,7 +26,8 @@ impl PartialEq for Histogram {
     }
 }
 
-/// Errors constructing a [`Histogram`].
+/// Errors constructing a [`Histogram`] or ingesting one into a
+/// [`crate::db::HistogramDb`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistogramError {
     /// A bin entry is negative or non-finite.
@@ -38,6 +39,14 @@ pub enum HistogramError {
     },
     /// Normalization was requested for an all-zero histogram.
     ZeroMass,
+    /// The histogram's arity does not match the database it was pushed
+    /// into.
+    ArityMismatch {
+        /// Arity the database stores.
+        expected: usize,
+        /// Arity of the rejected histogram.
+        got: usize,
+    },
 }
 
 impl fmt::Display for HistogramError {
@@ -47,6 +56,12 @@ impl fmt::Display for HistogramError {
                 write!(f, "bin {index} = {value} is negative or non-finite")
             }
             HistogramError::ZeroMass => write!(f, "cannot normalize an all-zero histogram"),
+            HistogramError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "histogram arity mismatch: database stores {expected} bins, got {got}"
+                )
+            }
         }
     }
 }
@@ -54,6 +69,27 @@ impl fmt::Display for HistogramError {
 impl std::error::Error for HistogramError {}
 
 impl Histogram {
+    /// Wraps bins that are trusted to be valid (non-negative, finite) and
+    /// normalized to total mass 1 — the invariant every
+    /// [`crate::db::HistogramDb`] row carries. The cached mass is pinned
+    /// to exactly `1.0`, mirroring [`Histogram::into_normalized`], so a
+    /// view materialized from the columnar arena behaves bit-identically
+    /// to the histogram that was ingested.
+    pub(crate) fn from_normalized_slice(bins: &[f64]) -> Histogram {
+        debug_assert!(
+            bins.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "trusted bins must be valid"
+        );
+        debug_assert!(
+            (bins.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "trusted bins must be mass-normalized"
+        );
+        Histogram {
+            bins: bins.to_vec(),
+            mass: 1.0,
+        }
+    }
+
     /// Wraps raw bin masses, validating non-negativity and finiteness.
     pub fn new(bins: Vec<f64>) -> Result<Self, HistogramError> {
         if let Some(idx) = bins.iter().position(|b| !b.is_finite() || *b < 0.0) {
@@ -127,6 +163,82 @@ impl Histogram {
 impl AsRef<[f64]> for Histogram {
     fn as_ref(&self) -> &[f64] {
         &self.bins
+    }
+}
+
+/// A borrowed, zero-copy view of one mass-normalized histogram inside a
+/// [`crate::db::HistogramDb`] columnar arena.
+///
+/// The database stores all bins in a single contiguous `Vec<f64>` with
+/// stride `dims`; a `HistogramRef` is just a window over one row, so
+/// handing rows to distance kernels costs nothing. The viewed bins are
+/// guaranteed valid (finite, non-negative) and normalized to total mass 1
+/// by the ingest path. Use [`HistogramRef::to_histogram`] when an owned
+/// [`Histogram`] is required (e.g. to use a database row as a query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramRef<'a> {
+    bins: &'a [f64],
+}
+
+impl<'a> HistogramRef<'a> {
+    /// Wraps a slice of mass-normalized bins.
+    ///
+    /// The caller vouches for the database row invariant: every entry is
+    /// finite and non-negative and the entries sum to 1 (within storage
+    /// tolerance). Checked only by debug assertions — this sits on the
+    /// per-row hot path.
+    pub fn new(bins: &'a [f64]) -> Self {
+        debug_assert!(
+            bins.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "histogram view over invalid bins"
+        );
+        debug_assert!(
+            (bins.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "histogram view over unnormalized bins"
+        );
+        HistogramRef { bins }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True for a zero-arity view.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The viewed bin masses, borrowing from the arena (not from `self`).
+    #[inline]
+    pub fn bins(&self) -> &'a [f64] {
+        self.bins
+    }
+
+    /// Iterates the bin masses.
+    pub fn iter(&self) -> impl Iterator<Item = &'a f64> {
+        self.bins.iter()
+    }
+
+    /// Materializes an owned [`Histogram`] from the view. The copy's
+    /// cached mass is pinned to exactly 1.0 (the arena invariant), so it
+    /// behaves identically to the histogram originally ingested.
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram::from_normalized_slice(self.bins)
+    }
+}
+
+impl AsRef<[f64]> for HistogramRef<'_> {
+    fn as_ref(&self) -> &[f64] {
+        self.bins
+    }
+}
+
+impl From<HistogramRef<'_>> for Histogram {
+    fn from(r: HistogramRef<'_>) -> Histogram {
+        r.to_histogram()
     }
 }
 

@@ -38,7 +38,9 @@
 //! * The paper's two-phase pipeline ([`pipeline`]): 3-D R-tree index
 //!   filter → `LB_IM` scan filter → exact EMD.
 //! * Binary persistence ([`storage`]) and a multi-threaded scan executor
-//!   ([`parallel`]).
+//!   ([`parallel`]) that runs query-compiled block kernels
+//!   ([`DistanceKernel`], obtained via [`DistanceMeasure::prepare`]) over
+//!   the database's columnar arena.
 //!
 //! # Quick start
 //!
@@ -78,8 +80,10 @@ pub mod storage;
 pub use db::HistogramDb;
 pub use error::PipelineError;
 pub use ground::BinGrid;
-pub use histogram::Histogram;
-pub use lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax};
+pub use histogram::{Histogram, HistogramRef};
+pub use lower_bounds::{
+    DistanceKernel, DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
+};
 
 // Re-export the substrate types users need to construct measures.
 pub use earthmover_transport::CostMatrix;

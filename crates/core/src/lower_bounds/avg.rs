@@ -1,5 +1,6 @@
 //! Rubner's centroid-averaging lower bound (§4.1 of the paper).
 
+use super::kernel::DistanceKernel;
 use super::DistanceMeasure;
 use crate::ground::euclidean;
 use crate::histogram::Histogram;
@@ -49,25 +50,65 @@ impl LbAvg {
     /// The mass-weighted centroid `Σ_i x_i·r_i / m` of a histogram — the
     /// exact quantity the paper precomputes as the 3-D index key.
     pub fn average(&self, x: &Histogram) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.centroids.len(), "arity mismatch");
-        let d = self.feature_dims();
-        let mut avg = vec![0.0; d];
-        let m = x.mass();
-        if m <= 0.0 {
-            return avg;
+        self.average_bins(x.bins(), x.mass())
+    }
+
+    /// [`LbAvg::average`] over raw bins with an explicit total mass.
+    /// Database arena rows carry mass exactly 1, so block kernels pass
+    /// `1.0` without recomputing the sum.
+    pub fn average_bins(&self, bins: &[f64], m: f64) -> Vec<f64> {
+        let mut avg = vec![0.0; self.feature_dims()];
+        self.average_into(bins, m, &mut avg);
+        avg
+    }
+
+    /// [`LbAvg::average_bins`] writing into caller-provided scratch (no
+    /// allocation); `out` must have [`LbAvg::feature_dims`] entries.
+    pub fn average_into(&self, bins: &[f64], m: f64, out: &mut [f64]) {
+        debug_assert_eq!(bins.len(), self.centroids.len(), "arity mismatch");
+        debug_assert_eq!(out.len(), self.feature_dims(), "feature arity mismatch");
+        let d = out.len();
+        for a in out.iter_mut() {
+            *a = 0.0;
         }
-        for (xi, r) in x.bins().iter().zip(&self.centroids) {
+        if m <= 0.0 {
+            return;
+        }
+        for (xi, r) in bins.iter().zip(&self.centroids) {
             // xlint:allow(float_discipline): exact-zero sparsity skip; any nonzero mass must contribute
             if *xi != 0.0 {
                 for k in 0..d {
-                    avg[k] += xi * r[k];
+                    out[k] += xi * r[k];
                 }
             }
         }
-        for a in &mut avg {
+        for a in out.iter_mut() {
             *a /= m;
         }
-        avg
+    }
+}
+
+/// Query-compiled [`LbAvg`] kernel: the query's centroid is folded once
+/// at [`DistanceMeasure::prepare`] time, so each candidate costs one
+/// sparse centroid fold plus a `feature_dims`-length Euclidean distance.
+struct AvgKernel<'m> {
+    lb: &'m LbAvg,
+    /// `Σ_i q_i·r_i / m` for the prepared query, computed once.
+    q_avg: Vec<f64>,
+}
+
+impl DistanceKernel for AvgKernel<'_> {
+    fn eval(&self, cand: &[f64]) -> f64 {
+        euclidean(&self.q_avg, &self.lb.average_bins(cand, 1.0))
+    }
+
+    fn eval_block(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        debug_assert_eq!(block.len(), stride * out.len(), "block/out shape mismatch");
+        let mut avg = vec![0.0; self.lb.feature_dims()];
+        for (row, slot) in block.chunks_exact(stride).zip(out.iter_mut()) {
+            self.lb.average_into(row, 1.0, &mut avg);
+            *slot = euclidean(&self.q_avg, &avg);
+        }
     }
 }
 
@@ -79,6 +120,13 @@ impl DistanceMeasure for LbAvg {
 
     fn name(&self) -> &'static str {
         "LB_Avg"
+    }
+
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(AvgKernel {
+            lb: self,
+            q_avg: self.average(q),
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! The Independent Minimization lower bound `LB_IM` (§4.6) — the paper's
 //! key filter for high-dimensional histograms.
 
+use super::kernel::DistanceKernel;
 use super::DistanceMeasure;
 use crate::histogram::Histogram;
 use earthmover_transport::CostMatrix;
@@ -136,26 +137,85 @@ impl LbIm {
     /// Evaluates the raw (unnormalized) bound value, exposing the
     /// configuration arithmetic for tests and the ablation bench.
     pub fn raw(&self, x: &Histogram, y: &Histogram) -> f64 {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        self.raw_bins_with_scratch(x.bins(), y.bins(), &mut xs, &mut ys)
+    }
+
+    /// [`LbIm::raw`] over raw bin slices, reusing caller scratch for the
+    /// diagonally-reduced copies — the allocation-free core the block
+    /// kernel loops over.
+    fn raw_bins_with_scratch(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        xs: &mut Vec<f64>,
+        ys: &mut Vec<f64>,
+    ) -> f64 {
         debug_assert_eq!(x.len(), self.cost.len(), "arity mismatch");
         debug_assert_eq!(y.len(), self.cost.len(), "arity mismatch");
-        let (xs, ys): (Vec<f64>, Vec<f64>) = if self.refine_diagonal {
-            x.bins()
-                .iter()
-                .zip(y.bins())
-                .map(|(a, b)| {
-                    let d = a.min(*b);
-                    (a - d, b - d)
-                })
-                .unzip()
+        xs.clear();
+        ys.clear();
+        if self.refine_diagonal {
+            for (a, b) in x.iter().zip(y) {
+                let d = a.min(*b);
+                xs.push(a - d);
+                ys.push(b - d);
+            }
         } else {
-            (x.bins().to_vec(), y.bins().to_vec())
-        };
-        let forward = self.one_direction(&xs, &ys, false);
+            xs.extend_from_slice(x);
+            ys.extend_from_slice(y);
+        }
+        let forward = self.one_direction(xs, ys, false);
         if self.symmetric {
-            let backward = self.one_direction(&ys, &xs, true);
+            let backward = self.one_direction(ys, xs, true);
             forward.max(backward)
         } else {
             forward
+        }
+    }
+}
+
+/// Query-compiled [`LbIm`] kernel: the query bins and mass are fixed at
+/// [`DistanceMeasure::prepare`] time, and the block path reuses one pair
+/// of diagonal-reduction scratch vectors across all candidates instead
+/// of allocating two per pair. The greedy orders themselves live on the
+/// parent [`LbIm`] (they depend only on the cost matrix).
+struct ImKernel<'m> {
+    im: &'m LbIm,
+    /// The prepared query's bins.
+    q: Vec<f64>,
+    /// The prepared query's total mass (the `1/m` normalizer).
+    m: f64,
+}
+
+impl DistanceKernel for ImKernel<'_> {
+    fn eval(&self, cand: &[f64]) -> f64 {
+        if self.m <= 0.0 {
+            return 0.0;
+        }
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        self.im
+            .raw_bins_with_scratch(&self.q, cand, &mut xs, &mut ys)
+            / self.m
+    }
+
+    fn eval_block(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        debug_assert_eq!(block.len(), stride * out.len(), "block/out shape mismatch");
+        if self.m <= 0.0 {
+            for slot in out.iter_mut() {
+                *slot = 0.0;
+            }
+            return;
+        }
+        let mut xs = Vec::with_capacity(stride);
+        let mut ys = Vec::with_capacity(stride);
+        for (row, slot) in block.chunks_exact(stride).zip(out.iter_mut()) {
+            *slot = self
+                .im
+                .raw_bins_with_scratch(&self.q, row, &mut xs, &mut ys)
+                / self.m;
         }
     }
 }
@@ -172,6 +232,14 @@ impl DistanceMeasure for LbIm {
 
     fn name(&self) -> &'static str {
         "LB_IM"
+    }
+
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(ImKernel {
+            im: self,
+            q: q.bins().to_vec(),
+            m: q.mass(),
+        })
     }
 }
 

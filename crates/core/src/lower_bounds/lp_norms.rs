@@ -7,10 +7,20 @@
 //! root-of-squares (L2) of these per-bin floors yields a filter whose
 //! iso-surface is a hyperdiamond, hyperrectangle, or hyperellipsoid hugging
 //! the EMD's polytope from inside.
+//!
+//! Each bound stores its *unit-mass* weight vector (`c_ij`-derived, mass
+//! folded out) at construction; evaluation applies the per-pair `1/m`
+//! scale term by term. That per-term form is what makes the prepared
+//! kernels ([`DistanceMeasure::prepare`]) bit-identical to the scalar
+//! path: the kernel folds `1/m` into the weight vector once per query and
+//! then performs exactly the same multiply/abs/accumulate sequence per
+//! candidate.
 
+use super::kernel::DistanceKernel;
 use super::DistanceMeasure;
 use crate::histogram::Histogram;
 use earthmover_transport::CostMatrix;
+use std::marker::PhantomData;
 
 /// Per-row minimum off-diagonal costs `min_{j≠i} c_ij` — the raw weights
 /// shared by [`LbManhattan`], [`LbMax`], and [`LbEuclidean`] before the
@@ -34,6 +44,14 @@ pub fn min_off_diagonal_costs(cost: &CostMatrix) -> Vec<f64> {
         .collect()
 }
 
+/// Scales unit-mass weights by `1/mass` into a fresh vector. A
+/// non-positive mass degenerates to all-zero weights, matching the
+/// `m <= 0 → 0.0` guard of the scalar distances.
+fn scaled_unit_weights(unit: &[f64], mass: f64) -> Vec<f64> {
+    let inv = if mass > 0.0 { 1.0 / mass } else { 0.0 };
+    unit.iter().map(|u| u * inv).collect()
+}
+
 /// Weighted Manhattan lower bound `LB_Man` (Theorem, §4.3):
 ///
 /// ```text
@@ -44,21 +62,45 @@ pub fn min_off_diagonal_costs(cost: &CostMatrix) -> Vec<f64> {
 /// experiments and the basis of the reduced 3-D index filter of §4.7.
 #[derive(Debug, Clone)]
 pub struct LbManhattan {
-    /// `min_{j≠i} c_ij` per bin (division by `2m` happens per pair).
+    /// `min_{j≠i} c_ij` per bin.
     min_costs: Vec<f64>,
+    /// `min_{j≠i} c_ij / 2` per bin — the mass-1 weights, precomputed so
+    /// per-pair evaluation only multiplies by `1/m`.
+    unit_weights: Vec<f64>,
 }
 
 impl LbManhattan {
     /// Derives the filter weights from a ground-distance cost matrix.
     pub fn new(cost: &CostMatrix) -> Self {
+        let min_costs = min_off_diagonal_costs(cost);
+        let unit_weights = min_costs.iter().map(|c| c * 0.5).collect();
         LbManhattan {
-            min_costs: min_off_diagonal_costs(cost),
+            min_costs,
+            unit_weights,
         }
     }
 
     /// The per-bin weights for a given total mass: `min_{j≠i} c_ij / (2m)`.
+    ///
+    /// Allocates; hot paths use [`LbManhattan::scale_weights`] or the
+    /// unit-mass vector from [`LbManhattan::unit_weights`] directly.
     pub fn weights(&self, mass: f64) -> Vec<f64> {
-        self.min_costs.iter().map(|c| c / (2.0 * mass)).collect()
+        scaled_unit_weights(&self.unit_weights, mass)
+    }
+
+    /// Writes the per-bin weights for a given total mass into `out`,
+    /// reusing its storage (no allocation).
+    pub fn scale_weights(&self, mass: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.unit_weights.len(), "arity mismatch");
+        let inv = if mass > 0.0 { 1.0 / mass } else { 0.0 };
+        for (o, u) in out.iter_mut().zip(&self.unit_weights) {
+            *o = u * inv;
+        }
+    }
+
+    /// The precomputed unit-mass weights `min_{j≠i} c_ij / 2`.
+    pub fn unit_weights(&self) -> &[f64] {
+        &self.unit_weights
     }
 
     /// Raw per-bin minimum off-diagonal costs.
@@ -69,23 +111,26 @@ impl LbManhattan {
 
 impl DistanceMeasure for LbManhattan {
     fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
-        debug_assert_eq!(x.len(), self.min_costs.len(), "arity mismatch");
+        debug_assert_eq!(x.len(), self.unit_weights.len(), "arity mismatch");
         debug_assert!(x.mass_matches(y, 1e-7), "equal mass required");
         let m = x.mass();
         if m <= 0.0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .min_costs
+        let inv = 1.0 / m;
+        self.unit_weights
             .iter()
             .zip(x.bins().iter().zip(y.bins()))
-            .map(|(c, (xi, yi))| c * (xi - yi).abs())
-            .sum();
-        sum / (2.0 * m)
+            .map(|(u, (xi, yi))| (u * inv) * (xi - yi).abs())
+            .sum()
     }
 
     fn name(&self) -> &'static str {
         "LB_Man"
+    }
+
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(LpKernel::<ManFold>::new(&self.unit_weights, q))
     }
 }
 
@@ -100,6 +145,8 @@ impl DistanceMeasure for LbManhattan {
 /// difference for the single maximizing bin.
 #[derive(Debug, Clone)]
 pub struct LbMax {
+    /// `min_{j≠i} c_ij` per bin — already the mass-1 weights for this
+    /// bound (no `/2`).
     min_costs: Vec<f64>,
 }
 
@@ -120,16 +167,20 @@ impl DistanceMeasure for LbMax {
         if m <= 0.0 {
             return 0.0;
         }
+        let inv = 1.0 / m;
         self.min_costs
             .iter()
             .zip(x.bins().iter().zip(y.bins()))
-            .map(|(c, (xi, yi))| c * (xi - yi).abs())
+            .map(|(u, (xi, yi))| (u * inv) * (xi - yi).abs())
             .fold(0.0, f64::max)
-            / m
     }
 
     fn name(&self) -> &'static str {
         "LB_Max"
+    }
+
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(LpKernel::<MaxFold>::new(&self.min_costs, q))
     }
 }
 
@@ -144,40 +195,292 @@ impl DistanceMeasure for LbMax {
 /// experiments exactly as the paper did before dropping it from the plots.
 #[derive(Debug, Clone)]
 pub struct LbEuclidean {
-    min_costs: Vec<f64>,
+    /// `min_{j≠i} c_ij / 2` per bin — the mass-1 weights.
+    unit_weights: Vec<f64>,
 }
 
 impl LbEuclidean {
     /// Derives the filter weights from a ground-distance cost matrix.
     pub fn new(cost: &CostMatrix) -> Self {
         LbEuclidean {
-            min_costs: min_off_diagonal_costs(cost),
+            unit_weights: min_off_diagonal_costs(cost)
+                .iter()
+                .map(|c| c * 0.5)
+                .collect(),
         }
     }
 }
 
 impl DistanceMeasure for LbEuclidean {
     fn distance(&self, x: &Histogram, y: &Histogram) -> f64 {
-        debug_assert_eq!(x.len(), self.min_costs.len(), "arity mismatch");
+        debug_assert_eq!(x.len(), self.unit_weights.len(), "arity mismatch");
         debug_assert!(x.mass_matches(y, 1e-7), "equal mass required");
         let m = x.mass();
         if m <= 0.0 {
             return 0.0;
         }
+        let inv = 1.0 / m;
         let sum: f64 = self
-            .min_costs
+            .unit_weights
             .iter()
             .zip(x.bins().iter().zip(y.bins()))
-            .map(|(c, (xi, yi))| {
-                let t = c * (xi - yi);
+            .map(|(u, (xi, yi))| {
+                let t = (u * inv) * (xi - yi);
                 t * t
             })
             .sum();
-        sum.sqrt() / (2.0 * m)
+        sum.sqrt()
     }
 
     fn name(&self) -> &'static str {
         "LB_Eucl"
+    }
+
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(LpKernel::<EuclFold>::new(&self.unit_weights, q))
+    }
+}
+
+/// Per-term/accumulator strategy distinguishing the three L_p kernels.
+/// Every method mirrors one floating-point operation of the matching
+/// scalar `distance` exactly — the kernels derive their bit-identity
+/// guarantee from this correspondence.
+trait LpFold: Send + Sync {
+    /// Accumulator start value.
+    const INIT: f64;
+    /// One per-bin floor term from prefolded weight `w = u/m`.
+    fn term(w: f64, q: f64, c: f64) -> f64;
+    /// Accumulation step (sum or max).
+    fn reduce(acc: f64, t: f64) -> f64;
+    /// Final transform of the accumulator.
+    fn finish(acc: f64) -> f64 {
+        acc
+    }
+}
+
+/// L1 fold: `Σ w_i |q_i − c_i|`.
+struct ManFold;
+
+impl LpFold for ManFold {
+    const INIT: f64 = 0.0;
+    fn term(w: f64, q: f64, c: f64) -> f64 {
+        w * (q - c).abs()
+    }
+    fn reduce(acc: f64, t: f64) -> f64 {
+        acc + t
+    }
+}
+
+/// L∞ fold: `max_i w_i |q_i − c_i|`.
+struct MaxFold;
+
+impl LpFold for MaxFold {
+    const INIT: f64 = 0.0;
+    fn term(w: f64, q: f64, c: f64) -> f64 {
+        w * (q - c).abs()
+    }
+    fn reduce(acc: f64, t: f64) -> f64 {
+        // Equals `acc.max(t)` on the kernel's domain (terms are products
+        // of finite non-negative values, never NaN) but lowers to a bare
+        // `maxsd` instead of max-plus-NaN-select, which matters in the
+        // 8-lane block loop.
+        if t > acc {
+            t
+        } else {
+            acc
+        }
+    }
+}
+
+/// L2 fold: `sqrt(Σ (w_i (q_i − c_i))²)`.
+struct EuclFold;
+
+impl LpFold for EuclFold {
+    const INIT: f64 = 0.0;
+    fn term(w: f64, q: f64, c: f64) -> f64 {
+        let t = w * (q - c);
+        t * t
+    }
+    fn reduce(acc: f64, t: f64) -> f64 {
+        acc + t
+    }
+    fn finish(acc: f64) -> f64 {
+        acc.sqrt()
+    }
+}
+
+/// Shared query-compiled kernel for the three L_p bounds: the query bins
+/// and the mass-prefolded weight vector are fixed at
+/// [`DistanceMeasure::prepare`] time, so the per-candidate loop touches
+/// only the candidate row. [`DistanceKernel::eval_block`] additionally
+/// processes sixteen candidate rows per weight-vector traversal, first
+/// transposing the tile so the lanes sit contiguously per bin — that
+/// turns the lane update into packed SIMD operations while keeping each
+/// row's operation order — and therefore its result — identical to
+/// [`DistanceKernel::eval`].
+struct LpKernel<F: LpFold> {
+    /// Prefolded weights `u_i / m` for the prepared query's mass.
+    w: Vec<f64>,
+    /// The prepared query's bins.
+    q: Vec<f64>,
+    _fold: PhantomData<F>,
+}
+
+impl<F: LpFold> LpKernel<F> {
+    fn new(unit_weights: &[f64], q: &Histogram) -> Self {
+        debug_assert_eq!(unit_weights.len(), q.len(), "arity mismatch");
+        LpKernel {
+            w: scaled_unit_weights(unit_weights, q.mass()),
+            q: q.bins().to_vec(),
+            _fold: PhantomData,
+        }
+    }
+}
+
+impl<F: LpFold> LpKernel<F> {
+    /// The blocked loop body, compiled for the crate's baseline target.
+    /// [`LpKernel::eval_block_avx`] re-compiles this exact body with AVX
+    /// enabled; `inline(always)` lets the wider vector units apply to it.
+    #[inline(always)]
+    fn eval_block_portable(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        debug_assert_eq!(block.len(), stride * out.len(), "block/out shape mismatch");
+        debug_assert_eq!(stride, self.q.len(), "arity mismatch");
+        // Sixteen independent accumulator lanes, one per candidate row.
+        // Each 16-row tile is first transposed (as two 8-row half-tiles)
+        // into bin-major order so bin `i` of every row in a half-tile is
+        // contiguous in its scratch buffer — the lane update then
+        // auto-vectorizes into packed subtract/abs/multiply/accumulate,
+        // and sixteen lanes give the vector units enough independent
+        // accumulate chains to hide FP latency. Vectorizing *across* rows
+        // leaves every row's own fold strictly sequential over bins,
+        // which is the bit-identity requirement.
+        const HALF: usize = 8;
+        const LANES: usize = 2 * HALF;
+        let mut scratch = vec![0.0f64; 2 * stride * HALF];
+        let (lo_scratch, hi_scratch) = scratch.split_at_mut(stride * HALF);
+        let mut tiles = block.chunks_exact(stride * LANES);
+        let mut outs = out.chunks_exact_mut(LANES);
+        for (tile, slots) in tiles.by_ref().zip(outs.by_ref()) {
+            // Transpose: scratch[i * HALF + r] = row r, bin i. Walking the
+            // eight rows in lockstep keeps the stores contiguous per bin.
+            let (lo_rows, hi_rows) = tile.split_at(stride * HALF);
+            for (rows, scratch) in [(lo_rows, &mut *lo_scratch), (hi_rows, &mut *hi_scratch)] {
+                let (r0, rest) = rows.split_at(stride);
+                let (r1, rest) = rest.split_at(stride);
+                let (r2, rest) = rest.split_at(stride);
+                let (r3, rest) = rest.split_at(stride);
+                let (r4, rest) = rest.split_at(stride);
+                let (r5, rest) = rest.split_at(stride);
+                let (r6, r7) = rest.split_at(stride);
+                let low = r0.iter().zip(r1).zip(r2).zip(r3);
+                let high = r4.iter().zip(r5).zip(r6).zip(r7);
+                for ((lanes, (((&c0, &c1), &c2), &c3)), (((&c4, &c5), &c6), &c7)) in
+                    scratch.chunks_exact_mut(HALF).zip(low).zip(high)
+                {
+                    lanes.copy_from_slice(&[c0, c1, c2, c3, c4, c5, c6, c7]);
+                }
+            }
+            let mut a0 = F::INIT;
+            let mut a1 = F::INIT;
+            let mut a2 = F::INIT;
+            let mut a3 = F::INIT;
+            let mut a4 = F::INIT;
+            let mut a5 = F::INIT;
+            let mut a6 = F::INIT;
+            let mut a7 = F::INIT;
+            let mut a8 = F::INIT;
+            let mut a9 = F::INIT;
+            let mut a10 = F::INIT;
+            let mut a11 = F::INIT;
+            let mut a12 = F::INIT;
+            let mut a13 = F::INIT;
+            let mut a14 = F::INIT;
+            let mut a15 = F::INIT;
+            for (((&w, &q), lo), hi) in self
+                .w
+                .iter()
+                .zip(&self.q)
+                .zip(lo_scratch.chunks_exact(HALF))
+                .zip(hi_scratch.chunks_exact(HALF))
+            {
+                let &[c0, c1, c2, c3, c4, c5, c6, c7] = lo else {
+                    continue;
+                };
+                let &[c8, c9, c10, c11, c12, c13, c14, c15] = hi else {
+                    continue;
+                };
+                a0 = F::reduce(a0, F::term(w, q, c0));
+                a1 = F::reduce(a1, F::term(w, q, c1));
+                a2 = F::reduce(a2, F::term(w, q, c2));
+                a3 = F::reduce(a3, F::term(w, q, c3));
+                a4 = F::reduce(a4, F::term(w, q, c4));
+                a5 = F::reduce(a5, F::term(w, q, c5));
+                a6 = F::reduce(a6, F::term(w, q, c6));
+                a7 = F::reduce(a7, F::term(w, q, c7));
+                a8 = F::reduce(a8, F::term(w, q, c8));
+                a9 = F::reduce(a9, F::term(w, q, c9));
+                a10 = F::reduce(a10, F::term(w, q, c10));
+                a11 = F::reduce(a11, F::term(w, q, c11));
+                a12 = F::reduce(a12, F::term(w, q, c12));
+                a13 = F::reduce(a13, F::term(w, q, c13));
+                a14 = F::reduce(a14, F::term(w, q, c14));
+                a15 = F::reduce(a15, F::term(w, q, c15));
+            }
+            let accs = [
+                a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, a13, a14, a15,
+            ];
+            for (slot, a) in slots.iter_mut().zip(accs) {
+                *slot = F::finish(a);
+            }
+        }
+        for (row, slot) in tiles
+            .remainder()
+            .chunks_exact(stride)
+            .zip(outs.into_remainder())
+        {
+            *slot = self.eval(row);
+        }
+    }
+
+    /// [`LpKernel::eval_block_portable`] recompiled with 256-bit vectors.
+    ///
+    /// AVX only widens the registers; every lane still performs the same
+    /// IEEE-754 subtract/abs/multiply/accumulate sequence (no FMA
+    /// contraction — that is a separate target feature, deliberately not
+    /// enabled), so results stay bit-identical to the portable build.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    fn eval_block_avx(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        self.eval_block_portable(block, stride, out);
+    }
+}
+
+impl<F: LpFold> DistanceKernel for LpKernel<F> {
+    fn eval(&self, cand: &[f64]) -> f64 {
+        debug_assert_eq!(cand.len(), self.q.len(), "arity mismatch");
+        let acc = self
+            .w
+            .iter()
+            .zip(self.q.iter().zip(cand))
+            .fold(F::INIT, |acc, (&w, (&q, &c))| {
+                F::reduce(acc, F::term(w, q, c))
+            });
+        F::finish(acc)
+    }
+
+    fn eval_block(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: the call is guarded by runtime AVX detection, which
+            // is the sole requirement of the `target_feature` function; it
+            // executes the identical portable body on wider vectors.
+            #[allow(unsafe_code)]
+            unsafe {
+                self.eval_block_avx(block, stride, out);
+            }
+            return;
+        }
+        self.eval_block_portable(block, stride, out);
     }
 }
 
@@ -260,6 +563,66 @@ mod tests {
         let w2 = lb.weights(2.0);
         for (a, b) in w1.iter().zip(&w2) {
             assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_weights_matches_weights() {
+        let lb = LbManhattan::new(&line_cost(5));
+        let mut scratch = vec![0.0; 5];
+        for mass in [0.5, 1.0, 3.0] {
+            lb.scale_weights(mass, &mut scratch);
+            assert_eq!(scratch, lb.weights(mass));
+        }
+        // Degenerate mass falls back to zero weights, matching the
+        // scalar distance's `m <= 0` guard.
+        lb.scale_weights(0.0, &mut scratch);
+        assert_eq!(scratch, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn kernels_match_scalar_bitwise() {
+        let (x, y, cost) = paper_example();
+        let measures: [&dyn DistanceMeasure; 3] = [
+            &LbManhattan::new(&cost),
+            &LbMax::new(&cost),
+            &LbEuclidean::new(&cost),
+        ];
+        let xn = x.into_normalized().unwrap();
+        let yn = y.into_normalized().unwrap();
+        for m in measures {
+            let kernel = m.prepare(&xn);
+            assert_eq!(
+                kernel.eval(yn.bins()),
+                m.distance(&xn, &yn),
+                "{} kernel drifted from scalar path",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_eval_matches_per_row_eval() {
+        // 19 rows exercises one full 16-row tile plus a 3-row remainder.
+        let cost = line_cost(4);
+        let mut rows = Vec::new();
+        for seed in 0..19 {
+            let (h, _, _) = random_pair(seed, vec![4]);
+            rows.extend_from_slice(h.bins());
+        }
+        let (q, _, _) = random_pair(99, vec![4]);
+        let measures: [&dyn DistanceMeasure; 3] = [
+            &LbManhattan::new(&cost),
+            &LbMax::new(&cost),
+            &LbEuclidean::new(&cost),
+        ];
+        for m in measures {
+            let kernel = m.prepare(&q);
+            let mut out = vec![0.0; 19];
+            kernel.eval_block(&rows, 4, &mut out);
+            for (row, got) in rows.chunks_exact(4).zip(&out) {
+                assert_eq!(*got, kernel.eval(row), "{} block drifted", m.name());
+            }
         }
     }
 

@@ -18,11 +18,13 @@
 mod avg;
 mod exact;
 mod im;
+mod kernel;
 mod lp_norms;
 
 pub use avg::LbAvg;
 pub use exact::ExactEmd;
 pub use im::LbIm;
+pub use kernel::DistanceKernel;
 pub use lp_norms::{min_off_diagonal_costs, LbEuclidean, LbManhattan, LbMax};
 
 use crate::histogram::Histogram;
@@ -75,6 +77,22 @@ pub trait DistanceMeasure: Send + Sync {
     /// Short stable name used in statistics and experiment output
     /// (e.g. `"LB_IM"`).
     fn name(&self) -> &'static str;
+
+    /// Compiles the measure against one fixed query, hoisting all
+    /// query-only work (weight vectors, centroids, greedy state) out of
+    /// the candidate loop. The returned kernel evaluates candidates —
+    /// singly or over whole columnar blocks — bit-identically to
+    /// [`DistanceMeasure::distance`] with the same query.
+    ///
+    /// The default wraps the measure in a per-pair kernel that clones `q`
+    /// and calls back into [`DistanceMeasure::distance`]; measures with
+    /// per-query state to hoist override this.
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        Box::new(kernel::PairKernel {
+            measure: self,
+            q: q.clone(),
+        })
+    }
 }
 
 impl<T: DistanceMeasure + ?Sized> DistanceMeasure for &T {
@@ -97,6 +115,9 @@ impl<T: DistanceMeasure + ?Sized> DistanceMeasure for &T {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
+        (**self).prepare(q)
     }
 }
 

@@ -4,7 +4,7 @@ use super::source::CandidateSource;
 use crate::db::HistogramDb;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
-use crate::lower_bounds::DistanceMeasure;
+use crate::lower_bounds::{DistanceKernel, DistanceMeasure};
 use crate::stats::{stage, QueryStats};
 use earthmover_obs as obs;
 use std::cmp::Ordering;
@@ -86,19 +86,25 @@ pub fn range_query(
     stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
     stats.node_accesses += cost.node_accesses;
 
+    // Compile every measure against the query once; candidates are then
+    // evaluated straight off their arena rows.
+    let kernels: Vec<Box<dyn DistanceKernel + '_>> =
+        intermediates.iter().map(|f| f.prepare(q)).collect();
+    let exact_kernel = exact.prepare(q);
+
     let mut filter_times: Vec<Duration> = vec![Duration::ZERO; intermediates.len()];
     let mut exact_time = Duration::ZERO;
     let mut items = Vec::new();
     'candidates: for (id, _) in candidates {
         let h = db.get(id);
-        for (fi, filter) in intermediates.iter().enumerate() {
+        for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
             stats.add_filter_evaluations(filter.name(), 1);
-            if timed(&mut filter_times[fi], || filter.distance(q, h)) > epsilon {
+            if timed(&mut filter_times[fi], || kernel.eval(h.bins())) > epsilon {
                 continue 'candidates;
             }
         }
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(h.bins()))?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -152,6 +158,7 @@ pub fn gemini_knn(
 
     let mut source_time = Duration::ZERO;
     let mut exact_time = Duration::ZERO;
+    let exact_kernel = exact.prepare(q);
 
     // Step 1: k candidates by filter distance.
     let mut cursor = timed(&mut source_time, || source.ranking(q))?;
@@ -171,7 +178,9 @@ pub fn gemini_knn(
     let mut epsilon = 0.0f64;
     for &id in &primaries {
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, db.get(id)))?;
+        let (d, note) = timed(&mut exact_time, || {
+            exact_kernel.try_eval_noted(db.get(id).bins())
+        })?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -188,7 +197,9 @@ pub fn gemini_knn(
             continue;
         }
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, db.get(id)))?;
+        let (d, note) = timed(&mut exact_time, || {
+            exact_kernel.try_eval_noted(db.get(id).bins())
+        })?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -241,6 +252,11 @@ pub fn optimal_knn(
     let mut filter_times: Vec<Duration> = vec![Duration::ZERO; intermediates.len()];
     let mut exact_time = Duration::ZERO;
 
+    // One query-compiled kernel per measure, shared by every candidate.
+    let kernels: Vec<Box<dyn DistanceKernel + '_>> =
+        intermediates.iter().map(|f| f.prepare(q)).collect();
+    let exact_kernel = exact.prepare(q);
+
     let mut cursor = timed(&mut source_time, || source.ranking(q))?;
     // Max-heap of the best k exact distances seen so far.
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
@@ -257,15 +273,15 @@ pub fn optimal_knn(
         }
         let h = db.get(id);
         if full {
-            for (fi, filter) in intermediates.iter().enumerate() {
+            for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
                 stats.add_filter_evaluations(filter.name(), 1);
-                if timed(&mut filter_times[fi], || filter.distance(q, h)) > epsilon {
+                if timed(&mut filter_times[fi], || kernel.eval(h.bins())) > epsilon {
                     continue 'stream;
                 }
             }
         }
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(h.bins()))?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -309,10 +325,11 @@ pub fn linear_scan_knn(
         ..Default::default()
     };
     let mut exact_time = Duration::ZERO;
+    let exact_kernel = exact.prepare(q);
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (id, h) in db.iter() {
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || exact.try_distance_noted(q, h))?;
+        let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(h.bins()))?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -421,7 +438,7 @@ mod tests {
             let result = range_query(&source, &db, &q, eps, &[&im], &exact).unwrap();
             let mut expect: Vec<(usize, f64)> = db
                 .iter()
-                .map(|(id, h)| (id, exact.distance(&q, h)))
+                .map(|(id, h)| (id, exact.distance(&q, &h.to_histogram())))
                 .filter(|(_, d)| *d <= eps)
                 .collect();
             expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -459,7 +476,7 @@ mod tests {
         let cost = grid.cost_matrix();
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
-        let q = db.get(0).clone();
+        let q = db.get(0).to_histogram();
         assert!(optimal_knn(&source, &db, &q, 0, &[], &exact)
             .unwrap()
             .items
@@ -483,7 +500,7 @@ mod tests {
         let cost = grid.cost_matrix();
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
-        let q = db.get(0).clone();
+        let q = db.get(0).to_histogram();
         let r = optimal_knn(&source, &db, &q, 50, &[], &exact).unwrap();
         assert_eq!(r.items.len(), 7);
         let g = gemini_knn(&source, &db, &q, 50, &exact).unwrap();
@@ -560,7 +577,7 @@ mod tests {
         let cost = grid.cost_matrix();
         let exact = ExactEmd::new(cost.clone());
         let source = ScanSource::new(&db, LbManhattan::new(&cost));
-        let q = db.get(7).clone();
+        let q = db.get(7).to_histogram();
         let r = optimal_knn(&source, &db, &q, 1, &[], &exact).unwrap();
         assert!(r.items[0].1 < 1e-12);
     }

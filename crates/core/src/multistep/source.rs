@@ -92,6 +92,16 @@ impl<'a, F: DistanceMeasure> ScanSource<'a, F> {
     pub fn filter(&self) -> &F {
         &self.filter
     }
+
+    /// Evaluates the filter for every database object through the
+    /// query-compiled block kernel ([`DistanceMeasure::prepare`]), in id
+    /// order — the per-query cost profile of a scan source.
+    fn scan_block(&self, q: &Histogram) -> Vec<f64> {
+        let kernel = self.filter.prepare(q);
+        let mut dists = vec![0.0; self.db.len()];
+        kernel.eval_block(self.db.arena(), self.db.dims(), &mut dists);
+        dists
+    }
 }
 
 impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
@@ -104,11 +114,7 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
     }
 
     fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError> {
-        let mut ranked: Vec<(usize, f64)> = self
-            .db
-            .iter()
-            .map(|(id, h)| (id, self.filter.distance(q, h)))
-            .collect();
+        let mut ranked: Vec<(usize, f64)> = self.scan_block(q).into_iter().enumerate().collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         Ok(Box::new(ScanCursor {
             evaluations: ranked.len() as u64,
@@ -121,13 +127,12 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
         q: &Histogram,
         epsilon: f64,
     ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError> {
-        let mut out = Vec::new();
-        for (id, h) in self.db.iter() {
-            let d = self.filter.distance(q, h);
-            if d <= epsilon {
-                out.push((id, d));
-            }
-        }
+        let out = self
+            .scan_block(q)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, d)| *d <= epsilon)
+            .collect();
         Ok((
             out,
             SourceCost {
@@ -180,7 +185,7 @@ impl<'a, R: IndexReducer> RtreeSource<'a, R> {
     pub fn build(db: &'a HistogramDb, reducer: R) -> Self {
         let items: Vec<(Vec<f64>, u64)> = db
             .iter()
-            .map(|(id, h)| (reducer.key(h), id as u64))
+            .map(|(id, h)| (reducer.key(&h.to_histogram()), id as u64))
             .collect();
         let metric = reducer.metric();
         let dims = reducer.key_dims();
@@ -372,7 +377,7 @@ mod tests {
     fn scan_ranking_is_sorted_and_complete() {
         let (grid, db) = setup(50);
         let source = ScanSource::new(&db, LbManhattan::new(&grid.cost_matrix()));
-        let q = db.get(0).clone();
+        let q = db.get(0).to_histogram();
         let mut cursor = source.ranking(&q).unwrap();
         let mut prev = f64::NEG_INFINITY;
         let mut count = 0;
@@ -390,12 +395,12 @@ mod tests {
         let (grid, db) = setup(40);
         let filter = LbManhattan::new(&grid.cost_matrix());
         let source = ScanSource::new(&db, filter.clone());
-        let q = db.get(3).clone();
+        let q = db.get(3).to_histogram();
         let eps = 0.05;
         let (hits, cost) = source.range(&q, eps).unwrap();
         let expect: Vec<usize> = db
             .iter()
-            .filter(|(_, h)| filter.distance(&q, h) <= eps)
+            .filter(|(_, h)| filter.distance(&q, &h.to_histogram()) <= eps)
             .map(|(id, _)| id)
             .collect();
         let got: Vec<usize> = hits.iter().map(|(id, _)| *id).collect();
@@ -408,7 +413,7 @@ mod tests {
         let (grid, db) = setup(60);
         let reducer = AvgReducer::new(grid.centroids().to_vec());
         let source = RtreeSource::build(&db, reducer);
-        let q = db.get(5).clone();
+        let q = db.get(5).to_histogram();
 
         // Ranking must be sorted and complete.
         let mut cursor = source.ranking(&q).unwrap();
@@ -433,7 +438,11 @@ mod tests {
         let mut expect: Vec<usize> = db
             .iter()
             .filter(|(_, h)| {
-                earthmover_rtree::PointMetric::distance(&metric, &qk, &reducer.key(h)) <= eps
+                earthmover_rtree::PointMetric::distance(
+                    &metric,
+                    &qk,
+                    &reducer.key(&h.to_histogram()),
+                ) <= eps
             })
             .map(|(id, _)| id)
             .collect();
@@ -444,7 +453,7 @@ mod tests {
     #[test]
     fn failing_source_errors_as_configured() {
         let (grid, db) = setup(20);
-        let q = db.get(0).clone();
+        let q = db.get(0).to_histogram();
 
         let inner = ScanSource::new(&db, LbManhattan::new(&grid.cost_matrix()));
         let broken = FailingSource::new(inner, 0, "injected");

@@ -23,7 +23,7 @@ use super::source::{CandidateSource, RankingCursor};
 use crate::db::HistogramDb;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
-use crate::lower_bounds::DistanceMeasure;
+use crate::lower_bounds::{DistanceKernel, DistanceMeasure};
 use crate::stats::{stage, QueryStats};
 use earthmover_obs as obs;
 use std::cmp::Ordering;
@@ -67,7 +67,6 @@ impl Ord for Item {
 /// yielded once as an `Err`, after which the stream is exhausted.
 pub struct NearestStream<'a> {
     db: &'a HistogramDb,
-    q: &'a Histogram,
     source_name: String,
     cursor: Box<dyn RankingCursor + 'a>,
     /// The cursor item read but not yet enqueued.
@@ -75,8 +74,10 @@ pub struct NearestStream<'a> {
     source_exhausted: bool,
     /// Set after yielding an `Err`; the stream then terminates.
     failed: bool,
-    intermediates: Vec<&'a dyn DistanceMeasure>,
-    exact: &'a dyn DistanceMeasure,
+    /// Intermediate filters, compiled against the query once at stream
+    /// construction, paired with their display names for stats.
+    kernels: Vec<(&'a str, Box<dyn DistanceKernel + 'a>)>,
+    exact_kernel: Box<dyn DistanceKernel + 'a>,
     heap: BinaryHeap<Item>,
     stats: QueryStats,
     /// Open for the whole stream lifetime; closes (and reports) on drop.
@@ -98,14 +99,16 @@ pub fn nearest_stream<'a>(
 ) -> Result<NearestStream<'a>, PipelineError> {
     Ok(NearestStream {
         db,
-        q,
         source_name: source.name().to_string(),
         cursor: source.ranking(q)?,
         pending: None,
         source_exhausted: false,
         failed: false,
-        intermediates,
-        exact,
+        kernels: intermediates
+            .into_iter()
+            .map(|f| (f.name(), f.prepare(q)))
+            .collect(),
+        exact_kernel: exact.prepare(q),
         heap: BinaryHeap::new(),
         stats: QueryStats {
             db_size: db.len(),
@@ -173,7 +176,7 @@ impl<'a> Iterator for NearestStream<'a> {
                 return Some(Err(e));
             }
             let item = self.heap.pop()?;
-            let exact_level = self.intermediates.len() + 1;
+            let exact_level = self.kernels.len() + 1;
             if item.level == exact_level {
                 self.stats.results += 1;
                 return Some(Ok((item.id, item.key)));
@@ -181,29 +184,31 @@ impl<'a> Iterator for NearestStream<'a> {
             // Escalate one bound level. Levels 1..=len are the
             // intermediates; the final level is the exact distance.
             let h = self.db.get(item.id);
-            let (new_key, new_level) = if item.level < self.intermediates.len() {
-                let filter = self.intermediates[item.level];
-                self.stats.add_filter_evaluations(filter.name(), 1);
-                let start = Instant::now();
-                let d = filter.distance(self.q, h);
-                self.stats.add_stage_elapsed(filter.name(), start.elapsed());
-                // A tighter bound never shrinks: keep the max.
-                (d.max(item.key), item.level + 1)
-            } else {
-                self.stats.exact_evaluations += 1;
-                let start = Instant::now();
-                let refined = self.exact.try_distance_noted(self.q, h);
-                self.stats.add_stage_elapsed(stage::EXACT, start.elapsed());
-                match refined {
-                    Ok((d, note)) => {
-                        if let Some(note) = note {
-                            self.stats.record_degradation_once(note);
+            let (new_key, new_level) = match self.kernels.get(item.level) {
+                Some((name, kernel)) => {
+                    self.stats.add_filter_evaluations(name, 1);
+                    let start = Instant::now();
+                    let d = kernel.eval(h.bins());
+                    self.stats.add_stage_elapsed(name, start.elapsed());
+                    // A tighter bound never shrinks: keep the max.
+                    (d.max(item.key), item.level + 1)
+                }
+                None => {
+                    self.stats.exact_evaluations += 1;
+                    let start = Instant::now();
+                    let refined = self.exact_kernel.try_eval_noted(h.bins());
+                    self.stats.add_stage_elapsed(stage::EXACT, start.elapsed());
+                    match refined {
+                        Ok((d, note)) => {
+                            if let Some(note) = note {
+                                self.stats.record_degradation_once(note);
+                            }
+                            (d, exact_level)
                         }
-                        (d, exact_level)
-                    }
-                    Err(e) => {
-                        self.failed = true;
-                        return Some(Err(e));
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
                     }
                 }
             };
@@ -251,7 +256,10 @@ mod tests {
         let got: Vec<(usize, f64)> = stream.map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), db.len());
         // Nondecreasing and matching the brute-force distances.
-        let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
+        let mut brute: Vec<f64> = db
+            .iter()
+            .map(|(_, h)| exact.distance(&q, &h.to_histogram()))
+            .collect();
         brute.sort_by(f64::total_cmp);
         for (i, (_, d)) in got.iter().enumerate() {
             assert!((d - brute[i]).abs() < 1e-9, "rank {i}: {d} vs {}", brute[i]);
@@ -304,7 +312,10 @@ mod tests {
         let q = random_histogram(&mut StdRng::seed_from_u64(1002), grid.num_bins());
         let stream = nearest_stream(&source, &db, &q, vec![&im], &exact).unwrap();
         let got: Vec<f64> = stream.map(|r| r.unwrap().1).collect();
-        let mut brute: Vec<f64> = db.iter().map(|(_, h)| exact.distance(&q, h)).collect();
+        let mut brute: Vec<f64> = db
+            .iter()
+            .map(|(_, h)| exact.distance(&q, &h.to_histogram()))
+            .collect();
         brute.sort_by(f64::total_cmp);
         assert_eq!(got.len(), brute.len());
         for (a, b) in got.iter().zip(&brute) {

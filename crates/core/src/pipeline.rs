@@ -12,7 +12,11 @@
 //! [`QueryEngine`] wires this up with sensible defaults
 //! (`LB_Avg` 3-D index → `LB_IM` → EMD, optimal multistep k-NN) while
 //! letting every stage be swapped for the configurations the paper's
-//! experiments compare.
+//! experiments compare. Every stage evaluates its bound through a
+//! query-compiled kernel ([`DistanceMeasure::prepare`]): per-query state
+//! is hoisted once, and scan-shaped stages run
+//! `DistanceKernel::eval_block` straight over the database's columnar
+//! arena (see `DESIGN.md` §11).
 
 use crate::db::HistogramDb;
 use crate::error::PipelineError;
@@ -386,7 +390,7 @@ mod tests {
         let eps = 0.1;
         let mut expect: Vec<usize> = db
             .iter()
-            .filter(|(_, h)| exact.distance(&q, h) <= eps)
+            .filter(|(_, h)| exact.distance(&q, &h.to_histogram()) <= eps)
             .map(|(id, _)| id)
             .collect();
         expect.sort_unstable();
@@ -472,7 +476,7 @@ mod degradation_tests {
         let eps = 0.1;
         let mut expect: Vec<usize> = db
             .iter()
-            .filter(|(_, h)| exact.distance(&q, h) <= eps)
+            .filter(|(_, h)| exact.distance(&q, &h.to_histogram()) <= eps)
             .map(|(id, _)| id)
             .collect();
         expect.sort_unstable();

@@ -171,10 +171,10 @@ mod tests {
         let reducer = AvgReducer::new(grid.centroids().to_vec());
         let lb = LbAvg::new(grid.centroids().to_vec());
         let metric = reducer.metric();
-        for (_, x) in db.iter() {
-            for (_, y) in db.iter() {
-                let via_keys = metric.distance(&reducer.key(x), &reducer.key(y));
-                let direct = lb.distance(x, y);
+        for (_, x) in db.iter().map(|(i, h)| (i, h.to_histogram())) {
+            for (_, y) in db.iter().map(|(i, h)| (i, h.to_histogram())) {
+                let via_keys = metric.distance(&reducer.key(&x), &reducer.key(&y));
+                let direct = lb.distance(&x, &y);
                 assert!((via_keys - direct).abs() < 1e-12);
             }
         }
@@ -189,11 +189,11 @@ mod tests {
         let full = LbManhattan::new(&cost);
         let exact = ExactEmd::new(cost.clone());
         let metric = reducer.metric();
-        for (_, x) in db.iter() {
-            for (_, y) in db.iter() {
-                let reduced = metric.distance(&reducer.key(x), &reducer.key(y));
-                let full_val = full.distance(x, y);
-                let emd = exact.distance(x, y);
+        for (_, x) in db.iter().map(|(i, h)| (i, h.to_histogram())) {
+            for (_, y) in db.iter().map(|(i, h)| (i, h.to_histogram())) {
+                let reduced = metric.distance(&reducer.key(&x), &reducer.key(&y));
+                let full_val = full.distance(&x, &y);
+                let emd = exact.distance(&x, &y);
                 assert!(reduced <= full_val + 1e-12, "{reduced} > {full_val}");
                 assert!(reduced <= emd + 1e-9, "{reduced} > {emd}");
             }

@@ -16,7 +16,6 @@
 //! pulled in; the codec is ~100 lines and the CRC catches corruption.
 
 use crate::db::HistogramDb;
-use crate::histogram::Histogram;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -105,10 +104,8 @@ pub fn to_bytes(db: &HistogramDb) -> Vec<u8> {
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&(db.dims() as u32).to_le_bytes());
     buf.extend_from_slice(&(db.len() as u64).to_le_bytes());
-    for (_, h) in db.iter() {
-        for b in h.bins() {
-            buf.extend_from_slice(&b.to_le_bytes());
-        }
+    for b in db.arena() {
+        buf.extend_from_slice(&b.to_le_bytes());
     }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
@@ -150,25 +147,32 @@ pub fn from_bytes(bytes: &[u8]) -> Result<HistogramDb, StorageError> {
         });
     }
 
-    let mut db = HistogramDb::new(dims);
+    // Decode the payload straight into the columnar arena, validating
+    // each record's bins and mass in place (no per-record allocation).
+    let mut arena = Vec::with_capacity(count * dims);
     let mut offset = 20;
-    for record in 0..count {
-        let mut bins = Vec::with_capacity(dims);
-        for _ in 0..dims {
-            bins.push(le_f64(bytes, offset));
-            offset += 8;
-        }
-        let h = Histogram::new(bins)
-            .map_err(|e| StorageError::InvalidData(format!("record {record}: {e}")))?;
-        if (h.mass() - 1.0).abs() > 1e-6 {
+    for _ in 0..count * dims {
+        arena.push(le_f64(bytes, offset));
+        offset += 8;
+    }
+    for (record, row) in arena.chunks_exact(dims).enumerate() {
+        if let Some((idx, value)) = row
+            .iter()
+            .enumerate()
+            .find(|(_, b)| !b.is_finite() || **b < 0.0)
+        {
             return Err(StorageError::InvalidData(format!(
-                "record {record}: mass {} is not normalized",
-                h.mass()
+                "record {record}: bin {idx} = {value} is negative or non-finite"
             )));
         }
-        db.push_normalized_unchecked(h);
+        let mass: f64 = row.iter().sum();
+        if (mass - 1.0).abs() > 1e-6 {
+            return Err(StorageError::InvalidData(format!(
+                "record {record}: mass {mass} is not normalized"
+            )));
+        }
     }
-    Ok(db)
+    Ok(HistogramDb::from_normalized_arena_unchecked(dims, arena))
 }
 
 /// Writes a database to a file (atomically: temp file + rename).
@@ -215,6 +219,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::histogram::Histogram;
 
     fn sample_db() -> HistogramDb {
         let mut db = HistogramDb::new(3);

@@ -17,6 +17,8 @@
 //!    minimization dominating the plain one,
 //!    `LB_IM^sym = max(fwd, bwd) ≥ LB_IM^fwd`.
 
+use earthmover_core::db::HistogramDb;
+use earthmover_core::quadratic_form::QuadraticForm;
 use earthmover_core::{
     BinGrid, DistanceMeasure, ExactEmd, Histogram, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
 };
@@ -40,6 +42,27 @@ fn random_histogram(rng: &mut StdRng, n: usize) -> Histogram {
 
 /// Slack for accumulated floating-point error in the LP solve.
 const EPS: f64 = 1e-9;
+
+/// True when `a` and `b` are equal or adjacent representable doubles.
+fn within_one_ulp(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    // Map the bit patterns onto a monotonic integer line so adjacent
+    // floats differ by exactly 1 (the -0.0/+0.0 pair collapses to 0).
+    fn ordered(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    ordered(a).abs_diff(ordered(b)) <= 1
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
@@ -123,6 +146,60 @@ proptest! {
         for (name, m) in &measures {
             let d = m.distance(&x, &x);
             prop_assert!(d.abs() <= EPS, "{name}(x, x) = {d}");
+        }
+    }
+
+    /// Query-compiled kernels *are* the scalar path: for every
+    /// [`DistanceMeasure`] implementation, `prepare(q)` must reproduce
+    /// `distance(q, h)` to within one ulp on both the per-row `eval` and
+    /// the blocked `eval_block` entry points. (The Lp bounds, LB_Avg and
+    /// LB_IM are in fact bit-identical; one ulp is the contract.)
+    #[test]
+    fn prepared_kernels_match_scalar_distances(seed in any::<u64>(), shape in 0usize..3) {
+        let axes = [vec![4, 2, 2], vec![4, 4, 2], vec![3, 3, 3]][shape].clone();
+        let grid = BinGrid::new(axes);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = HistogramDb::new(grid.num_bins());
+        // 19 rows exercises one full 16-row kernel tile *and* its scalar
+        // remainder loop.
+        for _ in 0..19 {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        let q = random_histogram(&mut rng, grid.num_bins());
+
+        let measures: [(&str, Box<dyn DistanceMeasure>); 9] = [
+            ("LbAvg", Box::new(LbAvg::new(grid.centroids().to_vec()))),
+            ("LbManhattan", Box::new(LbManhattan::new(&cost))),
+            ("LbMax", Box::new(LbMax::new(&cost))),
+            ("LbEuclidean", Box::new(LbEuclidean::new(&cost))),
+            ("LbIm plain", Box::new(LbIm::with_options(&cost, false, false))),
+            ("LbIm refined", Box::new(LbIm::with_options(&cost, true, false))),
+            ("LbIm symmetric", Box::new(LbIm::new(&cost))),
+            ("QuadraticForm", Box::new(QuadraticForm::from_cost(&cost))),
+            ("ExactEmd", Box::new(ExactEmd::new(cost.clone()))),
+        ];
+        for (name, m) in &measures {
+            let scalar: Vec<f64> = db
+                .iter()
+                .map(|(_, h)| m.distance(&q, &h.to_histogram()))
+                .collect();
+            let kernel = m.prepare(&q);
+            for ((id, h), want) in db.iter().zip(&scalar) {
+                let got = kernel.eval(h.bins());
+                prop_assert!(
+                    within_one_ulp(got, *want),
+                    "{name}: eval(row {id}) = {got:e} vs distance = {want:e}"
+                );
+            }
+            let mut block = vec![0.0; db.len()];
+            kernel.eval_block(db.arena(), db.dims(), &mut block);
+            for (id, (got, want)) in block.iter().zip(&scalar).enumerate() {
+                prop_assert!(
+                    within_one_ulp(*got, *want),
+                    "{name}: eval_block row {id} = {got:e} vs distance = {want:e}"
+                );
+            }
         }
     }
 }

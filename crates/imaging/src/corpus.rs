@@ -274,7 +274,7 @@ mod tests {
         assert_eq!(db.len(), 30);
         assert_eq!(db.dims(), 8);
         for (_, h) in db.iter() {
-            assert!((h.mass() - 1.0).abs() < 1e-9);
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }
 
@@ -294,7 +294,7 @@ mod tests {
         let mut inter = Vec::new();
         for i in 0..db.len() {
             for j in (i + 1)..db.len() {
-                let d = emd.distance(db.get(i), db.get(j));
+                let d = emd.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram());
                 if classes[i] == classes[j] {
                     intra.push(d);
                 } else {

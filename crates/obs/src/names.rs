@@ -26,6 +26,8 @@ pub const SPAN_NAMES: &[&str] = &[
     "nearest_stream",
     // refinement
     "exact_emd",
+    // parallel block-kernel scan executor
+    "block_scan",
     // LP solver
     "lp_solve",
     // index structures

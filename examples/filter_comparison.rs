@@ -41,7 +41,7 @@ fn main() {
             .collect();
         let exact_values: Vec<f64> = pairs
             .iter()
-            .map(|&(i, j)| exact.distance(db.get(i), db.get(j)))
+            .map(|&(i, j)| exact.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram()))
             .collect();
 
         println!("\n=== {n_bins}-bin histograms (grid {axes:?}) ===");
@@ -54,7 +54,7 @@ fn main() {
             let mut ratio_sum = 0.0;
             let mut counted = 0usize;
             for (&(i, j), &e) in pairs.iter().zip(&exact_values) {
-                let lb = filter.distance(db.get(i), db.get(j));
+                let lb = filter.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram());
                 assert!(
                     lb <= e + 1e-9,
                     "{} violated lower bounding: {lb} > {e}",
@@ -77,7 +77,7 @@ fn main() {
         // The exact EMD's own cost, for scale.
         let start = Instant::now();
         for &(i, j) in pairs.iter().take(100) {
-            let _ = exact.distance(db.get(i), db.get(j));
+            let _ = exact.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram());
         }
         println!(
             "{:<10} {:>12} {:>14.0}",

@@ -52,11 +52,11 @@ fn main() {
 
     // Precision@k under a brute-force ranking for any measure.
     let precision = |measure: &dyn DistanceMeasure, qid: usize| -> usize {
-        let q = db.get(qid);
+        let q = db.get(qid).to_histogram();
         let mut ranked: Vec<(usize, f64)> = db
             .iter()
             .filter(|(id, _)| *id != qid)
-            .map(|(id, h)| (id, measure.distance(q, h)))
+            .map(|(id, h)| (id, measure.distance(&q, &h.to_histogram())))
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         ranked
@@ -71,9 +71,9 @@ fn main() {
     let mut qf_hits = 0usize;
     let queries: Vec<usize> = (0..40).map(|i| i * 17 % n).collect();
     for &qid in &queries {
-        let q = db.get(qid);
+        let q = db.get(qid).to_histogram();
         // EMD ranking via the multistep engine (excluding the query itself).
-        let emd_result = engine.knn(q, k + 1).expect("query failed");
+        let emd_result = engine.knn(&q, k + 1).expect("query failed");
         emd_hits += emd_result
             .items
             .iter()
@@ -96,7 +96,9 @@ fn main() {
     std::fs::create_dir_all(&out).expect("create output dir");
     let qid = queries[0];
     save_ppm(&corpus.generate_image(qid as u64), out.join("query.ppm")).expect("write ppm");
-    let result = engine.knn(db.get(qid), 6).expect("query failed");
+    let result = engine
+        .knn(&db.get(qid).to_histogram(), 6)
+        .expect("query failed");
     for (rank, (id, dist)) in result.items.iter().enumerate() {
         let path = out.join(format!("neighbor_{rank}_d{dist:.4}.ppm"));
         save_ppm(&corpus.generate_image(*id as u64), &path).expect("write ppm");

@@ -34,7 +34,7 @@ fn main() {
     // The paper's best configuration: a 3-D R-tree on centroid averages
     // feeds the highly selective LB_IM filter, and only the survivors pay
     // for an exact EMD (transportation simplex).
-    let query = db.get(17); // image 17's histogram as the query example
+    let query = db.get(17).to_histogram(); // image 17's histogram as the query example
     let k = 10;
 
     for (label, engine) in [
@@ -54,7 +54,7 @@ fn main() {
                 .build(),
         ),
     ] {
-        let result = engine.knn(query, k).expect("query failed");
+        let result = engine.knn(&query, k).expect("query failed");
         println!("\n=== {label} ===");
         println!(
             "  {k}-NN result ids: {:?}",

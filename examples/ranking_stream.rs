@@ -22,8 +22,8 @@ fn main() {
     let db = corpus.build_database(&grid, n);
     let engine = QueryEngine::builder(&db, &grid).build();
 
-    let query = db.get(99);
-    let mut stream = engine.nearest_stream(query).expect("stream open failed");
+    let query = db.get(99).to_histogram();
+    let mut stream = engine.nearest_stream(&query).expect("stream open failed");
 
     println!("\npaging through the exact EMD ranking of {n} images:");
     for page in 0..4 {

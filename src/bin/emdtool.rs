@@ -245,7 +245,7 @@ fn query(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = get_num(flags, "k", 10)?;
     let pipeline = flags.get("pipeline").map(|s| s.as_str()).unwrap_or("combo");
     let grid = grid_for(db.dims())?;
-    let q = db.get(id).clone();
+    let q = db.get(id).to_histogram();
     let (recorder, _guard) = telemetry(flags)?;
 
     let result = match pipeline {

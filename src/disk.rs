@@ -13,10 +13,10 @@ use earthmover_storage::{BufferPool, PageFile, RecordStore, StorageError};
 use std::path::Path;
 
 /// Record encoding: bin count (u32 LE) followed by the bins as f64 LE.
-fn encode_histogram(h: &Histogram) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + h.len() * 8);
-    out.extend_from_slice(&(h.len() as u32).to_le_bytes());
-    for b in h.bins() {
+fn encode_bins(bins: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + bins.len() * 8);
+    out.extend_from_slice(&(bins.len() as u32).to_le_bytes());
+    for b in bins {
         out.extend_from_slice(&b.to_le_bytes());
     }
     out
@@ -50,7 +50,7 @@ pub fn save_paged(db: &HistogramDb, path: impl AsRef<Path>) -> Result<usize, Sto
     let pool = BufferPool::new(file, 64);
     let mut store = RecordStore::create(pool)?;
     for (_, h) in db.iter() {
-        store.append(&encode_histogram(h))?;
+        store.append(&encode_bins(h.bins()))?;
     }
     store.sync()?;
     Ok(db.len())
@@ -68,9 +68,8 @@ pub fn load_paged(path: impl AsRef<Path>, dims: usize) -> Result<HistogramDb, St
     let mut db = HistogramDb::new(dims);
     for (_, bytes) in store.scan()? {
         let h = decode_histogram(&bytes)?;
-        if h.len() != dims {
-            return Err(StorageError::BadRecord);
-        }
+        // `try_push` reports arity mismatches as a typed
+        // `HistogramError::ArityMismatch`, so no pre-check is needed.
         db.try_push(h).map_err(|_| StorageError::BadRecord)?;
     }
     Ok(db)

@@ -34,7 +34,7 @@
 //! let engine = QueryEngine::builder(&db, &grid).build();
 //!
 //! // 3. Query: 5 nearest neighbors of image 0's histogram.
-//! let result = engine.knn(db.get(0), 5).expect("query failed");
+//! let result = engine.knn(&db.get(0).to_histogram(), 5).expect("query failed");
 //! assert_eq!(result.items.len(), 5);
 //! assert_eq!(result.items[0].0, 0); // the image itself, at distance 0
 //!

@@ -139,7 +139,7 @@ proptest! {
         got.sort_unstable();
         let expect: Vec<usize> = db
             .iter()
-            .filter(|(_, h)| exact.distance(&q, h) <= eps)
+            .filter(|(_, h)| exact.distance(&q, &h.to_histogram()) <= eps)
             .map(|(id, _)| id)
             .collect();
         prop_assert_eq!(got, expect);
@@ -161,7 +161,7 @@ fn bound_dominance_chain_on_corpus_histograms() {
     let im_basic = LbIm::with_options(&cost, false, false);
     for i in (0..db.len()).step_by(3) {
         for j in (1..db.len()).step_by(7) {
-            let (x, y) = (db.get(i), db.get(j));
+            let (x, y) = (&db.get(i).to_histogram(), &db.get(j).to_histogram());
             assert!(eucl.distance(x, y) <= man.distance(x, y) + 1e-12);
             assert!(im_basic.distance(x, y) <= im_full.distance(x, y) + 1e-12);
         }

@@ -59,9 +59,9 @@ fn persistence_round_trip_preserves_query_results() {
     // Queries against the reloaded database give identical answers.
     let engine_a = QueryEngine::builder(&db, &grid).build();
     let engine_b = QueryEngine::builder(&reloaded, &grid).build();
-    let q = db.get(11);
-    let a = engine_a.knn(q, 5).unwrap();
-    let b = engine_b.knn(q, 5).unwrap();
+    let q = db.get(11).to_histogram();
+    let a = engine_a.knn(&q, 5).unwrap();
+    let b = engine_b.knn(&q, 5).unwrap();
     assert_eq!(
         a.items.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
         b.items.iter().map(|(id, _)| *id).collect::<Vec<_>>()
@@ -104,10 +104,10 @@ fn parallel_scan_agrees_with_engine_results() {
     let grid = BinGrid::new(vec![2, 2, 2]);
     let db = build(&grid, 150, 3);
     let exact = ExactEmd::new(grid.cost_matrix());
-    let q = db.get(42);
-    let par = earthmover::core::parallel::scan_knn(&db, q, &exact, 5, 4);
+    let q = db.get(42).to_histogram();
+    let par = earthmover::core::parallel::scan_knn(&db, &q, &exact, 5, 4);
     let engine = QueryEngine::builder(&db, &grid).build();
-    let multi = engine.knn(q, 5).unwrap();
+    let multi = engine.knn(&q, 5).unwrap();
     for ((id_a, d_a), (id_b, d_b)) in par.iter().zip(&multi.items) {
         assert_eq!(id_a, id_b);
         assert!((d_a - d_b).abs() < 1e-9);

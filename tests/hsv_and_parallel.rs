@@ -23,9 +23,9 @@ fn hsv_color_space_pipeline_is_complete() {
     let exact = ExactEmd::new(grid.cost_matrix());
     let engine = QueryEngine::builder(&db, &grid).build();
     for qid in [3, 77, 151] {
-        let q = db.get(qid);
-        let multi = engine.knn(q, 7).unwrap();
-        let brute = linear_scan_knn(&db, q, 7, &exact).unwrap();
+        let q = db.get(qid).to_histogram();
+        let multi = engine.knn(&q, 7).unwrap();
+        let brute = linear_scan_knn(&db, &q, 7, &exact).unwrap();
         for ((_, a), (_, b)) in multi.items.iter().zip(&brute.items) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -55,10 +55,10 @@ fn parallel_scan_thread_count_does_not_change_results() {
     let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(11));
     let db = corpus.build_database(&grid, 301); // odd size on purpose
     let exact = ExactEmd::new(grid.cost_matrix());
-    let q = db.get(100);
-    let baseline = parallel::scan_knn(&db, q, &exact, 7, 1);
+    let q = db.get(100).to_histogram();
+    let baseline = parallel::scan_knn(&db, &q, &exact, 7, 1);
     for threads in [2, 4, 7, 32] {
-        let got = parallel::scan_knn(&db, q, &exact, 7, threads);
+        let got = parallel::scan_knn(&db, &q, &exact, 7, threads);
         assert_eq!(baseline, got, "threads = {threads}");
     }
 }
@@ -72,15 +72,15 @@ fn index_ranking_cost_grows_with_pulls() {
     let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(13));
     let db = corpus.build_database(&grid, 3_000);
     let source = RtreeSource::build(&db, AvgReducer::new(grid.centroids().to_vec()));
-    let q = db.get(0);
+    let q = db.get(0).to_histogram();
 
-    let mut few = source.ranking(q).unwrap();
+    let mut few = source.ranking(&q).unwrap();
     for _ in 0..10 {
         few.next().unwrap();
     }
     let few_cost = few.cost();
 
-    let mut all = source.ranking(q).unwrap();
+    let mut all = source.ranking(&q).unwrap();
     while all.next().unwrap().is_some() {}
     let all_cost = all.cost();
 
@@ -121,7 +121,9 @@ fn quadratic_form_is_not_a_lower_bound() {
     let mut violations = 0;
     for i in 0..db.len() {
         for j in (i + 1)..db.len() {
-            if qf.distance(db.get(i), db.get(j)) > exact.distance(db.get(i), db.get(j)) + 1e-9 {
+            if qf.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram())
+                > exact.distance(&db.get(i).to_histogram(), &db.get(j).to_histogram()) + 1e-9
+            {
                 violations += 1;
             }
         }
