@@ -1,0 +1,117 @@
+//! Per-query deadline budgets.
+//!
+//! A production serving layer (see `crates/serve`) cannot let one
+//! expensive query — say, a range query that degrades to exact-EMD
+//! refinement over most of the database — hold a worker thread hostage.
+//! [`Deadline`] threads a wall-clock budget through the multistep
+//! algorithms: when the budget is exhausted mid-query the algorithm stops
+//! where it is and returns what it has, marking the result as partial
+//! ([`crate::stats::QueryStats::deadline_expired`]) and recording a
+//! degradation note, instead of either hanging or throwing work away.
+//!
+//! A [`Deadline`] is a tiny copyable value; [`Deadline::none`] (the
+//! default) never expires and adds one branch per candidate to the query
+//! loops, so the unbounded paths stay effectively free.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for one query execution.
+///
+/// Construct with [`Deadline::none`] (unbounded), [`Deadline::within`]
+/// (budget from now), or [`Deadline::at`] (absolute expiry, e.g. derived
+/// once per network request and shared by retries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    expires: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires — the behavior of every query API
+    /// that predates deadlines.
+    pub fn none() -> Deadline {
+        Deadline { expires: None }
+    }
+
+    /// Expires `budget` from now. A zero budget is already expired.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            expires: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Expires at the given instant.
+    pub fn at(expires: Instant) -> Deadline {
+        Deadline {
+            expires: Some(expires),
+        }
+    }
+
+    /// True when the deadline can never expire.
+    pub fn is_unbounded(&self) -> bool {
+        self.expires.is_none()
+    }
+
+    /// True once the budget is exhausted. Unbounded deadlines never
+    /// expire; bounded ones read the monotonic clock.
+    pub fn expired(&self) -> bool {
+        match self.expires {
+            None => false,
+            Some(expires) => Instant::now() >= expires,
+        }
+    }
+
+    /// Remaining budget: `None` for an unbounded deadline, zero once
+    /// expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires
+            .map(|expires| expires.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// The degradation note recorded when a query is cut short by its
+/// deadline. Kept as a constant so the serving layer and tests can match
+/// it without duplicating the string.
+pub const DEADLINE_NOTE: &str = "deadline expired; result is a partial best-effort prefix";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unbounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d, Deadline::default());
+    }
+
+    #[test]
+    fn zero_budget_is_expired_immediately() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(!d.is_unbounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().is_some_and(|r| r > Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn absolute_deadline_in_the_past_is_expired() {
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(Deadline::at(past).expired());
+    }
+
+    #[test]
+    fn overflowing_budget_saturates_to_unbounded() {
+        // `Instant + huge Duration` has no representable expiry; treating
+        // it as unbounded is the only non-surprising reading.
+        let d = Deadline::within(Duration::MAX);
+        assert!(!d.expired());
+    }
+}

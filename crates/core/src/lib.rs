@@ -64,6 +64,7 @@
 //! ```
 
 pub mod db;
+pub mod deadline;
 pub mod error;
 pub mod ground;
 pub mod histogram;
@@ -78,6 +79,7 @@ pub mod stats;
 pub mod storage;
 
 pub use db::HistogramDb;
+pub use deadline::Deadline;
 pub use error::PipelineError;
 pub use ground::BinGrid;
 pub use histogram::{Histogram, HistogramRef};

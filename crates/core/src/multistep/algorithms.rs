@@ -2,6 +2,7 @@
 
 use super::source::CandidateSource;
 use crate::db::HistogramDb;
+use crate::deadline::{Deadline, DEADLINE_NOTE};
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::{DistanceKernel, DistanceMeasure};
@@ -10,6 +11,12 @@ use earthmover_obs as obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
+
+/// Marks `stats` as cut short by its deadline (flag + degradation note).
+fn expire(stats: &mut QueryStats) {
+    stats.deadline_expired = true;
+    stats.record_degradation_once(DEADLINE_NOTE);
+}
 
 /// Runs `f`, adding its wall-clock time to `acc`. The per-stage timing
 /// backbone: cheap enough (two monotonic clock reads) to wrap individual
@@ -74,6 +81,31 @@ pub fn range_query(
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    range_query_within(
+        source,
+        db,
+        q,
+        epsilon,
+        intermediates,
+        exact,
+        Deadline::none(),
+    )
+}
+
+/// [`range_query`] under a wall-clock budget. When `deadline` expires the
+/// refinement loop stops where it is and the result set built so far is
+/// returned, with [`QueryStats::deadline_expired`] set and a degradation
+/// note recorded. Distances in a partial result are still exact; objects
+/// never reached are simply absent.
+pub fn range_query_within(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    epsilon: f64,
+    intermediates: &[&dyn DistanceMeasure],
+    exact: &dyn DistanceMeasure,
+    deadline: Deadline,
+) -> Result<QueryResult, PipelineError> {
     let mut span = obs::span!("range_query", epsilon = epsilon);
     let start = Instant::now();
     let mut stats = QueryStats {
@@ -96,6 +128,10 @@ pub fn range_query(
     let mut exact_time = Duration::ZERO;
     let mut items = Vec::new();
     'candidates: for (id, _) in candidates {
+        if deadline.expired() {
+            expire(&mut stats);
+            break;
+        }
         let h = db.get(id);
         for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
             stats.add_filter_evaluations(filter.name(), 1);
@@ -142,6 +178,23 @@ pub fn gemini_knn(
     k: usize,
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    gemini_knn_within(source, db, q, k, exact, Deadline::none())
+}
+
+/// [`gemini_knn`] under a wall-clock budget. An expired deadline stops
+/// refinement between candidates; whatever has been refined so far is
+/// ranked and truncated to `k`, with [`QueryStats::deadline_expired`]
+/// set. A partial GEMINI answer is a best-effort k-NN estimate: reported
+/// distances are exact, but an unrefined candidate could have displaced a
+/// reported one.
+pub fn gemini_knn_within(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    exact: &dyn DistanceMeasure,
+    deadline: Deadline,
+) -> Result<QueryResult, PipelineError> {
     let mut span = obs::span!("gemini_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
@@ -177,6 +230,10 @@ pub fn gemini_knn(
     let mut evaluated: Vec<(usize, f64)> = Vec::new();
     let mut epsilon = 0.0f64;
     for &id in &primaries {
+        if deadline.expired() {
+            expire(&mut stats);
+            break;
+        }
         stats.exact_evaluations += 1;
         let (d, note) = timed(&mut exact_time, || {
             exact_kernel.try_eval_noted(db.get(id).bins())
@@ -188,22 +245,30 @@ pub fn gemini_knn(
         evaluated.push((id, d));
     }
 
-    // Step 3: filter range query at ε', refine everything not yet refined.
-    let (candidates, cost) = timed(&mut source_time, || source.range(q, epsilon))?;
-    stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
-    stats.node_accesses += cost.node_accesses;
-    for (id, _) in candidates {
-        if evaluated.iter().any(|(e, _)| *e == id) {
-            continue;
+    // Step 3: filter range query at ε', refine everything not yet
+    // refined. Skipped entirely once the deadline has fired — ε' from a
+    // partial step 2 would make the extra work meaningless anyway.
+    if !stats.deadline_expired {
+        let (candidates, cost) = timed(&mut source_time, || source.range(q, epsilon))?;
+        stats.add_filter_evaluations(source.name(), cost.filter_evaluations);
+        stats.node_accesses += cost.node_accesses;
+        for (id, _) in candidates {
+            if evaluated.iter().any(|(e, _)| *e == id) {
+                continue;
+            }
+            if deadline.expired() {
+                expire(&mut stats);
+                break;
+            }
+            stats.exact_evaluations += 1;
+            let (d, note) = timed(&mut exact_time, || {
+                exact_kernel.try_eval_noted(db.get(id).bins())
+            })?;
+            if let Some(note) = note {
+                stats.record_degradation_once(note);
+            }
+            evaluated.push((id, d));
         }
-        stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || {
-            exact_kernel.try_eval_noted(db.get(id).bins())
-        })?;
-        if let Some(note) = note {
-            stats.record_degradation_once(note);
-        }
-        evaluated.push((id, d));
     }
 
     stats.add_stage_elapsed(stage::CANDIDATES, source_time);
@@ -234,6 +299,25 @@ pub fn optimal_knn(
     intermediates: &[&dyn DistanceMeasure],
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    optimal_knn_within(source, db, q, k, intermediates, exact, Deadline::none())
+}
+
+/// [`optimal_knn`] under a wall-clock budget. An expired deadline stops
+/// the ranking/refinement loop; the current k-best heap is returned as a
+/// best-effort partial answer with [`QueryStats::deadline_expired`] set.
+/// Because candidates arrive in nondecreasing filter-distance order, the
+/// partial answer is exactly what the algorithm would report if the
+/// database ended at the cut — the natural anytime behavior of the
+/// optimal multistep algorithm.
+pub fn optimal_knn_within(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    intermediates: &[&dyn DistanceMeasure],
+    exact: &dyn DistanceMeasure,
+    deadline: Deadline,
+) -> Result<QueryResult, PipelineError> {
     let mut span = obs::span!("optimal_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
@@ -262,6 +346,10 @@ pub fn optimal_knn(
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
     'stream: while let Some((id, filter_dist)) = timed(&mut source_time, || cursor.next())? {
+        if deadline.expired() {
+            expire(&mut stats);
+            break;
+        }
         let full = best.len() == k;
         // `full` guarantees the heap is nonempty (k > 0 checked above).
         let epsilon = match best.peek() {
@@ -318,6 +406,19 @@ pub fn linear_scan_knn(
     k: usize,
     exact: &dyn DistanceMeasure,
 ) -> Result<QueryResult, PipelineError> {
+    linear_scan_knn_within(db, q, k, exact, Deadline::none())
+}
+
+/// [`linear_scan_knn`] under a wall-clock budget. An expired deadline
+/// stops the scan; the k-best heap over the scanned prefix is returned
+/// with [`QueryStats::deadline_expired`] set.
+pub fn linear_scan_knn_within(
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    exact: &dyn DistanceMeasure,
+    deadline: Deadline,
+) -> Result<QueryResult, PipelineError> {
     let mut span = obs::span!("linear_scan_knn", k = k);
     let start = Instant::now();
     let mut stats = QueryStats {
@@ -328,6 +429,10 @@ pub fn linear_scan_knn(
     let exact_kernel = exact.prepare(q);
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (id, h) in db.iter() {
+        if deadline.expired() {
+            expire(&mut stats);
+            break;
+        }
         stats.exact_evaluations += 1;
         let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(h.bins()))?;
         if let Some(note) = note {

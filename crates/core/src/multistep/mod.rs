@@ -21,7 +21,10 @@ mod algorithms;
 mod source;
 mod stream;
 
-pub use algorithms::{gemini_knn, linear_scan_knn, optimal_knn, range_query, QueryResult};
+pub use algorithms::{
+    gemini_knn, gemini_knn_within, linear_scan_knn, linear_scan_knn_within, optimal_knn,
+    optimal_knn_within, range_query, range_query_within, QueryResult,
+};
 pub use source::{
     CandidateSource, FailingSource, RankingCursor, RtreeSource, ScanSource, SourceCost,
 };

@@ -19,12 +19,14 @@
 //! arena (see `DESIGN.md` §11).
 
 use crate::db::HistogramDb;
+use crate::deadline::Deadline;
 use crate::error::PipelineError;
 use crate::ground::BinGrid;
 use crate::histogram::Histogram;
 use crate::lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbIm, LbManhattan};
 use crate::multistep::{
-    gemini_knn, optimal_knn, range_query, CandidateSource, QueryResult, RtreeSource, ScanSource,
+    gemini_knn_within, optimal_knn_within, range_query_within, CandidateSource, QueryResult,
+    RtreeSource, ScanSource,
 };
 use crate::reduce::{AvgReducer, ManhattanReducer};
 use earthmover_obs as obs;
@@ -235,12 +237,19 @@ impl<'a> QueryEngine<'a> {
         source: &dyn CandidateSource,
         q: &Histogram,
         k: usize,
+        deadline: Deadline,
     ) -> Result<QueryResult, PipelineError> {
         match self.algorithm {
-            KnnAlgorithm::Optimal => {
-                optimal_knn(source, self.db, q, k, &self.intermediates(), &self.exact)
-            }
-            KnnAlgorithm::Gemini => gemini_knn(source, self.db, q, k, &self.exact),
+            KnnAlgorithm::Optimal => optimal_knn_within(
+                source,
+                self.db,
+                q,
+                k,
+                &self.intermediates(),
+                &self.exact,
+                deadline,
+            ),
+            KnnAlgorithm::Gemini => gemini_knn_within(source, self.db, q, k, &self.exact, deadline),
         }
     }
 
@@ -257,11 +266,28 @@ impl<'a> QueryEngine<'a> {
     /// on a sequential scan (see the type docs); only exact-distance
     /// failures that survive the solver recovery ladder surface as errors.
     pub fn knn(&self, q: &Histogram, k: usize) -> Result<QueryResult, PipelineError> {
+        self.knn_within(q, k, Deadline::none())
+    }
+
+    /// [`QueryEngine::knn`] under a wall-clock budget. When `deadline`
+    /// expires mid-query the best-effort partial result accumulated so
+    /// far comes back with
+    /// [`crate::stats::QueryStats::deadline_expired`] set and a
+    /// degradation note recorded — the serving layer turns this into a
+    /// typed `DeadlineExceeded` response instead of hanging a connection.
+    /// The scan fallback on a first-stage failure runs under the *same*
+    /// deadline, so a failure cannot double the budget.
+    pub fn knn_within(
+        &self,
+        q: &Histogram,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<QueryResult, PipelineError> {
         let mut span = obs::span!("engine_knn", k = k);
-        match self.knn_on(self.stage.as_source(), q, k) {
+        match self.knn_on(self.stage.as_source(), q, k, deadline) {
             Err(PipelineError::Source { stage, reason }) => {
                 span.record("degraded", 1.0);
-                let mut result = self.knn_on(&self.fallback, q, k)?;
+                let mut result = self.knn_on(&self.fallback, q, k, deadline)?;
                 Self::record_degradation(&mut result, &stage, &reason);
                 Ok(result)
             }
@@ -304,15 +330,27 @@ impl<'a> QueryEngine<'a> {
     /// ε-range query with the configured pipeline. Degrades to a
     /// sequential scan on first-stage failure, like [`QueryEngine::knn`].
     pub fn range(&self, q: &Histogram, epsilon: f64) -> Result<QueryResult, PipelineError> {
+        self.range_within(q, epsilon, Deadline::none())
+    }
+
+    /// [`QueryEngine::range`] under a wall-clock budget; partial-result
+    /// semantics as for [`QueryEngine::knn_within`].
+    pub fn range_within(
+        &self,
+        q: &Histogram,
+        epsilon: f64,
+        deadline: Deadline,
+    ) -> Result<QueryResult, PipelineError> {
         let mut span = obs::span!("engine_range", epsilon = epsilon);
         let run = |source: &dyn CandidateSource| {
-            range_query(
+            range_query_within(
                 source,
                 self.db,
                 q,
                 epsilon,
                 &self.intermediates(),
                 &self.exact,
+                deadline,
             )
         };
         match run(self.stage.as_source()) {

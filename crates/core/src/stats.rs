@@ -64,6 +64,12 @@ pub struct QueryStats {
     /// dense-LP recovery). Empty for a healthy execution; results remain
     /// exact either way.
     pub degradations: Vec<String>,
+    /// True when the query's [`crate::deadline::Deadline`] expired before
+    /// the pipeline finished: the result is a best-effort partial answer
+    /// (every distance reported is still exact, but objects that were
+    /// never reached may be missing). Merging ORs, so a workload record
+    /// says whether *any* query was cut short.
+    pub deadline_expired: bool,
 }
 
 impl QueryStats {
@@ -155,6 +161,7 @@ impl QueryStats {
             self.add_stage_elapsed(name, *d);
         }
         self.degradations.extend(other.degradations.iter().cloned());
+        self.deadline_expired |= other.deadline_expired;
     }
 }
 

@@ -36,6 +36,9 @@ pub const SPAN_NAMES: &[&str] = &[
     "mtree_range",
     // storage
     "storage_recovery_scan",
+    // network query service (crates/serve)
+    "serve_connection",
+    "serve_request",
 ];
 
 /// Every point-in-time event name.
@@ -45,6 +48,9 @@ pub const EVENT_NAMES: &[&str] = &[
     "storage_page_read",
     "storage_page_write",
     "storage_crc_recovery",
+    // network query service (crates/serve)
+    "serve_shed",
+    "serve_drain_begin",
 ];
 
 /// Every statically named metric (counters, gauges, histograms).
@@ -62,6 +68,22 @@ pub const METRIC_NAMES: &[&str] = &[
     "db_size",
     "selectivity",
     "query_seconds",
+    // network query service (crates/serve): admission control and
+    // per-endpoint latency. `serve_queue_depth` / `serve_active_connections`
+    // are point-in-time gauges; `serve_*_seconds` are request-latency
+    // histograms per endpoint.
+    "serve_requests_total",
+    "serve_shed_total",
+    "serve_deadline_exceeded_total",
+    "serve_errors_total",
+    "serve_connections_total",
+    "serve_queue_depth",
+    "serve_active_connections",
+    "serve_knn_seconds",
+    "serve_range_seconds",
+    "serve_health_seconds",
+    "serve_stats_seconds",
+    "serve_shutdown_seconds",
 ];
 
 #[cfg(test)]

@@ -20,6 +20,13 @@ use std::sync::Mutex;
 pub trait Subscriber: Send + Sync {
     /// Called when a span closes or an event is emitted.
     fn on_close(&self, record: &SpanRecord);
+
+    /// Pushes any buffered records to their final destination. Called on
+    /// orderly teardown paths (e.g. the query daemon's graceful
+    /// drain-then-shutdown); buffering subscribers also flush when
+    /// dropped. The default is a no-op for subscribers with nothing to
+    /// flush.
+    fn flush(&self) {}
 }
 
 /// Discards everything. Installing it is equivalent to installing
@@ -164,6 +171,24 @@ impl Subscriber for JsonLinesEmitter {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if out.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A buffered-writer emitter that is never flushed loses the trace tail
+/// on every exit path that skips explicit teardown (early return, `?`,
+/// panic unwind). Flushing on drop closes that hole; the graceful
+/// shutdown path of the query daemon additionally calls
+/// [`Subscriber::flush`] explicitly before the process exits.
+impl Drop for JsonLinesEmitter {
+    fn drop(&mut self) {
+        Subscriber::flush(self);
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +228,56 @@ mod tests {
             "{\"name\":\"exact_emd\",\"kind\":\"span\",\"depth\":0,\
              \"elapsed_us\":250,\"attrs\":{\"pairs\":4}}"
         );
+    }
+
+    /// Regression test: the emitter must flush both on explicit
+    /// [`Subscriber::flush`] (the daemon's graceful-shutdown path) and on
+    /// drop (abnormal exit paths that unwind without teardown) —
+    /// otherwise the tail of a buffered trace is silently lost.
+    #[test]
+    fn json_lines_flushes_on_drop_and_on_flush() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Clone)]
+        struct CountingWriter {
+            flushes: Arc<AtomicUsize>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let emitter = JsonLinesEmitter::new(Box::new(CountingWriter {
+            flushes: flushes.clone(),
+        }));
+        emitter.on_close(&record("a"));
+        assert_eq!(flushes.load(Ordering::SeqCst), 0, "writes must not flush");
+        Subscriber::flush(&emitter);
+        assert_eq!(flushes.load(Ordering::SeqCst), 1, "explicit flush");
+        drop(emitter);
+        assert_eq!(flushes.load(Ordering::SeqCst), 2, "flush on drop");
+    }
+
+    #[test]
+    fn json_lines_counts_flush_errors() {
+        struct FailingFlush;
+        impl Write for FailingFlush {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk gone"))
+            }
+        }
+        let emitter = JsonLinesEmitter::new(Box::new(FailingFlush));
+        Subscriber::flush(&emitter);
+        assert_eq!(emitter.write_errors(), 1);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! `loadgen` — closed-loop concurrency sweep against an in-process
+//! `emdd` server.
+//!
+//! Starts a daemon on an ephemeral loopback port with a deliberately
+//! small worker pool and queue, then drives it with `C` client threads
+//! (connection per request, like an impatient load balancer) for each
+//! concurrency level. Every response is classified — complete, typed
+//! partial (`DeadlineExceeded`), shed (`Overloaded`), dropped
+//! connection, or error — and per-level throughput plus latency
+//! quantiles land in one JSON document (`BENCH_serve.json` by default).
+//! At the top concurrency levels the bounded queue saturates, so the
+//! shed rate is expected to be positive: that is admission control
+//! working, not a failure.
+//!
+//! ```sh
+//! loadgen --out BENCH_serve.json --count 2000 --secs-per-level 1.0
+//! ```
+
+use earthmover_core::ground::BinGrid;
+use earthmover_core::Histogram;
+use earthmover_imaging::corpus::{CorpusConfig, SyntheticCorpus};
+use earthmover_obs::json_f64;
+use earthmover_serve::client::{Client, Outcome};
+use earthmover_serve::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: String,
+    count: usize,
+    dims: usize,
+    seed: u64,
+    k: u32,
+    workers: usize,
+    queue: usize,
+    secs_per_level: f64,
+    levels: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_serve.json".to_string(),
+        count: 2000,
+        dims: 64,
+        seed: 2006,
+        k: 10,
+        workers: 2,
+        queue: 2,
+        secs_per_level: 1.0,
+        levels: vec![1, 2, 4, 8, 16, 32],
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = |what: &str| -> Result<usize, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{what} {value} is not a number"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = value.clone(),
+            "--count" => args.count = num("--count")?,
+            "--dims" => args.dims = num("--dims")?,
+            "--seed" => args.seed = num("--seed")? as u64,
+            "--k" => args.k = num("--k")? as u32,
+            "--workers" => args.workers = num("--workers")?,
+            "--queue" => args.queue = num("--queue")?,
+            "--secs-per-level" => {
+                args.secs_per_level = value
+                    .parse()
+                    .map_err(|_| format!("--secs-per-level {value} is not a number"))?
+            }
+            "--levels" => {
+                args.levels = value
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad level {s}")))
+                    .collect::<Result<Vec<usize>, String>>()?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.levels.is_empty() {
+        return Err("--levels must name at least one concurrency level".to_string());
+    }
+    Ok(args)
+}
+
+fn grid_for(dims: usize) -> Result<BinGrid, String> {
+    Ok(match dims {
+        16 => BinGrid::new(vec![4, 2, 2]),
+        32 => BinGrid::new(vec![4, 4, 2]),
+        64 => BinGrid::new(vec![4, 4, 4]),
+        other => return Err(format!("unsupported --dims {other} (use 16, 32, or 64)")),
+    })
+}
+
+/// Per-level tallies, merged across client threads.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    ok: u64,
+    partial: u64,
+    shed: u64,
+    dropped: u64,
+    errors: u64,
+    /// Latencies (seconds) of answered requests (complete + partial).
+    latencies: Vec<f64>,
+}
+
+impl Tally {
+    fn requests(&self) -> u64 {
+        self.ok + self.partial + self.shed + self.dropped + self.errors
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        self.ok += other.ok;
+        self.partial += other.partial;
+        self.shed += other.shed;
+        self.dropped += other.dropped;
+        self.errors += other.errors;
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+}
+
+/// Nearest-rank quantile of an (unsorted-on-entry) latency set.
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0.0) * 1e3
+}
+
+/// One client thread's closed loop: connect, one k-NN, classify, repeat.
+fn drive(
+    addr: std::net::SocketAddr,
+    queries: &[Histogram],
+    k: u32,
+    stop_at: Instant,
+    worker_index: usize,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut query_index = worker_index;
+    while Instant::now() < stop_at {
+        let q = match queries.get(query_index % queries.len().max(1)) {
+            Some(q) => q,
+            None => break,
+        };
+        query_index += 1;
+        let started = Instant::now();
+        let outcome =
+            Client::connect(addr, Duration::from_secs(10)).and_then(|mut c| c.knn(q, k, 0));
+        match outcome {
+            Ok(Outcome::Complete { .. }) => {
+                tally.ok += 1;
+                tally.latencies.push(started.elapsed().as_secs_f64());
+            }
+            Ok(Outcome::Partial { .. }) => {
+                tally.partial += 1;
+                tally.latencies.push(started.elapsed().as_secs_f64());
+            }
+            Ok(Outcome::Overloaded { .. }) => tally.shed += 1,
+            // A reset/EOF is the shed lane's own overflow signal.
+            Err(earthmover_serve::client::ClientError::Wire(_)) => tally.dropped += 1,
+            Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let grid = grid_for(args.dims)?;
+    eprintln!(
+        "loadgen: building {}-histogram corpus ({} bins)...",
+        args.count, args.dims
+    );
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(args.seed));
+    let db = corpus.build_database(&grid, args.count);
+    let queries: Vec<Histogram> = (0..64.min(db.len()))
+        .map(|id| db.get(id).to_histogram())
+        .collect();
+
+    let cfg = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let stop = server.stop_handle();
+    eprintln!(
+        "loadgen: emdd on {addr} ({} workers, queue depth {})",
+        args.workers, args.queue
+    );
+
+    let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let db_ref = &db;
+        let grid_ref = &grid;
+        scope.spawn(move || {
+            if let Err(e) = server.run(db_ref, grid_ref, None) {
+                eprintln!("loadgen: server failed: {e}");
+            }
+        });
+        // Wait until the daemon answers a health probe.
+        let mut ready = false;
+        for _ in 0..100 {
+            if let Ok(mut c) = Client::connect(addr, Duration::from_secs(1)) {
+                if c.health().is_ok() {
+                    ready = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if !ready {
+            eprintln!("loadgen: daemon never became healthy");
+            failed.store(true, Ordering::SeqCst);
+            stop.stop();
+            return;
+        }
+
+        for &concurrency in &args.levels {
+            let level_started = Instant::now();
+            let stop_at = level_started + Duration::from_secs_f64(args.secs_per_level);
+            let mut tally = Tally::default();
+            std::thread::scope(|level_scope| {
+                let handles: Vec<_> = (0..concurrency)
+                    .map(|i| {
+                        let queries = queries.as_slice();
+                        level_scope.spawn(move || drive(addr, queries, args.k, stop_at, i))
+                    })
+                    .collect();
+                for h in handles {
+                    if let Ok(t) = h.join() {
+                        tally.merge(&t);
+                    }
+                }
+            });
+            let wall = level_started.elapsed().as_secs_f64().max(1e-9);
+            let mut lat = tally.latencies.clone();
+            lat.sort_by(f64::total_cmp);
+            let answered = tally.ok + tally.partial;
+            let shed_rate = (tally.shed + tally.dropped) as f64 / tally.requests().max(1) as f64;
+            eprintln!(
+                "loadgen: C={concurrency:<3} {} req, {answered} answered, {} shed, {} dropped, \
+                 {:.0} qps, p50 {:.2} ms, p99 {:.2} ms, shed rate {:.1}%",
+                tally.requests(),
+                tally.shed,
+                tally.dropped,
+                answered as f64 / wall,
+                quantile_ms(&lat, 0.50),
+                quantile_ms(&lat, 0.99),
+                100.0 * shed_rate,
+            );
+            let line = format!(
+                "{{\"concurrency\":{},\"requests\":{},\"ok\":{},\"partial\":{},\"shed\":{},\
+                 \"dropped\":{},\"errors\":{},\"qps\":{},\"p50_ms\":{},\"p95_ms\":{},\
+                 \"p99_ms\":{},\"shed_rate\":{}}}",
+                concurrency,
+                tally.requests(),
+                tally.ok,
+                tally.partial,
+                tally.shed,
+                tally.dropped,
+                tally.errors,
+                json_f64(answered as f64 / wall),
+                json_f64(quantile_ms(&lat, 0.50)),
+                json_f64(quantile_ms(&lat, 0.95)),
+                json_f64(quantile_ms(&lat, 0.99)),
+                json_f64(shed_rate),
+            );
+            lines.lock().unwrap_or_else(|e| e.into_inner()).push(line);
+        }
+        stop.stop();
+    });
+    if failed.load(Ordering::SeqCst) {
+        return Err("daemon failed to start".to_string());
+    }
+
+    let doc = format!(
+        "{{\"schema\":\"bench_serve/v1\",\"seed\":{},\"config\":{{\"count\":{},\"dims\":{},\
+         \"k\":{},\"workers\":{},\"queue_depth\":{},\"secs_per_level\":{}}},\"levels\":[{}]}}",
+        args.seed,
+        args.count,
+        args.dims,
+        args.k,
+        args.workers,
+        args.queue,
+        json_f64(args.secs_per_level),
+        lines.lock().unwrap_or_else(|e| e.into_inner()).join(",")
+    );
+    std::fs::write(&args.out, &doc).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("loadgen: wrote {}", args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

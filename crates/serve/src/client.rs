@@ -1,0 +1,225 @@
+//! Blocking client for the `emdd` wire protocol.
+//!
+//! One [`Client`] owns one keep-alive TCP connection and issues
+//! requests sequentially; request ids are assigned monotonically and
+//! responses are checked against them ([`Response::Overloaded`] may
+//! legitimately carry id `0` when the server sheds before reading the
+//! request — see the protocol docs).
+
+use crate::protocol::{self, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};
+use earthmover_core::stats::QueryStats;
+use earthmover_core::Histogram;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a query came back as, from the client's point of view.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The server answered completely.
+    Complete {
+        /// `(object id, exact distance)` pairs, ascending by distance.
+        items: Vec<(u64, f64)>,
+        /// Server-side work breakdown.
+        stats: QueryStats,
+    },
+    /// The deadline budget expired server-side: a flagged partial
+    /// prefix, not an error.
+    Partial {
+        /// Best-effort `(object id, exact distance)` prefix.
+        items: Vec<(u64, f64)>,
+        /// Server-side work breakdown; `deadline_expired` is set.
+        stats: QueryStats,
+    },
+    /// Admission control shed the request before execution.
+    Overloaded {
+        /// Server queue depth at shed time.
+        queue_depth: u32,
+        /// Minimal stats carrying the overload degradation note.
+        stats: QueryStats,
+    },
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a structured error frame.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server sent a frame type that does not answer the request.
+    UnexpectedResponse,
+    /// The response's request id does not match the request's.
+    IdMismatch {
+        /// Id the client sent.
+        sent: u64,
+        /// Id the server echoed.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedResponse => write!(f, "response type does not match request"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "request id mismatch: sent {sent}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Wire(WireError::from(e))
+    }
+}
+
+/// Answer to a health probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// True once the server has begun draining.
+    pub draining: bool,
+    /// Histograms served.
+    pub db_size: u64,
+    /// Histogram dimensionality queries must match.
+    pub dims: u32,
+    /// Milliseconds since server start.
+    pub uptime_ms: u64,
+}
+
+/// A blocking `emdd` client over one keep-alive connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects with the given I/O timeout applied to reads and writes.
+    pub fn connect(addr: impl ToSocketAddrs, io_timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = protocol::encode_request(id, req)?;
+        protocol::write_frame(&mut self.stream, &frame)?;
+        let raw = protocol::read_frame(&mut self.stream, self.max_frame_len)?
+            .ok_or(ClientError::Wire(WireError::Truncated))?;
+        let got = raw.request_id;
+        let resp = raw.into_response()?;
+        // A shed can happen before the server reads the request, in
+        // which case it echoes id 0.
+        let shed_at_accept = got == 0 && matches!(resp, Response::Overloaded { .. });
+        if got != id && !shed_at_accept {
+            return Err(ClientError::IdMismatch { sent: id, got });
+        }
+        Ok((id, resp))
+    }
+
+    fn query(&mut self, req: &Request) -> Result<Outcome, ClientError> {
+        match self.call(req)?.1 {
+            Response::Results { items, stats } => Ok(Outcome::Complete { items, stats }),
+            Response::DeadlineExceeded { items, stats } => Ok(Outcome::Partial { items, stats }),
+            Response::Overloaded { queue_depth, stats } => {
+                Ok(Outcome::Overloaded { queue_depth, stats })
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// k-NN query. `deadline_us == 0` means "use the server default".
+    pub fn knn(
+        &mut self,
+        histogram: &Histogram,
+        k: u32,
+        deadline_us: u64,
+    ) -> Result<Outcome, ClientError> {
+        self.query(&Request::Knn {
+            k,
+            deadline_us,
+            histogram: histogram.clone(),
+        })
+    }
+
+    /// Range query. `deadline_us == 0` means "use the server default".
+    pub fn range(
+        &mut self,
+        histogram: &Histogram,
+        epsilon: f64,
+        deadline_us: u64,
+    ) -> Result<Outcome, ClientError> {
+        self.query(&Request::Range {
+            epsilon,
+            deadline_us,
+            histogram: histogram.clone(),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        match self.call(&Request::Health)?.1 {
+            Response::HealthReport {
+                draining,
+                db_size,
+                dims,
+                uptime_ms,
+            } => Ok(HealthInfo {
+                draining,
+                db_size,
+                dims,
+                uptime_ms,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetches the server's metrics in Prometheus text format.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)?.1 {
+            Response::StatsReport { prometheus } => Ok(prometheus),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Asks the server to drain and stop. The server closes the
+    /// connection after acknowledging.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)?.1 {
+            Response::ShutdownStarted => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Network query service for the EMD multistep pipeline.
+//!
+//! `earthmover-serve` turns the in-process [`QueryEngine`] into a small
+//! production-shaped daemon (`emdd`) with the operational behaviours a
+//! real service needs and a paper prototype never has:
+//!
+//! - a versioned, length-prefixed binary **wire protocol**
+//!   ([`protocol`]) hardened against arbitrary network bytes;
+//! - **admission control**: a bounded request queue; when it is full
+//!   the request is shed with a typed `Overloaded` frame instead of
+//!   queueing without bound ([`server`]);
+//! - **deadline budgets**: each request carries a time budget that is
+//!   threaded into the multistep pipeline, which returns a *typed
+//!   partial* result (`DeadlineExceeded`) instead of overshooting;
+//! - **graceful shutdown**: a `shutdown` frame or a signal drains
+//!   in-flight work, flushes telemetry, and then exits;
+//! - first-class **observability**: `serve_*` metrics (queue depth,
+//!   shed counter, per-endpoint latency histograms) and spans, with a
+//!   Prometheus text dump served over the `stats` request.
+//!
+//! Everything is built on `std::net` — no third-party dependencies, in
+//! keeping with the rest of the workspace.
+//!
+//! [`QueryEngine`]: earthmover_core::pipeline::QueryEngine
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, HealthInfo, Outcome};
+pub use protocol::{Request, Response, WireError};
+pub use server::{Server, ServerConfig, StopHandle};

@@ -1,0 +1,791 @@
+//! The `emdd` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! magic "EMDQ" (4) | version u8 (1) | type u8 (1) | request id u64 LE (8)
+//! | payload length u32 LE (4) | payload (length bytes)
+//! ```
+//!
+//! Request frames carry k-NN / range queries (histograms travel in the
+//! same `EMDB` codec the on-disk store uses, CRC and all), plus
+//! `health`, `stats`, and `shutdown` control messages. Response frames
+//! carry results with a full [`QueryStats`] work breakdown, the typed
+//! partial-result `DeadlineExceeded`, the admission-control `Overloaded`
+//! frame, and a structured `Error`.
+//!
+//! Decoding is hardened against arbitrary network bytes: every read is
+//! bounds-checked, length prefixes are validated against the configured
+//! maximum frame size *before* allocation, and malformed input returns a
+//! typed [`WireError`] — never a panic. The proptest suite in
+//! `tests/protocol.rs` round-trips every frame type and fuzzes the
+//! decoder with truncated, oversized, and corrupted frames.
+
+use earthmover_core::stats::QueryStats;
+use earthmover_core::storage;
+use earthmover_core::{Histogram, HistogramDb};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Leading bytes of every frame. "EMDQ" = Earth Mover's Distance Query.
+pub const MAGIC: [u8; 4] = *b"EMDQ";
+
+/// Protocol revision. Bump on any incompatible frame-layout change; a
+/// server rejects frames whose version byte differs.
+pub const VERSION: u8 = 1;
+
+/// Bytes in a frame header (magic + version + type + request id + len).
+pub const HEADER_LEN: usize = 18;
+
+/// Default cap on a frame's payload length. Large enough for a
+/// several-thousand-bin histogram or a full Prometheus dump, small
+/// enough that a hostile length prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// Degradation note recorded when admission control sheds a request.
+pub const OVERLOAD_NOTE: &str = "server overloaded; request shed before execution";
+
+/// What went wrong while encoding or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte differs from [`VERSION`].
+    BadVersion(u8),
+    /// The type byte names no known request or response.
+    UnknownType(u8),
+    /// The length prefix exceeds the configured maximum frame size.
+    Oversized {
+        /// Length the frame claimed.
+        len: u32,
+        /// Maximum the decoder accepts.
+        max: u32,
+    },
+    /// The stream ended inside a header or payload.
+    Truncated,
+    /// The payload's internal structure is invalid (bad counts, trailing
+    /// bytes, malformed strings, an un-decodable histogram, ...).
+    BadPayload(String),
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:?} (want {MAGIC:?})"),
+            WireError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (want {VERSION})")
+            }
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            WireError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::BadPayload(why) => write!(f, "malformed payload: {why}"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Frame type codes. Requests occupy `0x01..=0x05`; responses set the
+/// high bit.
+mod code {
+    pub const KNN: u8 = 0x01;
+    pub const RANGE: u8 = 0x02;
+    pub const HEALTH: u8 = 0x03;
+    pub const STATS: u8 = 0x04;
+    pub const SHUTDOWN: u8 = 0x05;
+
+    pub const RESULTS: u8 = 0x81;
+    pub const DEADLINE_EXCEEDED: u8 = 0x82;
+    pub const OVERLOADED: u8 = 0x83;
+    pub const HEALTH_REPORT: u8 = 0x84;
+    pub const STATS_REPORT: u8 = 0x85;
+    pub const SHUTDOWN_STARTED: u8 = 0x86;
+    pub const ERROR: u8 = 0x87;
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// k-nearest-neighbour query.
+    Knn {
+        /// Number of neighbours wanted.
+        k: u32,
+        /// Per-request deadline budget in microseconds; `0` means "use
+        /// the server's default budget".
+        deadline_us: u64,
+        /// The (normalized) query histogram.
+        histogram: Histogram,
+    },
+    /// Range (epsilon) query.
+    Range {
+        /// Inclusive EMD threshold.
+        epsilon: f64,
+        /// Per-request deadline budget in microseconds; `0` means "use
+        /// the server's default budget".
+        deadline_us: u64,
+        /// The (normalized) query histogram.
+        histogram: Histogram,
+    },
+    /// Liveness / readiness probe.
+    Health,
+    /// Request the server's metrics in Prometheus text format.
+    Stats,
+    /// Ask the server to drain and stop.
+    Shutdown,
+}
+
+/// Error categories a server reports in an [`Response::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was well-framed but semantically invalid (histogram
+    /// arity mismatch, non-finite epsilon, malformed payload).
+    BadRequest,
+    /// The query pipeline failed server-side.
+    Internal,
+    /// The server is draining and no longer accepts queries.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Internal => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, WireError> {
+        match v {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::Internal),
+            3 => Ok(ErrorCode::ShuttingDown),
+            other => Err(WireError::BadPayload(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A complete query answer.
+    Results {
+        /// `(object id, exact distance)` pairs, ascending by distance.
+        items: Vec<(u64, f64)>,
+        /// Work and timing breakdown, including degradation notes.
+        stats: QueryStats,
+    },
+    /// The deadline budget expired mid-query: a *typed partial* answer.
+    /// `items` is the best-effort prefix computed before the cutoff and
+    /// `stats.deadline_expired` is set.
+    DeadlineExceeded {
+        /// Partial `(object id, exact distance)` prefix.
+        items: Vec<(u64, f64)>,
+        /// Work and timing breakdown; `degradations` notes the cutoff.
+        stats: QueryStats,
+    },
+    /// Admission control shed the request before execution. May be sent
+    /// with request id `0` when the server sheds at accept time, before
+    /// reading any request.
+    Overloaded {
+        /// Depth of the server's bounded request queue at shed time.
+        queue_depth: u32,
+        /// Minimal stats whose `degradations` records [`OVERLOAD_NOTE`].
+        stats: QueryStats,
+    },
+    /// Answer to [`Request::Health`].
+    HealthReport {
+        /// True once the server has begun its drain-then-shutdown.
+        draining: bool,
+        /// Number of histograms served.
+        db_size: u64,
+        /// Histogram dimensionality the server expects of queries.
+        dims: u32,
+        /// Milliseconds since the server started.
+        uptime_ms: u64,
+    },
+    /// Answer to [`Request::Stats`]: the metrics registry rendered in
+    /// Prometheus text exposition format.
+    StatsReport {
+        /// Prometheus text payload.
+        prometheus: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the drain has begun.
+    ShutdownStarted,
+    /// The request could not be served.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked cursor over untrusted payload bytes.
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or_else(|| WireError::BadPayload("length overflow".into()))?;
+        let s = self
+            .buf
+            .get(self.at..end)
+            .ok_or_else(|| WireError::BadPayload("payload shorter than declared".into()))?;
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?.first().copied().unwrap_or_default())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::BadPayload("string is not UTF-8".into()))
+    }
+
+    /// Rejects element counts that could not possibly fit in the bytes
+    /// left, so a hostile count cannot drive a huge allocation.
+    fn count(&mut self, min_element_len: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let need = n.saturating_mul(min_element_len.max(1));
+        if need > self.remaining() {
+            return Err(WireError::BadPayload(format!(
+                "count {n} exceeds the {} remaining payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::BadPayload(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writers.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Histogram payloads: reuse the on-disk EMDB codec (magic, version,
+// CRC-32) by shipping a one-row database. Validation comes for free.
+
+fn encode_histogram(h: &Histogram) -> Result<Vec<u8>, WireError> {
+    if h.is_empty() {
+        return Err(WireError::BadPayload("empty histogram".into()));
+    }
+    let mut db = HistogramDb::new(h.len());
+    db.try_push(h.clone())
+        .map_err(|e| WireError::BadPayload(format!("unencodable histogram: {e}")))?;
+    Ok(storage::to_bytes(&db))
+}
+
+fn decode_histogram(bytes: &[u8]) -> Result<Histogram, WireError> {
+    let db = storage::from_bytes(bytes)
+        .map_err(|e| WireError::BadPayload(format!("histogram codec: {e}")))?;
+    if db.len() != 1 {
+        return Err(WireError::BadPayload(format!(
+            "histogram payload holds {} rows, want exactly 1",
+            db.len()
+        )));
+    }
+    Ok(db.get(0).to_histogram())
+}
+
+// ---------------------------------------------------------------------
+// QueryStats codec. Durations travel as u64 nanoseconds (saturating).
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &QueryStats) {
+    put_u64(out, s.db_size as u64);
+    put_u64(out, s.node_accesses);
+    put_u64(out, s.exact_evaluations);
+    put_u64(out, s.results);
+    put_u64(out, nanos(s.elapsed));
+    put_u64(out, nanos(s.elapsed_max));
+    out.push(u8::from(s.deadline_expired));
+    put_u32(out, s.filter_evaluations.len() as u32);
+    for (name, n) in &s.filter_evaluations {
+        put_string(out, name);
+        put_u64(out, *n);
+    }
+    put_u32(out, s.stage_elapsed.len() as u32);
+    for (name, d) in &s.stage_elapsed {
+        put_string(out, name);
+        put_u64(out, nanos(*d));
+    }
+    put_u32(out, s.degradations.len() as u32);
+    for note in &s.degradations {
+        put_string(out, note);
+    }
+}
+
+fn get_stats(cur: &mut Cur<'_>) -> Result<QueryStats, WireError> {
+    let mut s = QueryStats {
+        db_size: cur.u64()? as usize,
+        node_accesses: cur.u64()?,
+        exact_evaluations: cur.u64()?,
+        results: cur.u64()?,
+        elapsed: Duration::from_nanos(cur.u64()?),
+        elapsed_max: Duration::from_nanos(cur.u64()?),
+        ..QueryStats::default()
+    };
+    s.deadline_expired = cur.u8()? != 0;
+    let n = cur.count(12)?;
+    for _ in 0..n {
+        let name = cur.string()?;
+        let count = cur.u64()?;
+        s.filter_evaluations.push((name, count));
+    }
+    let n = cur.count(12)?;
+    for _ in 0..n {
+        let name = cur.string()?;
+        let d = Duration::from_nanos(cur.u64()?);
+        s.stage_elapsed.push((name, d));
+    }
+    let n = cur.count(4)?;
+    for _ in 0..n {
+        s.degradations.push(cur.string()?);
+    }
+    Ok(s)
+}
+
+fn put_items(out: &mut Vec<u8>, items: &[(u64, f64)]) {
+    put_u32(out, items.len() as u32);
+    for (id, dist) in items {
+        put_u64(out, *id);
+        put_f64(out, *dist);
+    }
+}
+
+fn get_items(cur: &mut Cur<'_>) -> Result<Vec<(u64, f64)>, WireError> {
+    let n = cur.count(16)?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = cur.u64()?;
+        let dist = cur.f64()?;
+        items.push((id, dist));
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Frame encode.
+
+fn frame(type_code: u8, request_id: u64, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(type_code);
+    put_u64(&mut out, request_id);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serializes a request into one wire frame.
+pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, WireError> {
+    let (code, payload) = match req {
+        Request::Knn {
+            k,
+            deadline_us,
+            histogram,
+        } => {
+            let hist = encode_histogram(histogram)?;
+            let mut p = Vec::with_capacity(16 + hist.len());
+            put_u32(&mut p, *k);
+            put_u64(&mut p, *deadline_us);
+            put_u32(&mut p, hist.len() as u32);
+            p.extend_from_slice(&hist);
+            (code::KNN, p)
+        }
+        Request::Range {
+            epsilon,
+            deadline_us,
+            histogram,
+        } => {
+            let hist = encode_histogram(histogram)?;
+            let mut p = Vec::with_capacity(20 + hist.len());
+            put_f64(&mut p, *epsilon);
+            put_u64(&mut p, *deadline_us);
+            put_u32(&mut p, hist.len() as u32);
+            p.extend_from_slice(&hist);
+            (code::RANGE, p)
+        }
+        Request::Health => (code::HEALTH, Vec::new()),
+        Request::Stats => (code::STATS, Vec::new()),
+        Request::Shutdown => (code::SHUTDOWN, Vec::new()),
+    };
+    Ok(frame(code, request_id, payload))
+}
+
+/// Serializes a response into one wire frame.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let (code, payload) = match resp {
+        Response::Results { items, stats } | Response::DeadlineExceeded { items, stats } => {
+            let mut p = Vec::new();
+            put_items(&mut p, items);
+            put_stats(&mut p, stats);
+            let code = if matches!(resp, Response::Results { .. }) {
+                code::RESULTS
+            } else {
+                code::DEADLINE_EXCEEDED
+            };
+            (code, p)
+        }
+        Response::Overloaded { queue_depth, stats } => {
+            let mut p = Vec::new();
+            put_u32(&mut p, *queue_depth);
+            put_stats(&mut p, stats);
+            (code::OVERLOADED, p)
+        }
+        Response::HealthReport {
+            draining,
+            db_size,
+            dims,
+            uptime_ms,
+        } => {
+            let mut p = Vec::with_capacity(21);
+            p.push(u8::from(*draining));
+            put_u64(&mut p, *db_size);
+            put_u32(&mut p, *dims);
+            put_u64(&mut p, *uptime_ms);
+            (code::HEALTH_REPORT, p)
+        }
+        Response::StatsReport { prometheus } => {
+            let mut p = Vec::new();
+            put_string(&mut p, prometheus);
+            (code::STATS_REPORT, p)
+        }
+        Response::ShutdownStarted => (code::SHUTDOWN_STARTED, Vec::new()),
+        Response::Error { code, message } => {
+            let mut p = Vec::new();
+            p.push(code.to_u8());
+            put_string(&mut p, message);
+            (code::ERROR, p)
+        }
+    };
+    frame(code, request_id, payload)
+}
+
+// ---------------------------------------------------------------------
+// Frame decode.
+
+/// One frame pulled off the wire, payload still undecoded.
+#[derive(Debug)]
+pub struct RawFrame {
+    /// Frame type byte.
+    pub type_code: u8,
+    /// Client-chosen correlation id, echoed in responses.
+    pub request_id: u64,
+    /// Undecoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Decodes the payload as a request.
+    pub fn into_request(self) -> Result<Request, WireError> {
+        let mut cur = Cur::new(&self.payload);
+        let req = match self.type_code {
+            code::KNN => {
+                let k = cur.u32()?;
+                let deadline_us = cur.u64()?;
+                let hist_len = cur.u32()? as usize;
+                let histogram = decode_histogram(cur.take(hist_len)?)?;
+                Request::Knn {
+                    k,
+                    deadline_us,
+                    histogram,
+                }
+            }
+            code::RANGE => {
+                let epsilon = cur.f64()?;
+                let deadline_us = cur.u64()?;
+                let hist_len = cur.u32()? as usize;
+                let histogram = decode_histogram(cur.take(hist_len)?)?;
+                if !epsilon.is_finite() {
+                    return Err(WireError::BadPayload("epsilon must be finite".into()));
+                }
+                Request::Range {
+                    epsilon,
+                    deadline_us,
+                    histogram,
+                }
+            }
+            code::HEALTH => Request::Health,
+            code::STATS => Request::Stats,
+            code::SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownType(other)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+
+    /// Decodes the payload as a response.
+    pub fn into_response(self) -> Result<Response, WireError> {
+        let mut cur = Cur::new(&self.payload);
+        let resp = match self.type_code {
+            code::RESULTS => {
+                let items = get_items(&mut cur)?;
+                let stats = get_stats(&mut cur)?;
+                Response::Results { items, stats }
+            }
+            code::DEADLINE_EXCEEDED => {
+                let items = get_items(&mut cur)?;
+                let stats = get_stats(&mut cur)?;
+                Response::DeadlineExceeded { items, stats }
+            }
+            code::OVERLOADED => {
+                let queue_depth = cur.u32()?;
+                let stats = get_stats(&mut cur)?;
+                Response::Overloaded { queue_depth, stats }
+            }
+            code::HEALTH_REPORT => {
+                let draining = cur.u8()? != 0;
+                let db_size = cur.u64()?;
+                let dims = cur.u32()?;
+                let uptime_ms = cur.u64()?;
+                Response::HealthReport {
+                    draining,
+                    db_size,
+                    dims,
+                    uptime_ms,
+                }
+            }
+            code::STATS_REPORT => Response::StatsReport {
+                prometheus: cur.string()?,
+            },
+            code::SHUTDOWN_STARTED => Response::ShutdownStarted,
+            code::ERROR => {
+                let code = ErrorCode::from_u8(cur.u8()?)?;
+                let message = cur.string()?;
+                Response::Error { code, message }
+            }
+            other => return Err(WireError::UnknownType(other)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream at a
+/// frame boundary; EOF *inside* a frame is [`WireError::Truncated`].
+///
+/// The header is validated (magic, version, payload length against
+/// `max_frame_len`) before the payload is allocated or read, so hostile
+/// prefixes cannot trigger large allocations.
+pub fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<Option<RawFrame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let Some(buf) = header.get_mut(filled..) else {
+            return Err(WireError::Truncated);
+        };
+        match r.read(buf) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut cur = Cur::new(&header);
+    let magic: [u8; 4] = cur.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = cur.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let type_code = cur.u8()?;
+    let request_id = cur.u64()?;
+    let len = cur.u32()?;
+    if len > max_frame_len {
+        return Err(WireError::Oversized {
+            len,
+            max: max_frame_len,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(RawFrame {
+        type_code,
+        request_id,
+        payload,
+    }))
+}
+
+/// Writes a pre-encoded frame and flushes the transport.
+pub fn write_frame(w: &mut impl Write, frame_bytes: &[u8]) -> Result<(), WireError> {
+    w.write_all(frame_bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(dims: usize) -> Histogram {
+        let bins: Vec<f64> = (0..dims).map(|i| 1.0 + i as f64).collect();
+        Histogram::new(bins).unwrap()
+    }
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let bytes = encode_request(7, req).unwrap();
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(raw.request_id, 7);
+        raw.into_request().unwrap()
+    }
+
+    #[test]
+    fn knn_request_roundtrips_normalized() {
+        let h = hist(8);
+        let got = roundtrip_request(&Request::Knn {
+            k: 5,
+            deadline_us: 1500,
+            histogram: h.clone(),
+        });
+        // The codec normalizes on encode; compare against the
+        // normalized original.
+        let want = h.into_normalized().unwrap();
+        match got {
+            Request::Knn {
+                k,
+                deadline_us,
+                histogram,
+            } => {
+                assert_eq!(k, 5);
+                assert_eq!(deadline_us, 1500);
+                assert_eq!(histogram.bins(), want.bins());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        assert_eq!(roundtrip_request(&Request::Health), Request::Health);
+        assert_eq!(roundtrip_request(&Request::Stats), Request::Stats);
+        assert_eq!(roundtrip_request(&Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_truncated() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }, 1024).unwrap().is_none());
+        let bytes = encode_request(1, &Request::Health).unwrap();
+        let cut = bytes.get(..bytes.len() - 1).unwrap();
+        assert!(matches!(
+            read_frame(&mut { cut }, 1024),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode_request(1, &Request::Health).unwrap();
+        let at = HEADER_LEN - 4;
+        bytes.splice(at.., u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(WireError::Oversized { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let mut bytes = encode_request(1, &Request::Health).unwrap();
+        let orig = bytes.clone();
+        bytes.splice(..4, *b"NOPE");
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(WireError::BadMagic(m)) if &m == b"NOPE"
+        ));
+        let mut bytes = orig;
+        bytes.splice(4..5, [9u8]);
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(WireError::BadVersion(9))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! Wire-protocol properties: every frame type round-trips bit-for-bit,
+//! and the decoder survives arbitrary hostile bytes — truncations,
+//! oversized length prefixes, bad magic/version, and random corruption
+//! — with a typed error, never a panic.
+
+use earthmover_core::stats::QueryStats;
+use earthmover_core::Histogram;
+use earthmover_serve::protocol::{
+    encode_request, encode_response, read_frame, ErrorCode, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, VERSION,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_histogram(rng: &mut StdRng, dims: usize) -> Histogram {
+    let bins: Vec<f64> = (0..dims).map(|_| rng.gen::<f64>() + 1e-3).collect();
+    Histogram::new(bins).unwrap()
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+        .collect()
+}
+
+fn random_stats(rng: &mut StdRng) -> QueryStats {
+    let mut s = QueryStats {
+        db_size: rng.gen_range(0usize..100_000),
+        node_accesses: rng.gen_range(0u64..1_000),
+        exact_evaluations: rng.gen_range(0u64..1_000),
+        results: rng.gen_range(0u64..1_000),
+        elapsed: Duration::from_nanos(rng.gen_range(0u64..2_000_000_000)),
+        elapsed_max: Duration::from_nanos(rng.gen_range(0u64..2_000_000_000)),
+        ..QueryStats::default()
+    };
+    s.deadline_expired = rng.gen_bool(0.5);
+    for _ in 0..rng.gen_range(0usize..4) {
+        s.filter_evaluations
+            .push((random_string(rng), rng.gen_range(0u64..9_999)));
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        s.stage_elapsed.push((
+            random_string(rng),
+            Duration::from_nanos(rng.gen_range(0u64..1_000_000)),
+        ));
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        s.degradations.push(random_string(rng));
+    }
+    s
+}
+
+fn random_items(rng: &mut StdRng) -> Vec<(u64, f64)> {
+    (0..rng.gen_range(0usize..20))
+        .map(|_| (rng.gen_range(0u64..100_000), rng.gen::<f64>() * 10.0))
+        .collect()
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0u8..5) {
+        0 => {
+            let dims = [16, 32, 64][rng.gen_range(0usize..3)];
+            Request::Knn {
+                k: rng.gen_range(0u32..100),
+                deadline_us: rng.gen_range(0u64..10_000_000),
+                histogram: random_histogram(rng, dims),
+            }
+        }
+        1 => {
+            let dims = [16, 32, 64][rng.gen_range(0usize..3)];
+            Request::Range {
+                epsilon: rng.gen::<f64>() * 5.0,
+                deadline_us: rng.gen_range(0u64..10_000_000),
+                histogram: random_histogram(rng, dims),
+            }
+        }
+        2 => Request::Health,
+        3 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0u8..7) {
+        0 => Response::Results {
+            items: random_items(rng),
+            stats: random_stats(rng),
+        },
+        1 => Response::DeadlineExceeded {
+            items: random_items(rng),
+            stats: random_stats(rng),
+        },
+        2 => Response::Overloaded {
+            queue_depth: rng.gen_range(0u32..1_000),
+            stats: random_stats(rng),
+        },
+        3 => Response::HealthReport {
+            draining: rng.gen_bool(0.5),
+            db_size: rng.gen_range(0u64..1_000_000),
+            dims: [16u32, 32, 64][rng.gen_range(0usize..3)],
+            uptime_ms: rng.gen_range(0u64..1_000_000),
+        },
+        4 => Response::StatsReport {
+            prometheus: random_string(rng).repeat(rng.gen_range(0usize..50)),
+        },
+        5 => Response::ShutdownStarted,
+        _ => Response::Error {
+            code: [
+                ErrorCode::BadRequest,
+                ErrorCode::Internal,
+                ErrorCode::ShuttingDown,
+            ][rng.gen_range(0usize..3)],
+            message: random_string(rng),
+        },
+    }
+}
+
+/// The request after the codec's normalization pass, for comparison.
+fn canonical(req: &Request) -> Request {
+    match req {
+        Request::Knn {
+            k,
+            deadline_us,
+            histogram,
+        } => Request::Knn {
+            k: *k,
+            deadline_us: *deadline_us,
+            histogram: histogram.clone().into_normalized().unwrap(),
+        },
+        Request::Range {
+            epsilon,
+            deadline_us,
+            histogram,
+        } => Request::Range {
+            epsilon: *epsilon,
+            deadline_us: *deadline_us,
+            histogram: histogram.clone().into_normalized().unwrap(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Bin-level equality (the decoded histogram recomputes its mass from
+/// the bins, so whole-struct equality is too strict).
+fn requests_equal(a: &Request, b: &Request) -> bool {
+    match (a, b) {
+        (
+            Request::Knn {
+                k: ka,
+                deadline_us: da,
+                histogram: ha,
+            },
+            Request::Knn {
+                k: kb,
+                deadline_us: db,
+                histogram: hb,
+            },
+        ) => ka == kb && da == db && ha.bins() == hb.bins(),
+        (
+            Request::Range {
+                epsilon: ea,
+                deadline_us: da,
+                histogram: ha,
+            },
+            Request::Range {
+                epsilon: eb,
+                deadline_us: db,
+                histogram: hb,
+            },
+        ) => ea.to_bits() == eb.to_bits() && da == db && ha.bins() == hb.bins(),
+        (x, y) => x == y,
+    }
+}
+
+proptest! {
+    /// Every request frame round-trips through encode → read → decode.
+    #[test]
+    fn request_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let id: u64 = rng.gen();
+        let bytes = encode_request(id, &req).unwrap();
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("one full frame");
+        prop_assert_eq!(raw.request_id, id);
+        let got = raw.into_request().unwrap();
+        let want = canonical(&req);
+        prop_assert!(requests_equal(&got, &want), "{:?} != {:?}", got, want);
+    }
+
+    /// Every response frame round-trips exactly (distances travel as
+    /// raw bits, stats field by field).
+    #[test]
+    fn response_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resp = random_response(&mut rng);
+        let id: u64 = rng.gen();
+        let bytes = encode_response(id, &resp);
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("one full frame");
+        prop_assert_eq!(raw.request_id, id);
+        let got = raw.into_response().unwrap();
+        prop_assert_eq!(got, resp);
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error (or, cut
+    /// at zero, a clean EOF) — never a panic, never a bogus frame.
+    #[test]
+    fn truncation_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes = encode_request(rng.gen(), &random_request(&mut rng)).unwrap();
+        let cut = rng.gen_range(0..bytes.len());
+        let head = &bytes[..cut];
+        match read_frame(&mut { head }, DEFAULT_MAX_FRAME_LEN) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+            Err(WireError::Truncated) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+        }
+    }
+
+    /// Flipping random bytes in a valid frame must never panic the
+    /// decoder; whatever decodes must re-encode (the decoder does not
+    /// hallucinate un-encodable values).
+    #[test]
+    fn corruption_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = encode_request(rng.gen(), &random_request(&mut rng)).unwrap();
+        for _ in 0..rng.gen_range(1usize..8) {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen();
+        }
+        if let Ok(Some(raw)) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN) {
+            // Decoding may succeed or fail; both must be panic-free.
+            let _ = raw.into_request();
+        }
+    }
+
+    /// Pure random garbage never panics the frame reader.
+    #[test]
+    fn garbage_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let _ = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let mut bytes = encode_request(9, &Request::Health).unwrap();
+    bytes.splice(HEADER_LEN - 4.., (DEFAULT_MAX_FRAME_LEN + 1).to_le_bytes());
+    match read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN) {
+        Err(WireError::Oversized { len, max }) => {
+            assert_eq!(len, DEFAULT_MAX_FRAME_LEN + 1);
+            assert_eq!(max, DEFAULT_MAX_FRAME_LEN);
+        }
+        other => panic!("want Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_rejected() {
+    let good = encode_request(1, &Request::Stats).unwrap();
+
+    let mut bad = good.clone();
+    bad.splice(..4, *b"HTTP");
+    assert!(matches!(
+        read_frame(&mut bad.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(WireError::BadMagic(m)) if &m == b"HTTP"
+    ));
+
+    let mut bad = good.clone();
+    bad.splice(4..5, [VERSION + 1]);
+    assert!(matches!(
+        read_frame(&mut bad.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(WireError::BadVersion(v)) if v == VERSION + 1
+    ));
+
+    // Sanity: the untouched frame still parses.
+    assert_eq!(good.get(..4).unwrap(), MAGIC);
+    assert!(read_frame(&mut good.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn unknown_type_code_is_a_typed_error() {
+    let mut bytes = encode_request(1, &Request::Health).unwrap();
+    bytes.splice(5..6, [0x7f]);
+    let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(
+        raw.into_request(),
+        Err(WireError::UnknownType(0x7f))
+    ));
+}
+
+/// A hostile element count inside a response payload (here: an items
+/// count far beyond the payload size) is rejected before allocation.
+#[test]
+fn hostile_item_count_is_rejected() {
+    let resp = Response::Results {
+        items: vec![(1, 0.5)],
+        stats: QueryStats::default(),
+    };
+    let mut bytes = encode_response(3, &resp);
+    // First payload field is the items count (u32 at HEADER_LEN).
+    bytes.splice(HEADER_LEN..HEADER_LEN + 4, u32::MAX.to_le_bytes());
+    let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(raw.into_response(), Err(WireError::BadPayload(_))));
+}

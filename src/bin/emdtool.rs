@@ -13,6 +13,12 @@
 //! # Same query with telemetry: Prometheus + JSON metric dumps and a
 //! # JSON-lines span trace on stderr:
 //! emdtool query --db photos.emdb --id 42 --metrics-out run --trace-json -
+//!
+//! # Serve the database over the network and query the daemon:
+//! emdtool serve --db photos.emdb --addr 127.0.0.1:4406 &
+//! emdtool client --addr 127.0.0.1:4406 --op knn --db photos.emdb --id 42 --k 10
+//! emdtool client --addr 127.0.0.1:4406 --op health
+//! emdtool client --addr 127.0.0.1:4406 --op shutdown
 //! ```
 //!
 //! Pipelines: `combo` (3-D LB_Avg index → LB_IM → EMD, the paper's best),
@@ -22,6 +28,7 @@
 use earthmover::core::storage;
 use earthmover::imaging::corpus::{CorpusConfig, SyntheticCorpus};
 use earthmover::obs;
+use earthmover::serve as serve_api;
 use earthmover::{linear_scan_knn, BinGrid, ExactEmd, FirstStage, HistogramDb, QueryEngine};
 use std::collections::HashMap;
 use std::fs::File;
@@ -36,7 +43,11 @@ fn main() -> ExitCode {
              emdtool info --db FILE\n  \
              emdtool query --db FILE --id OBJ [--k K] [--pipeline combo|man|im|scan]\n    \
              [--metrics-out PATH]   write PATH.prom + PATH.json metric dumps\n    \
-             [--trace-json PATH|-]  stream span records as JSON lines (- = stderr)"
+             [--trace-json PATH|-]  stream span records as JSON lines (- = stderr)\n  \
+             emdtool serve --db FILE [--addr HOST:PORT] [--workers N] [--queue N]\n    \
+             [--default-deadline-ms MS] [--trace-json PATH|-]\n  \
+             emdtool client --addr HOST:PORT --op knn|range|health|stats|shutdown\n    \
+             [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]"
         );
         return ExitCode::from(2);
     };
@@ -44,6 +55,8 @@ fn main() -> ExitCode {
         "generate" => generate(&flags),
         "info" => info(&flags),
         "query" => query(&flags),
+        "serve" => serve(&flags),
+        "client" => client(&flags),
         other => Err(format!("unknown command {other}")),
     };
     match result {
@@ -149,6 +162,12 @@ impl obs::Subscriber for Tee {
     fn on_close(&self, record: &obs::SpanRecord) {
         for s in &self.0 {
             s.on_close(record);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.0 {
+            s.flush();
         }
     }
 }
@@ -295,6 +314,133 @@ fn query(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if let Some(recorder) = &recorder {
         write_metrics(get(flags, "metrics-out")?, recorder, s)?;
+    }
+    Ok(())
+}
+
+/// `emdtool serve` — run the query daemon on a page file. Drains and
+/// stops on a client `shutdown` frame (`emdtool client --op shutdown`);
+/// the standalone `emdd` binary additionally handles signals.
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let db = load_db(flags)?;
+    let grid = grid_for(db.dims())?;
+    let addr = flags
+        .get("addr")
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:4406");
+    let default_deadline_ms: u64 = get_num(flags, "default-deadline-ms", 0)?;
+    let cfg = serve_api::ServerConfig {
+        workers: get_num(flags, "workers", 4)?,
+        queue_depth: get_num(flags, "queue", 64)?,
+        default_deadline: (default_deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(default_deadline_ms)),
+        ..serve_api::ServerConfig::default()
+    };
+    let subscriber: Option<Arc<dyn obs::Subscriber>> = match flags.get("trace-json") {
+        None => None,
+        Some(path) if path == "-" || path == "stderr" => {
+            Some(Arc::new(obs::JsonLinesEmitter::stderr()))
+        }
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("--trace-json {path}: {e}"))?;
+            Some(Arc::new(obs::JsonLinesEmitter::new(Box::new(file))))
+        }
+    };
+    let server = serve_api::Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} histograms ({} bins) on {local}; stop with: emdtool client --addr {local} --op shutdown",
+        db.len(),
+        db.dims()
+    );
+    server
+        .run(&db, &grid, subscriber)
+        .map_err(|e| e.to_string())?;
+    eprintln!("drained, bye");
+    Ok(())
+}
+
+/// Prints one query outcome (complete, partial, or shed) with its
+/// server-side work breakdown.
+fn print_outcome(outcome: serve_api::Outcome) {
+    match outcome {
+        serve_api::Outcome::Complete { items, stats }
+        | serve_api::Outcome::Partial { items, stats } => {
+            if stats.deadline_expired {
+                eprintln!("warning: deadline expired — partial best-effort answer");
+            }
+            for note in &stats.degradations {
+                eprintln!("warning: {note}");
+            }
+            for (rank, (oid, dist)) in items.iter().enumerate() {
+                println!("  {rank:>2}. object {oid:>6}  emd {dist:.6}");
+            }
+            println!(
+                "work: {} exact EMD evaluations / {} objects, {:?} server-side",
+                stats.exact_evaluations, stats.db_size, stats.elapsed
+            );
+        }
+        serve_api::Outcome::Overloaded { queue_depth, stats } => {
+            eprintln!("server overloaded (queue depth {queue_depth}); request shed");
+            for note in &stats.degradations {
+                eprintln!("note: {note}");
+            }
+        }
+    }
+}
+
+/// `emdtool client` — one request against a running daemon.
+fn client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let op = get(flags, "op")?;
+    let mut client = serve_api::Client::connect(addr, std::time::Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let deadline_us: u64 = get_num::<u64>(flags, "deadline-ms", 0)?.saturating_mul(1000);
+    let query_histogram = || -> Result<earthmover::Histogram, String> {
+        let db = load_db(flags)?;
+        let id: usize = get_num(flags, "id", usize::MAX)?;
+        if id >= db.len() {
+            return Err(format!(
+                "--id must name a database object (0..{})",
+                db.len().saturating_sub(1)
+            ));
+        }
+        Ok(db.get(id).to_histogram())
+    };
+    match op {
+        "knn" => {
+            let k: u32 = get_num(flags, "k", 10)?;
+            let q = query_histogram()?;
+            let outcome = client.knn(&q, k, deadline_us).map_err(|e| e.to_string())?;
+            print_outcome(outcome);
+        }
+        "range" => {
+            let epsilon: f64 = get_num(flags, "epsilon", 0.25)?;
+            let q = query_histogram()?;
+            let outcome = client
+                .range(&q, epsilon, deadline_us)
+                .map_err(|e| e.to_string())?;
+            print_outcome(outcome);
+        }
+        "health" => {
+            let h = client.health().map_err(|e| e.to_string())?;
+            println!(
+                "status   : {}",
+                if h.draining { "draining" } else { "serving" }
+            );
+            println!("objects  : {}", h.db_size);
+            println!("dims     : {}", h.dims);
+            println!("uptime   : {:.1}s", h.uptime_ms as f64 / 1e3);
+        }
+        "stats" => {
+            let prom = client.stats().map_err(|e| e.to_string())?;
+            print!("{prom}");
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown acknowledged; server is draining");
+        }
+        other => return Err(format!("unknown --op {other}")),
     }
     Ok(())
 }

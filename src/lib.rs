@@ -16,6 +16,7 @@
 //! | [`lp`] | `earthmover-lp` | generic dense-tableau LP solver (baseline + cross-validation) |
 //! | [`rtree`] | `earthmover-rtree` | R-tree index with incremental ranking |
 //! | [`imaging`] | `earthmover-imaging` | synthetic corpus, color spaces, histogram extraction, PPM/PGM |
+//! | [`serve`] | `earthmover-serve` | `emdd` network query daemon: wire protocol, admission control, deadlines |
 //!
 //! The most common entry points are lifted to the crate root.
 //!
@@ -50,6 +51,7 @@ pub use earthmover_lp as lp;
 pub use earthmover_mtree as mtree;
 pub use earthmover_obs as obs;
 pub use earthmover_rtree as rtree;
+pub use earthmover_serve as serve;
 pub use earthmover_storage as storage_engine;
 pub use earthmover_transport as transport;
 
