@@ -66,6 +66,32 @@ impl Deadline {
         self.expires
             .map(|expires| expires.saturating_duration_since(Instant::now()))
     }
+
+    /// Carves a sub-budget for one leg of a concurrent fan-out: a new
+    /// deadline expiring after `fraction` of *this* deadline's remaining
+    /// budget, measured from now.
+    ///
+    /// A scatter-gather coordinator hands each shard
+    /// `deadline.sub_budget(f)` with `f < 1` so the parent keeps a
+    /// reserve for merging after the slowest shard answers. Because the
+    /// legs run concurrently they all get the same fraction — the budget
+    /// is not divided by the number of shards. An unbounded deadline
+    /// stays unbounded; a non-finite `fraction` is treated as `1.0` and
+    /// other values clamp to `[0, 1]`, so the sub-budget can never
+    /// outlive the parent.
+    pub fn sub_budget(&self, fraction: f64) -> Deadline {
+        match self.remaining() {
+            None => Deadline::none(),
+            Some(rem) => {
+                let f = if fraction.is_finite() {
+                    fraction.clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                Deadline::within(rem.mul_f64(f))
+            }
+        }
+    }
 }
 
 /// The degradation note recorded when a query is cut short by its
@@ -105,6 +131,34 @@ mod tests {
     fn absolute_deadline_in_the_past_is_expired() {
         let past = Instant::now() - Duration::from_millis(1);
         assert!(Deadline::at(past).expired());
+    }
+
+    #[test]
+    fn sub_budget_never_outlives_parent() {
+        let parent = Deadline::within(Duration::from_secs(10));
+        let child = parent.sub_budget(0.5);
+        let parent_rem = parent.remaining().unwrap();
+        let child_rem = child.remaining().unwrap();
+        assert!(child_rem <= parent_rem);
+        assert!(
+            child_rem >= Duration::from_secs(4),
+            "half of ~10s must remain, got {child_rem:?}"
+        );
+        // Out-of-range and non-finite fractions clamp instead of panic.
+        assert!(parent.sub_budget(7.0).remaining().unwrap() <= parent_rem);
+        assert!(parent.sub_budget(-3.0).expired());
+        assert!(!parent.sub_budget(f64::NAN).expired());
+    }
+
+    #[test]
+    fn sub_budget_of_unbounded_is_unbounded() {
+        assert!(Deadline::none().sub_budget(0.25).is_unbounded());
+    }
+
+    #[test]
+    fn sub_budget_of_expired_is_expired() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.sub_budget(0.9).expired());
     }
 
     #[test]

@@ -138,7 +138,10 @@ impl QueryStats {
     /// Semantics per field: counters and `elapsed` (plus each
     /// `stage_elapsed` entry) are **summed**; `db_size` and `elapsed_max`
     /// keep the **max** (the database size is shared across the workload,
-    /// and `elapsed_max` is the worst-case single query).
+    /// and `elapsed_max` is the worst-case single query). Degradation
+    /// notes are **deduplicated**: merging N shard partials that each
+    /// fell back the same way yields one note, and no distinct note is
+    /// ever lost — the note set is order-independent under merge.
     pub fn merge(&mut self, other: &QueryStats) {
         self.db_size = self.db_size.max(other.db_size);
         for (name, count) in &other.filter_evaluations {
@@ -160,7 +163,9 @@ impl QueryStats {
         for (name, d) in &other.stage_elapsed {
             self.add_stage_elapsed(name, *d);
         }
-        self.degradations.extend(other.degradations.iter().cloned());
+        for note in &other.degradations {
+            self.record_degradation_once(note);
+        }
         self.deadline_expired |= other.deadline_expired;
     }
 }
@@ -279,6 +284,23 @@ mod tests {
         assert_eq!(a.stage_time(stage::EXACT), Some(Duration::from_micros(500)));
         assert_eq!(a.stage_time("LB_IM"), Some(Duration::from_micros(70)));
         assert_eq!(a.stage_time("nope"), None);
+    }
+
+    #[test]
+    fn merge_dedupes_degradation_notes() {
+        let mut a = QueryStats::default();
+        a.record_degradation_once("scan fallback");
+        let mut b = QueryStats::default();
+        b.record_degradation_once("scan fallback");
+        b.record_degradation_once("shard 2 unavailable");
+        a.merge(&b);
+        assert_eq!(
+            a.degradations,
+            vec![
+                "scan fallback".to_string(),
+                "shard 2 unavailable".to_string()
+            ]
+        );
     }
 
     #[test]

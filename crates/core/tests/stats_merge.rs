@@ -1,0 +1,146 @@
+//! Property tests for [`QueryStats::merge`] as used by the
+//! scatter-gather coordinator: per-shard partial stats merged in
+//! whatever order shard responses arrive must agree on every aggregate,
+//! and degradation notes must be deduplicated without ever losing a
+//! distinct note.
+
+use earthmover_core::stats::QueryStats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// A pool of realistic note strings so random records collide on notes
+/// (the interesting case for dedup).
+const NOTES: &[&str] = &[
+    "index stage failed; fell back to sequential scan",
+    "deadline expired; result is a partial best-effort prefix",
+    "SHARD_UNAVAILABLE: shard group 1 (connect refused)",
+    "SHARD_UNAVAILABLE: shard group 2 (retries exhausted)",
+    "solver fell back to Bland",
+];
+
+const STAGES: &[&str] = &["candidates", "LB_Man", "LB_IM", "exact"];
+
+fn random_stats(rng: &mut StdRng) -> QueryStats {
+    let mut s = QueryStats {
+        db_size: rng.gen_range(0..10_000),
+        node_accesses: rng.gen_range(0..1_000),
+        exact_evaluations: rng.gen_range(0..500),
+        results: rng.gen_range(0..64),
+        deadline_expired: rng.gen_bool(0.3),
+        ..QueryStats::default()
+    };
+    s.set_elapsed(Duration::from_micros(rng.gen_range(0..2_000_000)));
+    for name in STAGES {
+        if rng.gen_bool(0.7) {
+            s.add_filter_evaluations(name, rng.gen_range(0..1_000));
+            s.add_stage_elapsed(name, Duration::from_micros(rng.gen_range(0..500_000)));
+        }
+    }
+    for note in NOTES {
+        if rng.gen_bool(0.4) {
+            s.record_degradation_once(note);
+        }
+    }
+    s
+}
+
+/// Merges `parts` left-to-right into a fresh record, the way the
+/// coordinator folds shard responses as they arrive.
+fn merge_all(parts: &[QueryStats]) -> QueryStats {
+    let mut acc = QueryStats::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn note_set(s: &QueryStats) -> BTreeSet<String> {
+    s.degradations.iter().cloned().collect()
+}
+
+/// Fisher–Yates with the test's own rng, so the permutation is part of
+/// the reproducible case.
+fn shuffled(parts: &[QueryStats], rng: &mut StdRng) -> Vec<QueryStats> {
+    let mut v = parts.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard responses arrive in nondeterministic order; every aggregate
+    /// the coordinator reports must be independent of that order.
+    #[test]
+    fn merge_is_order_independent(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..8);
+        let parts: Vec<QueryStats> = (0..n).map(|_| random_stats(&mut rng)).collect();
+        let forward = merge_all(&parts);
+        let permuted = shuffled(&parts, &mut rng);
+        let other = merge_all(&permuted);
+
+        prop_assert_eq!(forward.db_size, other.db_size);
+        prop_assert_eq!(forward.node_accesses, other.node_accesses);
+        prop_assert_eq!(forward.exact_evaluations, other.exact_evaluations);
+        prop_assert_eq!(forward.results, other.results);
+        prop_assert_eq!(forward.elapsed, other.elapsed);
+        prop_assert_eq!(forward.elapsed_max, other.elapsed_max);
+        prop_assert_eq!(forward.deadline_expired, other.deadline_expired);
+        // Per-name lookups are order-independent even though the Vec
+        // insertion order differs with the merge order.
+        for name in STAGES {
+            prop_assert_eq!(forward.stage_time(name), other.stage_time(name));
+        }
+        prop_assert_eq!(
+            forward.total_filter_evaluations(),
+            other.total_filter_evaluations()
+        );
+        prop_assert_eq!(note_set(&forward), note_set(&other));
+    }
+
+    /// Merged aggregates match the hand-computed fold: sums sum, maxes
+    /// max, and the note set is the exact union — nothing lost, nothing
+    /// duplicated.
+    #[test]
+    fn merge_matches_manual_fold_and_never_loses_a_note(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..8);
+        let parts: Vec<QueryStats> = (0..n).map(|_| random_stats(&mut rng)).collect();
+        let merged = merge_all(&parts);
+
+        let exact_sum: u64 = parts.iter().map(|p| p.exact_evaluations).sum();
+        prop_assert_eq!(merged.exact_evaluations, exact_sum);
+        let elapsed_sum: Duration = parts.iter().map(|p| p.elapsed).sum();
+        prop_assert_eq!(merged.elapsed, elapsed_sum);
+        let max_elapsed = parts.iter().map(|p| p.elapsed_max).max().unwrap_or_default();
+        prop_assert_eq!(merged.elapsed_max, max_elapsed);
+        let max_db = parts.iter().map(|p| p.db_size).max().unwrap_or_default();
+        prop_assert_eq!(merged.db_size, max_db);
+        prop_assert_eq!(
+            merged.deadline_expired,
+            parts.iter().any(|p| p.deadline_expired)
+        );
+
+        let union: BTreeSet<String> = parts.iter().flat_map(note_set).collect();
+        prop_assert_eq!(note_set(&merged), union);
+        // Dedup: the stored Vec has no repeated note.
+        let as_set: BTreeSet<&String> = merged.degradations.iter().collect();
+        prop_assert_eq!(as_set.len(), merged.degradations.len());
+
+        for name in STAGES {
+            let want: Duration = parts
+                .iter()
+                .filter_map(|p| p.stage_time(name))
+                .sum();
+            let got = merged.stage_time(name).unwrap_or_default();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -39,6 +39,9 @@ pub const SPAN_NAMES: &[&str] = &[
     // network query service (crates/serve)
     "serve_connection",
     "serve_request",
+    // scatter-gather coordinator (crates/serve cluster mode)
+    "coord_connection",
+    "coord_request",
 ];
 
 /// Every point-in-time event name.
@@ -51,6 +54,18 @@ pub const EVENT_NAMES: &[&str] = &[
     // network query service (crates/serve)
     "serve_shed",
     "serve_drain_begin",
+    // scatter-gather coordinator (crates/serve cluster mode):
+    // per-endpoint circuit breaker transitions, shard-call resilience
+    // actions, and coordinator-level degradation/lifecycle marks.
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_close",
+    "shard_retry",
+    "shard_failover",
+    "shard_hedge",
+    "coord_shard_unavailable",
+    "coord_shed",
+    "coord_drain_begin",
 ];
 
 /// Every statically named metric (counters, gauges, histograms).
@@ -84,6 +99,25 @@ pub const METRIC_NAMES: &[&str] = &[
     "serve_health_seconds",
     "serve_stats_seconds",
     "serve_shutdown_seconds",
+    // scatter-gather coordinator (crates/serve cluster mode):
+    // `shard_*` count per-endpoint call outcomes and resilience actions;
+    // `coord_*` count coordinator requests, degradations, and admission.
+    "shard_calls_total",
+    "shard_retries_total",
+    "shard_failovers_total",
+    "shard_hedges_total",
+    "shard_breaker_open_total",
+    "shard_breaker_rejections_total",
+    "coord_knn_total",
+    "coord_range_total",
+    "coord_partial_total",
+    "coord_shard_unavailable_total",
+    "coord_requests_total",
+    "coord_connections_total",
+    "coord_shed_total",
+    "coord_errors_total",
+    "coord_queue_depth",
+    "coord_request_seconds",
 ];
 
 #[cfg(test)]

@@ -15,16 +15,27 @@
 //! ```sh
 //! loadgen --out BENCH_serve.json --count 2000 --secs-per-level 1.0
 //! ```
+//!
+//! With `--cluster true` the harness instead builds a **sharded
+//! cluster** in-process: the corpus is split by the coordinator's hash
+//! placement into `--shards` groups, each served by a primary and a
+//! replica `emdd`; the ladder is driven through the scatter-gather
+//! [`Coordinator`] twice — once healthy, once after killing shard
+//! group 0's primary — and the per-level lines include the resilience
+//! counters (`retries`, `failovers`, `hedges_fired`, `breaker_opens`),
+//! landing in `BENCH_cluster.json` (schema `bench_cluster/v1`).
 
 use earthmover_core::ground::BinGrid;
-use earthmover_core::Histogram;
+use earthmover_core::{Histogram, HistogramDb};
 use earthmover_imaging::corpus::{CorpusConfig, SyntheticCorpus};
-use earthmover_obs::json_f64;
+use earthmover_obs::{json_f64, MetricsRegistry};
 use earthmover_serve::client::{Client, Outcome};
+use earthmover_serve::coord::{shard_of, ClusterConfig, ClusterShared, Coordinator, GroupSpec};
+use earthmover_serve::retry::RetryPolicy;
 use earthmover_serve::server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -37,6 +48,8 @@ struct Args {
     queue: usize,
     secs_per_level: f64,
     levels: Vec<usize>,
+    cluster: bool,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,7 +63,10 @@ fn parse_args() -> Result<Args, String> {
         queue: 2,
         secs_per_level: 1.0,
         levels: vec![1, 2, 4, 8, 16, 32],
+        cluster: false,
+        shards: 3,
     };
+    let mut out_set = false;
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
@@ -63,8 +79,13 @@ fn parse_args() -> Result<Args, String> {
                 .map_err(|_| format!("{what} {value} is not a number"))
         };
         match flag.as_str() {
-            "--out" => args.out = value.clone(),
+            "--out" => {
+                args.out = value.clone();
+                out_set = true;
+            }
             "--count" => args.count = num("--count")?,
+            "--cluster" => args.cluster = value == "true",
+            "--shards" => args.shards = num("--shards")?,
             "--dims" => args.dims = num("--dims")?,
             "--seed" => args.seed = num("--seed")? as u64,
             "--k" => args.k = num("--k")? as u32,
@@ -87,6 +108,14 @@ fn parse_args() -> Result<Args, String> {
     if args.levels.is_empty() {
         return Err("--levels must name at least one concurrency level".to_string());
     }
+    if args.cluster {
+        if args.shards == 0 {
+            return Err("--shards must be at least 1".to_string());
+        }
+        if !out_set {
+            args.out = "BENCH_cluster.json".to_string();
+        }
+    }
     Ok(args)
 }
 
@@ -107,6 +136,8 @@ struct Tally {
     shed: u64,
     dropped: u64,
     errors: u64,
+    /// Client-side retry attempts (0 unless a retry policy is active).
+    retries: u64,
     /// Latencies (seconds) of answered requests (complete + partial).
     latencies: Vec<f64>,
 }
@@ -116,12 +147,17 @@ impl Tally {
         self.ok + self.partial + self.shed + self.dropped + self.errors
     }
 
+    fn partial_rate(&self) -> f64 {
+        self.partial as f64 / self.requests().max(1) as f64
+    }
+
     fn merge(&mut self, other: &Tally) {
         self.ok += other.ok;
         self.partial += other.partial;
         self.shed += other.shed;
         self.dropped += other.dropped;
         self.errors += other.errors;
+        self.retries += other.retries;
         self.latencies.extend_from_slice(&other.latencies);
     }
 }
@@ -152,8 +188,11 @@ fn drive(
         };
         query_index += 1;
         let started = Instant::now();
-        let outcome =
-            Client::connect(addr, Duration::from_secs(10)).and_then(|mut c| c.knn(q, k, 0));
+        let outcome = Client::connect(addr, Duration::from_secs(10)).and_then(|mut c| {
+            let r = c.knn(q, k, 0);
+            tally.retries += c.retries();
+            r
+        });
         match outcome {
             Ok(Outcome::Complete { .. }) => {
                 tally.ok += 1;
@@ -263,8 +302,9 @@ fn run() -> Result<(), String> {
             );
             let line = format!(
                 "{{\"concurrency\":{},\"requests\":{},\"ok\":{},\"partial\":{},\"shed\":{},\
-                 \"dropped\":{},\"errors\":{},\"qps\":{},\"p50_ms\":{},\"p95_ms\":{},\
-                 \"p99_ms\":{},\"shed_rate\":{}}}",
+                 \"dropped\":{},\"errors\":{},\"retries\":{},\"failovers\":0,\
+                 \"hedges_fired\":0,\"qps\":{},\"p50_ms\":{},\"p95_ms\":{},\
+                 \"p99_ms\":{},\"shed_rate\":{},\"partial_rate\":{}}}",
                 concurrency,
                 tally.requests(),
                 tally.ok,
@@ -272,11 +312,13 @@ fn run() -> Result<(), String> {
                 tally.shed,
                 tally.dropped,
                 tally.errors,
+                tally.retries,
                 json_f64(answered as f64 / wall),
                 json_f64(quantile_ms(&lat, 0.50)),
                 json_f64(quantile_ms(&lat, 0.95)),
                 json_f64(quantile_ms(&lat, 0.99)),
                 json_f64(shed_rate),
+                json_f64(tally.partial_rate()),
             );
             lines.lock().unwrap_or_else(|e| e.into_inner()).push(line);
         }
@@ -303,8 +345,272 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Cluster mode.
+
+/// The four resilience counters snapshotted per level, in order:
+/// retries, failovers, hedges fired, breaker opens.
+const CLUSTER_COUNTERS: [&str; 4] = [
+    "shard_retries_total",
+    "shard_failovers_total",
+    "shard_hedges_total",
+    "shard_breaker_open_total",
+];
+
+fn counter_snapshot(registry: &MetricsRegistry) -> [u64; 4] {
+    CLUSTER_COUNTERS.map(|name| registry.counter(name).get())
+}
+
+/// Splits the corpus into per-shard databases using the coordinator's
+/// own hash placement, global ids ascending (so local ids line up with
+/// the coordinator's reconstructed id maps).
+fn split_db(db: &HistogramDb, shards: usize) -> Vec<HistogramDb> {
+    let mut parts: Vec<HistogramDb> = (0..shards).map(|_| HistogramDb::new(db.dims())).collect();
+    for id in 0..db.len() {
+        let shard = shard_of(id as u64, shards);
+        if let Some(part) = parts.get_mut(shard) {
+            part.push(db.get(id).to_histogram());
+        }
+    }
+    parts
+}
+
+/// One client thread's closed loop through the coordinator.
+fn drive_cluster(
+    shared: &Arc<ClusterShared>,
+    queries: &[Histogram],
+    k: u32,
+    stop_at: Instant,
+    worker_index: usize,
+) -> Tally {
+    let mut coordinator = Coordinator::new(Arc::clone(shared));
+    let mut tally = Tally::default();
+    let mut query_index = worker_index;
+    while Instant::now() < stop_at {
+        let q = match queries.get(query_index % queries.len().max(1)) {
+            Some(q) => q,
+            None => break,
+        };
+        query_index += 1;
+        let started = Instant::now();
+        match coordinator.knn(q, k, 0) {
+            Ok(Outcome::Complete { .. }) => {
+                tally.ok += 1;
+                tally.latencies.push(started.elapsed().as_secs_f64());
+            }
+            Ok(Outcome::Partial { .. }) => {
+                tally.partial += 1;
+                tally.latencies.push(started.elapsed().as_secs_f64());
+            }
+            Ok(Outcome::Overloaded { .. }) => tally.shed += 1,
+            Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Runs the concurrency ladder through the coordinator and renders one
+/// JSON line per level, including resilience-counter deltas.
+fn cluster_ladder(
+    args: &Args,
+    shared: &Arc<ClusterShared>,
+    queries: &[Histogram],
+    scenario: &str,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for &concurrency in &args.levels {
+        let level_started = Instant::now();
+        let stop_at = level_started + Duration::from_secs_f64(args.secs_per_level);
+        let before = counter_snapshot(shared.registry());
+        let mut tally = Tally::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|i| scope.spawn(move || drive_cluster(shared, queries, args.k, stop_at, i)))
+                .collect();
+            for h in handles {
+                if let Ok(t) = h.join() {
+                    tally.merge(&t);
+                }
+            }
+        });
+        let after = counter_snapshot(shared.registry());
+        let [retries, failovers, hedges, breaker_opens] = [0, 1, 2, 3]
+            .map(|i| after.get(i).copied().unwrap_or(0) - before.get(i).copied().unwrap_or(0));
+        let wall = level_started.elapsed().as_secs_f64().max(1e-9);
+        let mut lat = tally.latencies.clone();
+        lat.sort_by(f64::total_cmp);
+        let answered = tally.ok + tally.partial;
+        eprintln!(
+            "loadgen[{scenario}]: C={concurrency:<3} {} req, {answered} answered, \
+             {:.0} qps, p50 {:.2} ms, p99 {:.2} ms, partial rate {:.1}%, \
+             retries {retries}, failovers {failovers}, hedges {hedges}, breaker opens {breaker_opens}",
+            tally.requests(),
+            answered as f64 / wall,
+            quantile_ms(&lat, 0.50),
+            quantile_ms(&lat, 0.99),
+            100.0 * tally.partial_rate(),
+        );
+        lines.push(format!(
+            "{{\"concurrency\":{},\"requests\":{},\"ok\":{},\"partial\":{},\"shed\":{},\
+             \"dropped\":{},\"errors\":{},\"retries\":{},\"failovers\":{},\"hedges_fired\":{},\
+             \"breaker_opens\":{},\"qps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
+             \"partial_rate\":{}}}",
+            concurrency,
+            tally.requests(),
+            tally.ok,
+            tally.partial,
+            tally.shed,
+            tally.dropped,
+            tally.errors,
+            retries,
+            failovers,
+            hedges,
+            breaker_opens,
+            json_f64(answered as f64 / wall),
+            json_f64(quantile_ms(&lat, 0.50)),
+            json_f64(quantile_ms(&lat, 0.95)),
+            json_f64(quantile_ms(&lat, 0.99)),
+            json_f64(tally.partial_rate()),
+        ));
+    }
+    lines
+}
+
+fn run_cluster(args: &Args) -> Result<(), String> {
+    let grid = grid_for(args.dims)?;
+    eprintln!(
+        "loadgen: building {}-histogram corpus ({} bins), splitting into {} shards...",
+        args.count, args.dims, args.shards
+    );
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(args.seed));
+    let db = corpus.build_database(&grid, args.count);
+    let queries: Vec<Histogram> = (0..64.min(db.len()))
+        .map(|id| db.get(id).to_histogram())
+        .collect();
+    let shard_dbs = split_db(&db, args.shards);
+
+    // Each shard group: a primary and a replica serving the same shard.
+    let server_cfg = ServerConfig {
+        workers: args.workers.max(1),
+        queue_depth: args.queue.max(8),
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let mut primaries = Vec::new();
+    let mut replicas = Vec::new();
+    let mut group_specs = Vec::new();
+    for _ in 0..args.shards {
+        let primary = Server::bind("127.0.0.1:0", server_cfg.clone()).map_err(|e| e.to_string())?;
+        let replica = Server::bind("127.0.0.1:0", server_cfg.clone()).map_err(|e| e.to_string())?;
+        group_specs.push(GroupSpec {
+            primary: primary.local_addr().map_err(|e| e.to_string())?,
+            replica: Some(replica.local_addr().map_err(|e| e.to_string())?),
+        });
+        primaries.push(primary);
+        replicas.push(replica);
+    }
+
+    let mut cluster_cfg = ClusterConfig::new(group_specs);
+    cluster_cfg.io_timeout = Duration::from_millis(500);
+    cluster_cfg.retry = RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        jitter_seed: args.seed,
+    };
+    cluster_cfg.default_deadline = Some(Duration::from_millis(500));
+    cluster_cfg.discover_timeout = Duration::from_secs(5);
+
+    let sections: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let grid_ref = &grid;
+        for (i, server) in primaries.iter().chain(replicas.iter()).enumerate() {
+            let shard = i % args.shards;
+            let db_ref = match shard_dbs.get(shard) {
+                Some(d) => d,
+                None => continue,
+            };
+            scope.spawn(move || {
+                let _ = server.run(db_ref, grid_ref, None);
+            });
+        }
+        let shared = match ClusterShared::discover(cluster_cfg.clone()) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("loadgen: cluster discovery failed: {e}");
+                failed.store(true, Ordering::SeqCst);
+                for s in primaries.iter().chain(replicas.iter()) {
+                    s.stop_handle().stop();
+                }
+                return;
+            }
+        };
+        eprintln!(
+            "loadgen: cluster up — {} histograms across {} groups (primary + replica each)",
+            shared.topology().total,
+            args.shards
+        );
+
+        let healthy = cluster_ladder(args, &shared, &queries, "healthy");
+        sections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(format!(
+                "{{\"name\":\"healthy\",\"levels\":[{}]}}",
+                healthy.join(",")
+            ));
+
+        // Kill shard group 0's primary; the replica must absorb the
+        // traffic (failovers and breaker transitions are the point).
+        eprintln!("loadgen: killing shard group 0 primary");
+        if let Some(s) = primaries.first() {
+            s.stop_handle().stop();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let degraded = cluster_ladder(args, &shared, &queries, "primary0_down");
+        sections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(format!(
+                "{{\"name\":\"primary0_down\",\"levels\":[{}]}}",
+                degraded.join(",")
+            ));
+
+        for s in primaries.iter().chain(replicas.iter()) {
+            s.stop_handle().stop();
+        }
+    });
+    if failed.load(Ordering::SeqCst) {
+        return Err("cluster failed to start".to_string());
+    }
+
+    let doc = format!(
+        "{{\"schema\":\"bench_cluster/v1\",\"seed\":{},\"config\":{{\"count\":{},\"dims\":{},\
+         \"k\":{},\"shards\":{},\"workers\":{},\"queue_depth\":{},\"secs_per_level\":{},\
+         \"replicas\":true}},\"scenarios\":[{}]}}",
+        args.seed,
+        args.count,
+        args.dims,
+        args.k,
+        args.shards,
+        args.workers,
+        args.queue,
+        json_f64(args.secs_per_level),
+        sections.lock().unwrap_or_else(|e| e.into_inner()).join(",")
+    );
+    std::fs::write(&args.out, &doc).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("loadgen: wrote {}", args.out);
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let result = match parse_args() {
+        Ok(args) if args.cluster => run_cluster(&args),
+        Ok(_) => run(),
+        Err(msg) => Err(msg),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

@@ -7,10 +7,11 @@
 //! request — see the protocol docs).
 
 use crate::protocol::{self, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};
+use crate::retry::RetryPolicy;
 use earthmover_core::stats::QueryStats;
 use earthmover_core::Histogram;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// What a query came back as, from the client's point of view.
@@ -106,28 +107,127 @@ pub struct HealthInfo {
 }
 
 /// A blocking `emdd` client over one keep-alive connection.
+///
+/// The historical behavior is fail-fast: a wire error surfaces
+/// immediately and the connection is dead. Two opt-in escapes exist:
+/// [`Client::reconnect`] replaces the underlying socket (the target
+/// addresses are remembered from [`Client::connect`]), and
+/// [`Client::with_retry`] installs a [`RetryPolicy`] that retries wire
+/// failures transparently — reconnect, jittered backoff, re-issue —
+/// which rides out a server restart mid-session.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
     max_frame_len: u32,
+    addrs: Vec<SocketAddr>,
+    io_timeout: Duration,
+    retry: RetryPolicy,
+    retries: u64,
 }
 
 impl Client {
-    /// Connects with the given I/O timeout applied to reads and writes.
+    /// Connects with the given I/O timeout applied to connects, reads,
+    /// and writes. Retries are off by default ([`RetryPolicy::none`]).
     pub fn connect(addr: impl ToSocketAddrs, io_timeout: Duration) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(io_timeout))?;
-        stream.set_write_timeout(Some(io_timeout))?;
-        stream.set_nodelay(true)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Client::open_stream(&addrs, io_timeout)?;
         Ok(Client {
             stream,
             next_id: 1,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            addrs,
+            io_timeout,
+            retry: RetryPolicy::none(),
+            retries: 0,
         })
     }
 
+    fn open_stream(addrs: &[SocketAddr], io_timeout: Duration) -> Result<TcpStream, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(addr, io_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(io_timeout))?;
+                    stream.set_write_timeout(Some(io_timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Wire(WireError::from(last.unwrap_or_else(
+            || {
+                io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "no addresses to connect to",
+                )
+            },
+        ))))
+    }
+
+    /// Installs a retry policy: wire failures reconnect and re-issue the
+    /// request with deterministic jittered backoff, up to
+    /// `retry.max_retries` extra attempts. Typed server errors are never
+    /// retried — the server is alive and retrying cannot change its
+    /// answer.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the connection with a fresh one to the original target.
+    /// Pending request ids keep incrementing across reconnects.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = Client::open_stream(&self.addrs, self.io_timeout)?;
+        Ok(())
+    }
+
+    /// Changes the I/O timeout for the current connection and any later
+    /// reconnects. Callers with a deadline trim this per request so a
+    /// stalled server costs the remaining budget, not the idle timeout.
+    pub fn set_io_timeout(&mut self, io_timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(io_timeout))?;
+        self.stream.set_write_timeout(Some(io_timeout))?;
+        self.io_timeout = io_timeout;
+        Ok(())
+    }
+
+    /// How many retry attempts this client has performed (0 until a
+    /// [`RetryPolicy`] is installed and a wire failure occurs).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     fn call(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = if attempt == 0 {
+                self.call_once(req)
+            } else {
+                // A fresh socket: the old one died with a wire error.
+                match self.reconnect() {
+                    Ok(()) => self.call_once(req),
+                    Err(e) => Err(e),
+                }
+            };
+            match result {
+                Ok(ok) => return Ok(ok),
+                Err(err @ ClientError::Wire(_)) if attempt < self.retry.max_retries => {
+                    let _ = err;
+                    self.retries += 1;
+                    let sleep = self.retry.backoff(attempt, self.next_id);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let frame = protocol::encode_request(id, req)?;

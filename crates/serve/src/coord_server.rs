@@ -1,0 +1,372 @@
+//! Wire-protocol front end for the scatter-gather [`Coordinator`]: the
+//! `emdd-coord` daemon runtime.
+//!
+//! Speaks exactly the `emdd` protocol — a client cannot tell a
+//! coordinator from a single node, which is what makes the healthy-
+//! cluster parity tests meaningful. The threading model mirrors
+//! [`crate::server`]: non-blocking acceptor, bounded connection queue
+//! (shared [`crate::queue`] machinery), shed lane answering overflow
+//! with `Overloaded`, and a worker pool; each worker owns its own
+//! [`Coordinator`] (private shard connections) over the shared
+//! [`ClusterShared`] state (breakers, latency windows, metrics).
+//!
+//! A cluster-side degradation (unreachable shard group, shard deadline)
+//! surfaces as the wire's typed-partial frame (`DeadlineExceeded`),
+//! with the merged stats' degradation notes — e.g.
+//! `SHARD_UNAVAILABLE: shard group 1 (...)` — telling the client *why*
+//! the answer is partial.
+
+use crate::client::Outcome;
+use crate::coord::{ClusterShared, CoordError, Coordinator};
+use crate::protocol::{self, ErrorCode, RawFrame, Request, Response, WireError, OVERLOAD_NOTE};
+use crate::queue::{ConnQueue, ShedLane};
+use crate::server::StopHandle;
+use earthmover_core::stats::QueryStats;
+use earthmover_obs::{self as obs, Subscriber};
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`CoordServer`]. The deadline default lives in
+/// [`crate::coord::ClusterConfig`], not here — it is a property of the
+/// cluster, shared by every front end.
+#[derive(Debug, Clone)]
+pub struct CoordServerConfig {
+    /// Worker threads, each owning its own shard connections (min 1).
+    pub workers: usize,
+    /// Bounded connection-queue depth; `0` sheds everything.
+    pub queue_depth: usize,
+    /// Per-connection idle read timeout.
+    pub read_timeout: Duration,
+    /// Per-response write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+}
+
+impl Default for CoordServerConfig {
+    fn default() -> CoordServerConfig {
+        CoordServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A running coordinator daemon bound to its listener. Create with
+/// [`CoordServer::bind`] (after [`ClusterShared::discover`]), then
+/// block in [`CoordServer::run`].
+#[derive(Debug)]
+pub struct CoordServer {
+    listener: TcpListener,
+    cfg: CoordServerConfig,
+    cluster: Arc<ClusterShared>,
+    stop: StopHandle,
+}
+
+struct Shared {
+    cfg: CoordServerConfig,
+    cluster: Arc<ClusterShared>,
+    queue: ConnQueue,
+    stop: StopHandle,
+}
+
+impl CoordServer {
+    /// Binds the listener (port `0` for ephemeral) without starting any
+    /// threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: CoordServerConfig,
+        cluster: Arc<ClusterShared>,
+    ) -> io::Result<CoordServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(CoordServer {
+            listener,
+            cfg,
+            cluster,
+            stop: StopHandle::default(),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`CoordServer::run`] drain and return.
+    pub fn stop_handle(&self) -> StopHandle {
+        self.stop.clone()
+    }
+
+    /// The shared cluster state this front end serves.
+    pub fn cluster(&self) -> &Arc<ClusterShared> {
+        &self.cluster
+    }
+
+    /// Runs the daemon until a shutdown is requested, then drains and
+    /// returns. `subscriber`, when given, is installed on every worker
+    /// thread and flushed on the way out.
+    pub fn run(&self, subscriber: Option<Arc<dyn Subscriber>>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let shared = Shared {
+            cfg: self.cfg.clone(),
+            cluster: Arc::clone(&self.cluster),
+            queue: ConnQueue::new(self.cfg.queue_depth),
+            stop: self.stop.clone(),
+        };
+        let shed = ShedLane::new();
+        std::thread::scope(|scope| {
+            for worker in 0..self.cfg.workers.max(1) {
+                let shared = &shared;
+                let subscriber = subscriber.clone();
+                std::thread::Builder::new()
+                    .name(format!("emdd-coord-worker-{worker}"))
+                    .spawn_scoped(scope, move || {
+                        let _guard = subscriber.map(obs::install);
+                        let mut coordinator = Coordinator::new(Arc::clone(&shared.cluster));
+                        worker_loop(shared, &mut coordinator);
+                    })?;
+            }
+            {
+                let shared = &shared;
+                let shed = &shed;
+                std::thread::Builder::new()
+                    .name("emdd-coord-shedder".into())
+                    .spawn_scoped(scope, move || shed_loop(shared, shed))?;
+            }
+            accept_loop(&self.listener, &shared, &shed);
+            shared.queue.wake_all();
+            shed.close();
+            Ok::<(), io::Error>(())
+        })?;
+        if let Some(s) = &subscriber {
+            s.flush();
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, shed: &ShedLane) {
+    let registry = shared.cluster.registry();
+    let depth_gauge = registry.gauge("coord_queue_depth");
+    while !shared.stop.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                registry.counter("coord_connections_total").inc(1);
+                match shared.queue.push(stream) {
+                    Ok(len) => depth_gauge.set(len as f64),
+                    Err(stream) => {
+                        registry.counter("coord_shed_total").inc(1);
+                        shed.offer(stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                registry.counter("coord_errors_total").inc(1);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Serves shed connections exactly like the single-node shedder.
+fn shed_loop(shared: &Shared, lane: &ShedLane) {
+    loop {
+        let Some(mut stream) = lane.take() else {
+            if lane.is_closed() {
+                return;
+            }
+            continue;
+        };
+        obs::event!("coord_shed");
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        let request_id = match protocol::read_frame(&mut stream, shared.cfg.max_frame_len) {
+            Ok(Some(raw)) => raw.request_id,
+            _ => 0,
+        };
+        let mut stats = QueryStats {
+            db_size: usize::try_from(shared.cluster.topology().total).unwrap_or(usize::MAX),
+            ..QueryStats::default()
+        };
+        stats.record_degradation_once(OVERLOAD_NOTE);
+        let resp = Response::Overloaded {
+            queue_depth: shared.cfg.queue_depth as u32,
+            stats,
+        };
+        let _ = protocol::write_frame(&mut stream, &protocol::encode_response(request_id, &resp));
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn worker_loop(shared: &Shared, coordinator: &mut Coordinator) {
+    let depth_gauge = shared.cluster.registry().gauge("coord_queue_depth");
+    loop {
+        let (conn, len) = shared.queue.pop(Duration::from_millis(50));
+        depth_gauge.set(len as f64);
+        match conn {
+            Some(stream) => serve_connection(shared, coordinator, stream),
+            None if shared.stop.is_stopped() => return,
+            None => {}
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, coordinator: &mut Coordinator, mut stream: TcpStream) {
+    let registry = shared.cluster.registry();
+    let mut span = obs::span!("coord_connection");
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut served: u64 = 0;
+    loop {
+        match protocol::read_frame(&mut stream, shared.cfg.max_frame_len) {
+            Ok(Some(raw)) => {
+                served += 1;
+                let keep_going = handle_frame(shared, coordinator, &mut stream, raw);
+                if !keep_going || shared.stop.is_stopped() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(WireError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(err) => {
+                registry.counter("coord_errors_total").inc(1);
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                };
+                let _ = protocol::write_frame(&mut stream, &protocol::encode_response(0, &resp));
+                break;
+            }
+        }
+    }
+    span.record("requests", served as f64);
+    drop(span);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handle_frame(
+    shared: &Shared,
+    coordinator: &mut Coordinator,
+    stream: &mut TcpStream,
+    raw: RawFrame,
+) -> bool {
+    let registry = shared.cluster.registry();
+    let request_id = raw.request_id;
+    registry.counter("coord_requests_total").inc(1);
+    let started = Instant::now();
+    let (response, keep_going) = match raw.into_request() {
+        Ok(req) => execute(shared, coordinator, req),
+        Err(err) => {
+            registry.counter("coord_errors_total").inc(1);
+            (
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                },
+                true,
+            )
+        }
+    };
+    let elapsed = started.elapsed();
+    registry.histogram("coord_request_seconds").observe(elapsed);
+    let wrote =
+        protocol::write_frame(stream, &protocol::encode_response(request_id, &response)).is_ok();
+    keep_going && wrote
+}
+
+/// Runs one decoded request through the coordinator. Returns the
+/// response and whether the connection may continue.
+fn execute(shared: &Shared, coordinator: &mut Coordinator, req: Request) -> (Response, bool) {
+    let registry = shared.cluster.registry();
+    match req {
+        Request::Knn {
+            k,
+            deadline_us,
+            histogram,
+        } => (
+            outcome_response(coordinator.knn(&histogram, k, deadline_us), registry),
+            true,
+        ),
+        Request::Range {
+            epsilon,
+            deadline_us,
+            histogram,
+        } => (
+            outcome_response(
+                coordinator.range(&histogram, epsilon, deadline_us),
+                registry,
+            ),
+            true,
+        ),
+        Request::Health => {
+            let info = coordinator.health();
+            (
+                Response::HealthReport {
+                    draining: shared.stop.is_stopped(),
+                    db_size: info.db_size,
+                    dims: info.dims,
+                    uptime_ms: info.uptime_ms,
+                },
+                true,
+            )
+        }
+        Request::Stats => (
+            Response::StatsReport {
+                prometheus: registry.to_prometheus(),
+            },
+            true,
+        ),
+        Request::Shutdown => {
+            obs::event!("coord_drain_begin");
+            shared.stop.stop();
+            (Response::ShutdownStarted, false)
+        }
+    }
+}
+
+/// Maps a coordinator outcome onto the wire: complete results, typed
+/// partial (the `DeadlineExceeded` frame doubles as the generic
+/// typed-partial carrier — the degradation notes say why), or a typed
+/// error for an invalid query.
+fn outcome_response(
+    result: Result<Outcome, CoordError>,
+    registry: &Arc<earthmover_obs::MetricsRegistry>,
+) -> Response {
+    match result {
+        Ok(Outcome::Complete { items, stats }) => Response::Results { items, stats },
+        Ok(Outcome::Partial { items, stats }) => Response::DeadlineExceeded { items, stats },
+        Ok(Outcome::Overloaded { queue_depth, stats }) => {
+            Response::Overloaded { queue_depth, stats }
+        }
+        Err(CoordError::BadQuery(m)) => {
+            registry.counter("coord_errors_total").inc(1);
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: m,
+            }
+        }
+        Err(e) => {
+            registry.counter("coord_errors_total").inc(1);
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            }
+        }
+    }
+}

@@ -16,7 +16,13 @@
 //!   in-flight work, flushes telemetry, and then exits;
 //! - first-class **observability**: `serve_*` metrics (queue depth,
 //!   shed counter, per-endpoint latency histograms) and spans, with a
-//!   Prometheus text dump served over the `stats` request.
+//!   Prometheus text dump served over the `stats` request;
+//! - **cluster mode**: an `emdd-coord` scatter-gather coordinator
+//!   ([`coord`], [`coord_server`]) over hash-sharded `emdd` backends,
+//!   with bounded retries and deterministic backoff ([`retry`]),
+//!   replica failover and hedged requests ([`shard`]), per-endpoint
+//!   circuit breakers ([`breaker`]), and a seeded fault-injection proxy
+//!   ([`fault`]) that makes distributed-failure tests reproducible.
 //!
 //! Everything is built on `std::net` — no third-party dependencies, in
 //! keeping with the rest of the workspace.
@@ -25,10 +31,25 @@
 
 #![deny(missing_docs)]
 
+pub mod breaker;
 pub mod client;
+pub mod coord;
+pub mod coord_server;
+pub mod fault;
 pub mod protocol;
+mod queue;
+pub mod retry;
 pub mod server;
+pub mod shard;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{Client, ClientError, HealthInfo, Outcome};
+pub use coord::{
+    shard_of, ClusterConfig, ClusterShared, CoordError, Coordinator, GroupSpec, HedgeConfig,
+    SHARD_UNAVAILABLE_NOTE,
+};
+pub use coord_server::{CoordServer, CoordServerConfig};
+pub use fault::{FaultClass, FaultProxy, FaultProxyConfig, FaultSchedule};
 pub use protocol::{Request, Response, WireError};
+pub use retry::{splitmix64, RetryPolicy};
 pub use server::{Server, ServerConfig, StopHandle};

@@ -559,6 +559,13 @@ pub struct RawFrame {
 }
 
 impl RawFrame {
+    /// Re-serializes this frame byte-identically to how it arrived —
+    /// the fault-injection proxy relays (or deliberately truncates)
+    /// frames without understanding their payloads.
+    pub fn encode(&self) -> Vec<u8> {
+        frame(self.type_code, self.request_id, self.payload.clone())
+    }
+
     /// Decodes the payload as a request.
     pub fn into_request(self) -> Result<Request, WireError> {
         let mut cur = Cur::new(&self.payload);

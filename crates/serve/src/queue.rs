@@ -1,0 +1,104 @@
+//! Admission-control plumbing shared by the single-node server
+//! ([`crate::server`]) and the cluster coordinator front end
+//! ([`crate::coord_server`]): the bounded acceptor→worker connection
+//! queue and the shed lane that answers overflow connections with a
+//! typed `Overloaded` frame instead of silently dropping them.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Bounded hand-off queue between the acceptor and the workers.
+pub(crate) struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    pub(crate) fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueues unless full; returns the stream back on overflow.
+    pub(crate) fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        let len = q.len();
+        self.ready.notify_one();
+        Ok(len)
+    }
+
+    /// Pops the next connection, waiting up to `wait`; `None` on timeout.
+    pub(crate) fn pop(&self, wait: Duration) -> (Option<TcpStream>, usize) {
+        let q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut q, _) = self
+            .ready
+            .wait_timeout_while(q, wait, |q| q.is_empty())
+            .unwrap_or_else(|e| e.into_inner());
+        let conn = q.pop_front();
+        (conn, q.len())
+    }
+
+    pub(crate) fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Hand-off lane for shed connections, so the acceptor never blocks on
+/// a slow peer. Bounded: beyond [`SHED_LANE_DEPTH`] pending peers the
+/// connection is dropped outright (still counted by the caller's shed
+/// counter).
+pub(crate) struct ShedLane {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+pub(crate) const SHED_LANE_DEPTH: usize = 64;
+
+impl ShedLane {
+    pub(crate) fn new() -> ShedLane {
+        ShedLane {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn offer(&self, stream: TcpStream) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.0.len() < SHED_LANE_DEPTH {
+            g.0.push_back(stream);
+            self.ready.notify_one();
+        }
+        // else: drop the stream here — the peer sees a reset, which is
+        // the honest signal once even the shed lane is saturated.
+    }
+
+    pub(crate) fn take(&self) -> Option<TcpStream> {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut g, _) = self
+            .ready
+            .wait_timeout_while(g, Duration::from_millis(50), |(q, closed)| {
+                q.is_empty() && !*closed
+            })
+            .unwrap_or_else(|e| e.into_inner());
+        g.0.pop_front()
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).1
+    }
+
+    pub(crate) fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).1 = true;
+        self.ready.notify_all();
+    }
+}

@@ -20,17 +20,17 @@
 use crate::protocol::{
     self, ErrorCode, RawFrame, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, OVERLOAD_NOTE,
 };
+use crate::queue::{ConnQueue, ShedLane};
 use earthmover_core::deadline::Deadline;
 use earthmover_core::ground::BinGrid;
 use earthmover_core::pipeline::QueryEngine;
 use earthmover_core::stats::QueryStats;
 use earthmover_core::HistogramDb;
 use earthmover_obs::{self as obs, MetricsRegistry, Subscriber};
-use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunables for a [`Server`]. `Default` gives sensible production-ish
@@ -82,50 +82,6 @@ impl StopHandle {
     /// True once a shutdown has been requested.
     pub fn is_stopped(&self) -> bool {
         self.0.load(Ordering::SeqCst)
-    }
-}
-
-/// Bounded hand-off queue between the acceptor and the workers.
-struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-    depth: usize,
-}
-
-impl ConnQueue {
-    fn new(depth: usize) -> ConnQueue {
-        ConnQueue {
-            inner: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            depth,
-        }
-    }
-
-    /// Enqueues unless full; returns the stream back on overflow.
-    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
-        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if q.len() >= self.depth {
-            return Err(stream);
-        }
-        q.push_back(stream);
-        let len = q.len();
-        self.ready.notify_one();
-        Ok(len)
-    }
-
-    /// Pops the next connection, waiting up to `wait`; `None` on timeout.
-    fn pop(&self, wait: Duration) -> (Option<TcpStream>, usize) {
-        let q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let (mut q, _) = self
-            .ready
-            .wait_timeout_while(q, wait, |q| q.is_empty())
-            .unwrap_or_else(|e| e.into_inner());
-        let conn = q.pop_front();
-        (conn, q.len())
-    }
-
-    fn wake_all(&self) {
-        self.ready.notify_all();
     }
 }
 
@@ -258,55 +214,6 @@ fn accept_loop(listener: &TcpListener, shared: &Shared<'_>, shed: &ShedLane) {
                 std::thread::sleep(Duration::from_millis(10));
             }
         }
-    }
-}
-
-/// Hand-off lane for shed connections, so the acceptor never blocks on
-/// a slow peer. Bounded: beyond `SHED_LANE_DEPTH` pending peers the
-/// connection is dropped outright (still counted in `serve_shed_total`).
-struct ShedLane {
-    inner: Mutex<(VecDeque<TcpStream>, bool)>,
-    ready: Condvar,
-}
-
-const SHED_LANE_DEPTH: usize = 64;
-
-impl ShedLane {
-    fn new() -> ShedLane {
-        ShedLane {
-            inner: Mutex::new((VecDeque::new(), false)),
-            ready: Condvar::new(),
-        }
-    }
-
-    fn offer(&self, stream: TcpStream) {
-        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if g.0.len() < SHED_LANE_DEPTH {
-            g.0.push_back(stream);
-            self.ready.notify_one();
-        }
-        // else: drop the stream here — the peer sees a reset, which is
-        // the honest signal once even the shed lane is saturated.
-    }
-
-    fn take(&self) -> Option<TcpStream> {
-        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let (mut g, _) = self
-            .ready
-            .wait_timeout_while(g, Duration::from_millis(50), |(q, closed)| {
-                q.is_empty() && !*closed
-            })
-            .unwrap_or_else(|e| e.into_inner());
-        g.0.pop_front()
-    }
-
-    fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).1
-    }
-
-    fn close(&self) {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).1 = true;
-        self.ready.notify_all();
     }
 }
 

@@ -1,0 +1,136 @@
+//! Client-side resilience: explicit `reconnect()`, and the opt-in
+//! `RetryPolicy` surviving a daemon restart on the same port. The
+//! historical fail-fast default stays intact — only clients that ask
+//! for retries get them.
+
+use earthmover_core::ground::BinGrid;
+use earthmover_core::HistogramDb;
+use earthmover_imaging::corpus::{CorpusConfig, SyntheticCorpus};
+use earthmover_serve::{Client, ClientError, Outcome, RetryPolicy, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn corpus_db(count: usize) -> (BinGrid, HistogramDb) {
+    let grid = BinGrid::new(vec![4, 4, 4]);
+    let corpus = SyntheticCorpus::new(CorpusConfig::default().with_seed(7));
+    let db = corpus.build_database(&grid, count);
+    (grid, db)
+}
+
+/// Runs a daemon on `addr` until `body` returns (binds first, so
+/// passing an ephemeral `127.0.0.1:0` and reading the returned addr is
+/// fine too).
+fn serve_once(db: &HistogramDb, grid: &BinGrid, addr: SocketAddr, body: impl FnOnce(SocketAddr)) {
+    // The listener may briefly linger after the previous daemon on the
+    // same port drained; retry the bind instead of flaking.
+    let mut server = None;
+    for _ in 0..100 {
+        match Server::bind(addr, ServerConfig::default()) {
+            Ok(s) => {
+                server = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let server = server.expect("bind");
+    let bound = server.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.run(db, grid, None));
+        // A failed assertion must still stop the daemon, or the scope
+        // join hangs and masks the panic message.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(bound)));
+        server.stop_handle().stop();
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
+#[test]
+fn explicit_reconnect_revives_a_dead_connection() {
+    let (grid, db) = corpus_db(120);
+    let q = db.get(4).to_histogram();
+    let mut restart_addr = None;
+    let mut client = None;
+    serve_once(&db, &grid, "127.0.0.1:0".parse().expect("addr"), |addr| {
+        restart_addr = Some(addr);
+        let mut c = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        assert!(matches!(c.knn(&q, 5, 0), Ok(Outcome::Complete { .. })));
+        client = Some(c);
+    });
+    // The daemon is gone; the same port comes back up.
+    let addr = restart_addr.expect("first daemon ran");
+    let mut client = client.expect("client survived the scope");
+    serve_once(&db, &grid, addr, |_| {
+        // Without a retry policy the stale connection fails fast...
+        let err = client.knn(&q, 5, 0);
+        assert!(
+            matches!(err, Err(ClientError::Wire(_))),
+            "a dead connection without retries must fail fast, got {err:?}"
+        );
+        // ...and an explicit reconnect() revives it.
+        client
+            .reconnect()
+            .expect("reconnect to the restarted daemon");
+        assert!(matches!(client.knn(&q, 5, 0), Ok(Outcome::Complete { .. })));
+        assert_eq!(client.retries(), 0, "manual reconnect is not a retry");
+    });
+}
+
+#[test]
+fn retry_policy_survives_a_daemon_restart() {
+    let (grid, db) = corpus_db(120);
+    let q = db.get(8).to_histogram();
+    let mut restart_addr = None;
+    let mut client = None;
+    serve_once(&db, &grid, "127.0.0.1:0".parse().expect("addr"), |addr| {
+        restart_addr = Some(addr);
+        let c = Client::connect(addr, Duration::from_secs(5))
+            .expect("connect")
+            .with_retry(RetryPolicy {
+                max_retries: 5,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(100),
+                jitter_seed: 3,
+            });
+        client = Some(c);
+        let c = client.as_mut().expect("client");
+        assert!(matches!(c.knn(&q, 5, 0), Ok(Outcome::Complete { .. })));
+        assert_eq!(c.retries(), 0, "a healthy daemon needs no retries");
+    });
+    let addr = restart_addr.expect("first daemon ran");
+    let mut client = client.expect("client survived the scope");
+    serve_once(&db, &grid, addr, |_| {
+        // The first attempt hits the stale connection and dies; the
+        // retry loop reconnects to the restarted daemon transparently.
+        let Ok(Outcome::Complete { items, .. }) = client.knn(&q, 5, 0) else {
+            panic!("the retry policy must ride out the restart");
+        };
+        assert_eq!(items.first().map(|(id, _)| *id), Some(8));
+        assert!(
+            client.retries() > 0,
+            "recovery must be visible in the retries() counter"
+        );
+    });
+}
+
+#[test]
+fn typed_server_errors_are_never_retried() {
+    let (grid, db) = corpus_db(60);
+    serve_once(&db, &grid, "127.0.0.1:0".parse().expect("addr"), |addr| {
+        let mut client = Client::connect(addr, Duration::from_secs(5))
+            .expect("connect")
+            .with_retry(RetryPolicy::standard(1));
+        // A dimensionality mismatch is a typed BadRequest — retrying
+        // it would just repeat the same rejection.
+        let wrong = earthmover_core::Histogram::new(vec![1.0; 16]).expect("valid histogram");
+        let err = client.knn(&wrong, 5, 0);
+        assert!(
+            matches!(err, Err(ClientError::Server { .. })),
+            "expected the typed server error, got {err:?}"
+        );
+        assert_eq!(client.retries(), 0, "typed errors must not burn retries");
+    });
+}

@@ -47,7 +47,9 @@ fn main() -> ExitCode {
              emdtool serve --db FILE [--addr HOST:PORT] [--workers N] [--queue N]\n    \
              [--default-deadline-ms MS] [--trace-json PATH|-]\n  \
              emdtool client --addr HOST:PORT --op knn|range|health|stats|shutdown\n    \
-             [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]"
+             [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]\n  \
+             emdtool shard-split --db FILE --shards N --out-prefix P\n    \
+             writes P0.emdb .. P{{N-1}}.emdb by coordinator hash placement"
         );
         return ExitCode::from(2);
     };
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
         "query" => query(&flags),
         "serve" => serve(&flags),
         "client" => client(&flags),
+        "shard-split" => shard_split(&flags),
         other => Err(format!("unknown command {other}")),
     };
     match result {
@@ -357,6 +360,38 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .run(&db, &grid, subscriber)
         .map_err(|e| e.to_string())?;
     eprintln!("drained, bye");
+    Ok(())
+}
+
+/// `emdtool shard-split` — partition a database into shard files by the
+/// coordinator's hash placement, so `emdd-coord` can reconstruct the
+/// local→global id maps by replaying the same placement.
+fn shard_split(flags: &HashMap<String, String>) -> Result<(), String> {
+    let db = load_db(flags)?;
+    let shards: usize = get_num(flags, "shards", 0)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let prefix = get(flags, "out-prefix")?;
+    let mut parts: Vec<HistogramDb> = (0..shards).map(|_| HistogramDb::new(db.dims())).collect();
+    // Global ids ascending: local insertion order must match the
+    // coordinator's replay of the placement.
+    for id in 0..db.len() {
+        let shard = serve_api::shard_of(id as u64, shards);
+        if let Some(part) = parts.get_mut(shard) {
+            part.push(db.get(id).to_histogram());
+        }
+    }
+    for (i, part) in parts.iter().enumerate() {
+        let path = format!("{prefix}{i}.emdb");
+        storage::save(part, &path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote shard {i}: {} histograms to {path}", part.len());
+    }
+    eprintln!(
+        "split {} histograms across {shards} shard(s); serve each with emdd \
+         and point emdd-coord --shards at them in index order",
+        db.len()
+    );
     Ok(())
 }
 
