@@ -23,6 +23,30 @@ pub mod stage {
     pub const EXACT: &str = "exact";
 }
 
+/// Per-shard execution provenance attached to a scatter-gathered
+/// answer: which endpoint answered for the shard, what resilience
+/// machinery fired on the way, and the shard's own full [`QueryStats`]
+/// (so per-stage timing survives the merge instead of being summed
+/// into anonymity).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardProvenance {
+    /// Shard group index in the cluster topology.
+    pub shard: u32,
+    /// Endpoint that produced the answer (`host:port`).
+    pub endpoint: String,
+    /// True when a replica (not the group primary) answered.
+    pub from_replica: bool,
+    /// Wire-level retry attempts spent on this answer.
+    pub retries: u32,
+    /// True when the hedged backup request was launched for this call.
+    pub hedge_fired: bool,
+    /// Coordinator-observed call latency (queueing + wire + shard work).
+    pub latency: Duration,
+    /// The shard's own stats for its partial answer. Its `provenance`
+    /// is empty — attribution nests exactly one level.
+    pub stats: QueryStats,
+}
+
 /// Counters and timing for one multistep query execution.
 ///
 /// Serializable so experiment harnesses can export structured results.
@@ -70,6 +94,12 @@ pub struct QueryStats {
     /// never reached may be missing). Merging ORs, so a workload record
     /// says whether *any* query was cut short.
     pub deadline_expired: bool,
+    /// Per-shard attribution for scatter-gathered answers: one entry per
+    /// shard group that answered, in shard order. Empty for single-node
+    /// executions (and on the shards themselves). Merging concatenates
+    /// and re-sorts by `(shard, endpoint)`, so the set is
+    /// order-independent under merge.
+    pub provenance: Vec<ShardProvenance>,
 }
 
 impl QueryStats {
@@ -167,6 +197,18 @@ impl QueryStats {
             self.record_degradation_once(note);
         }
         self.deadline_expired |= other.deadline_expired;
+        if !other.provenance.is_empty() {
+            self.provenance.extend(other.provenance.iter().cloned());
+            self.provenance
+                .sort_by(|a, b| (a.shard, &a.endpoint).cmp(&(b.shard, &b.endpoint)));
+        }
+    }
+
+    /// The provenance entry with the largest coordinator-observed
+    /// latency — the straggler that set the critical path of a
+    /// scatter-gathered answer. `None` when no provenance is attached.
+    pub fn straggler(&self) -> Option<&ShardProvenance> {
+        self.provenance.iter().max_by_key(|p| p.latency)
     }
 }
 
@@ -301,6 +343,33 @@ mod tests {
                 "shard 2 unavailable".to_string()
             ]
         );
+    }
+
+    #[test]
+    fn merge_concatenates_provenance_in_shard_order() {
+        let entry = |shard: u32, endpoint: &str, ms: u64| ShardProvenance {
+            shard,
+            endpoint: endpoint.to_string(),
+            latency: Duration::from_millis(ms),
+            ..Default::default()
+        };
+        let mut a = QueryStats {
+            provenance: vec![entry(2, "c:1", 9)],
+            ..Default::default()
+        };
+        let b = QueryStats {
+            provenance: vec![entry(0, "a:1", 3), entry(1, "b:1", 30)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        let shards: Vec<u32> = a.provenance.iter().map(|p| p.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2]);
+        assert_eq!(a.straggler().unwrap().shard, 1);
+    }
+
+    #[test]
+    fn straggler_of_plain_stats_is_none() {
+        assert!(QueryStats::default().straggler().is_none());
     }
 
     #[test]

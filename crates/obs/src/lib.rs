@@ -50,10 +50,15 @@ mod metrics;
 pub mod names;
 mod span;
 mod subscriber;
+mod trace;
 
 pub use metrics::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
-pub use span::{emit_event, install, InstallGuard, Span, SpanKind, SpanRecord};
+pub use span::{current_subscriber, emit_event, install, InstallGuard, Span, SpanKind, SpanRecord};
 pub use subscriber::{JsonLinesEmitter, NoopSubscriber, RingRecorder, Subscriber};
+pub use trace::{
+    current_trace, fresh_id, set_trace, Propagation, PropagationGuard, TraceContext, TraceGuard,
+    TraceIds,
+};
 
 /// Escapes a string for inclusion in a JSON string literal (quotes not
 /// included). Shared by the JSON exporters of this crate and the bench

@@ -437,6 +437,7 @@ mod tests {
             depth: 0,
             elapsed: Duration::from_micros(40),
             attrs: vec![],
+            trace: None,
         });
         r.observe_span(&SpanRecord {
             name: "crc_recovery",
@@ -444,6 +445,7 @@ mod tests {
             depth: 0,
             elapsed: Duration::ZERO,
             attrs: vec![],
+            trace: None,
         });
         assert_eq!(r.counter("exact_emd_total").get(), 1);
         assert_eq!(r.histogram("exact_emd_seconds").count(), 1);

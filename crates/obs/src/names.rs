@@ -42,6 +42,11 @@ pub const SPAN_NAMES: &[&str] = &[
     // scatter-gather coordinator (crates/serve cluster mode)
     "coord_connection",
     "coord_request",
+    // distributed tracing / fleet telemetry: one shard_call span per
+    // fan-out leg on the coordinator, one fleet_scrape span per
+    // telemetry pull cycle.
+    "shard_call",
+    "fleet_scrape",
 ];
 
 /// Every point-in-time event name.
@@ -66,6 +71,9 @@ pub const EVENT_NAMES: &[&str] = &[
     "coord_shard_unavailable",
     "coord_shed",
     "coord_drain_begin",
+    // slow-query log: emitted (with the linked trace ids) when a
+    // coordinator request crosses the configured latency threshold.
+    "coord_slow_query",
 ];
 
 /// Every statically named metric (counters, gauges, histograms).
@@ -118,6 +126,14 @@ pub const METRIC_NAMES: &[&str] = &[
     "coord_errors_total",
     "coord_queue_depth",
     "coord_request_seconds",
+    // distributed tracing / fleet telemetry plane. The per-group
+    // straggler histograms are a dynamic family:
+    // `coord_group_<i>_latency_seconds` (format!-built, one per shard
+    // group).
+    "coord_slow_queries_total",
+    "coord_traces_sampled_total",
+    "fleet_scrapes_total",
+    "fleet_scrape_errors_total",
 ];
 
 #[cfg(test)]

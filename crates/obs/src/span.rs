@@ -7,6 +7,7 @@
 //! timestamps, carry attributes, and report a [`SpanRecord`] on drop.
 
 use crate::subscriber::Subscriber;
+use crate::trace::{self, TraceIds};
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +42,10 @@ pub struct SpanRecord {
     pub elapsed: Duration,
     /// Numeric attributes attached at creation or via [`Span::record`].
     pub attrs: Vec<(&'static str, f64)>,
+    /// Distributed trace linkage — present only when a
+    /// [`crate::TraceContext`] was set on the thread (see
+    /// [`crate::set_trace`]).
+    pub trace: Option<TraceIds>,
 }
 
 impl SpanRecord {
@@ -75,7 +80,11 @@ impl Drop for InstallGuard {
     }
 }
 
-fn current_subscriber() -> Option<Arc<dyn Subscriber>> {
+/// This thread's installed subscriber, if any. Exposed so spawn sites
+/// (worker pools, scoped fan-out threads) can hand the subscriber to
+/// child threads — see [`crate::Propagation`] for the one-call version
+/// that also carries the trace context.
+pub fn current_subscriber() -> Option<Arc<dyn Subscriber>> {
     SUBSCRIBER.with(|s| s.borrow().clone())
 }
 
@@ -86,6 +95,11 @@ struct ActiveSpan {
     depth: u16,
     attrs: Vec<(&'static str, f64)>,
     subscriber: Arc<dyn Subscriber>,
+    /// This span's trace linkage, when a trace context is set.
+    trace: Option<TraceIds>,
+    /// Trace slot to restore on close (the span made itself the
+    /// current parent while open).
+    prev_trace: Option<(u64, u64, bool)>,
 }
 
 /// A timing scope. Create with the [`crate::span!`] macro; the span
@@ -109,6 +123,20 @@ impl Span {
             d.set(v.saturating_add(1));
             v
         });
+        let (trace_ids, prev_trace) = match trace::current_raw() {
+            Some((trace_id, parent, _sampled)) => {
+                let span_id = trace::fresh_id();
+                (
+                    Some(TraceIds {
+                        trace_id,
+                        span_id,
+                        parent_span_id: parent,
+                    }),
+                    trace::push_parent(span_id),
+                )
+            }
+            None => (None, None),
+        };
         Span {
             active: Some(ActiveSpan {
                 name,
@@ -116,6 +144,8 @@ impl Span {
                 depth,
                 attrs: attrs.to_vec(),
                 subscriber,
+                trace: trace_ids,
+                prev_trace,
             }),
         }
     }
@@ -143,12 +173,16 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            if active.trace.is_some() {
+                trace::restore_raw(active.prev_trace);
+            }
             active.subscriber.on_close(&SpanRecord {
                 name: active.name,
                 kind: SpanKind::Span,
                 depth: active.depth,
                 elapsed: active.start.elapsed(),
                 attrs: active.attrs,
+                trace: active.trace,
             });
         }
     }
@@ -158,12 +192,18 @@ impl Drop for Span {
 /// none is installed). Prefer the [`crate::event!`] macro.
 pub fn emit_event(name: &'static str, attrs: &[(&'static str, f64)]) {
     if let Some(subscriber) = current_subscriber() {
+        let trace_ids = trace::current_raw().map(|(trace_id, parent, _)| TraceIds {
+            trace_id,
+            span_id: trace::fresh_id(),
+            parent_span_id: parent,
+        });
         subscriber.on_close(&SpanRecord {
             name,
             kind: SpanKind::Event,
             depth: DEPTH.with(|d| d.get()),
             elapsed: Duration::ZERO,
             attrs: attrs.to_vec(),
+            trace: trace_ids,
         });
     }
 }

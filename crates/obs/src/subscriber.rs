@@ -111,6 +111,11 @@ impl Subscriber for RingRecorder {
 /// Line shape:
 /// `{"name":"exact_emd","kind":"span","depth":2,"elapsed_us":12.5,"attrs":{"rung":0}}`
 ///
+/// Records closed under a distributed trace context additionally carry
+/// `"trace_id"`, `"span_id"`, and `"parent_span_id"` keys (16-digit
+/// lowercase hex strings); records without a context keep the exact
+/// shape above, so pre-tracing consumers parse unchanged.
+///
 /// Write errors are swallowed (telemetry must never take the query path
 /// down) but counted in [`JsonLinesEmitter::write_errors`].
 pub struct JsonLinesEmitter {
@@ -152,13 +157,23 @@ impl JsonLinesEmitter {
             }
             attrs.push_str(&format!("\"{}\":{}", json_escape(k), json_f64(*v)));
         }
+        let trace = match &record.trace {
+            Some(ids) => format!(
+                ",\"trace_id\":\"{}\",\"span_id\":\"{}\",\"parent_span_id\":\"{}\"",
+                ids.trace_hex(),
+                ids.span_hex(),
+                ids.parent_hex()
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\"name\":\"{}\",\"kind\":\"{}\",\"depth\":{},\"elapsed_us\":{},\"attrs\":{{{}}}}}",
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"depth\":{},\"elapsed_us\":{},\"attrs\":{{{}}}{}}}",
             json_escape(record.name),
             kind,
             record.depth,
             json_f64(record.elapsed.as_secs_f64() * 1e6),
-            attrs
+            attrs,
+            trace
         )
     }
 }
@@ -204,6 +219,7 @@ mod tests {
             depth: 0,
             elapsed: Duration::from_micros(250),
             attrs: vec![("pairs", 4.0)],
+            trace: None,
         }
     }
 
@@ -227,6 +243,24 @@ mod tests {
             line,
             "{\"name\":\"exact_emd\",\"kind\":\"span\",\"depth\":0,\
              \"elapsed_us\":250,\"attrs\":{\"pairs\":4}}"
+        );
+    }
+
+    #[test]
+    fn json_lines_shape_with_trace_ids() {
+        let mut traced = record("exact_emd");
+        traced.trace = Some(crate::TraceIds {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0x2,
+            parent_span_id: 0x1,
+        });
+        let line = JsonLinesEmitter::format(&traced);
+        assert_eq!(
+            line,
+            "{\"name\":\"exact_emd\",\"kind\":\"span\",\"depth\":0,\
+             \"elapsed_us\":250,\"attrs\":{\"pairs\":4},\
+             \"trace_id\":\"00000000deadbeef\",\"span_id\":\"0000000000000002\",\
+             \"parent_span_id\":\"0000000000000001\"}"
         );
     }
 

@@ -35,7 +35,8 @@ fn main() -> ExitCode {
             "usage: emdd-coord --shards \"primary[,replica];...\" [--addr HOST:PORT]\n  \
              [--workers N] [--queue N] [--io-timeout-ms MS] [--retries N]\n  \
              [--retry-base-ms MS] [--hedge-ms MS] [--no-hedge true]\n  \
-             [--sub-budget F] [--default-deadline-ms MS] [--trace-json PATH]"
+             [--sub-budget F] [--default-deadline-ms MS] [--trace-json PATH]\n  \
+             [--slow-query-ms MS] [--sample-every N] [--scrape-interval-ms MS]"
         );
         return ExitCode::from(2);
     };
@@ -162,10 +163,26 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         topo.shard_sizes.len()
     );
 
+    // Tracing / fleet-telemetry knobs: `--slow-query-ms 0` logs every
+    // query (the threshold is "at least this slow"); the flag absent
+    // disables the slow-query log entirely.
+    let slow_query = flags
+        .get("slow-query-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("--slow-query-ms {v} is not a number"))
+        })
+        .transpose()?;
+    let scrape_interval_ms: u64 = get_num(flags, "scrape-interval-ms", 2_000)?;
     let cfg = CoordServerConfig {
         workers: get_num(flags, "workers", 4)?,
         queue_depth: get_num(flags, "queue", 64)?,
         read_timeout: Duration::from_millis(get_num(flags, "read-timeout-ms", 30_000)?),
+        slow_query,
+        trace_sample_every: get_num(flags, "sample-every", 0)?,
+        fleet_scrape_interval: (scrape_interval_ms > 0)
+            .then(|| Duration::from_millis(scrape_interval_ms)),
         ..CoordServerConfig::default()
     };
     let server = CoordServer::bind(addr, cfg, cluster).map_err(|e| format!("bind {addr}: {e}"))?;

@@ -22,8 +22,10 @@
 //! replica `emdd`; the ladder is driven through the scatter-gather
 //! [`Coordinator`] twice — once healthy, once after killing shard
 //! group 0's primary — and the per-level lines include the resilience
-//! counters (`retries`, `failovers`, `hedges_fired`, `breaker_opens`),
-//! landing in `BENCH_cluster.json` (schema `bench_cluster/v1`).
+//! counters (`retries`, `failovers`, `hedges_fired`, `breaker_opens`)
+//! plus straggler attribution from the merged stats' per-shard
+//! provenance (each shard's p99 and the worst one), landing in
+//! `BENCH_cluster.json` (schema `bench_cluster/v2`).
 
 use earthmover_core::ground::BinGrid;
 use earthmover_core::{Histogram, HistogramDb};
@@ -140,6 +142,9 @@ struct Tally {
     retries: u64,
     /// Latencies (seconds) of answered requests (complete + partial).
     latencies: Vec<f64>,
+    /// `(shard, latency_secs)` pairs from the merged stats' per-shard
+    /// provenance (cluster mode only); feeds straggler attribution.
+    shard_latencies: Vec<(u32, f64)>,
 }
 
 impl Tally {
@@ -159,6 +164,8 @@ impl Tally {
         self.errors += other.errors;
         self.retries += other.retries;
         self.latencies.extend_from_slice(&other.latencies);
+        self.shard_latencies
+            .extend_from_slice(&other.shard_latencies);
     }
 }
 
@@ -394,13 +401,23 @@ fn drive_cluster(
         query_index += 1;
         let started = Instant::now();
         match coordinator.knn(q, k, 0) {
-            Ok(Outcome::Complete { .. }) => {
+            Ok(Outcome::Complete { stats, .. }) => {
                 tally.ok += 1;
                 tally.latencies.push(started.elapsed().as_secs_f64());
+                for p in &stats.provenance {
+                    tally
+                        .shard_latencies
+                        .push((p.shard, p.latency.as_secs_f64()));
+                }
             }
-            Ok(Outcome::Partial { .. }) => {
+            Ok(Outcome::Partial { stats, .. }) => {
                 tally.partial += 1;
                 tally.latencies.push(started.elapsed().as_secs_f64());
+                for p in &stats.provenance {
+                    tally
+                        .shard_latencies
+                        .push((p.shard, p.latency.as_secs_f64()));
+                }
             }
             Ok(Outcome::Overloaded { .. }) => tally.shed += 1,
             Err(_) => tally.errors += 1,
@@ -440,21 +457,51 @@ fn cluster_ladder(
         let mut lat = tally.latencies.clone();
         lat.sort_by(f64::total_cmp);
         let answered = tally.ok + tally.partial;
+        // Straggler attribution: per-shard p99 from the provenance the
+        // coordinator now returns, plus the worst shard of the level.
+        let mut per_shard: std::collections::BTreeMap<u32, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for (shard, latency) in &tally.shard_latencies {
+            per_shard.entry(*shard).or_default().push(*latency);
+        }
+        let mut shard_entries: Vec<String> = Vec::new();
+        let mut straggler: Option<(u32, f64)> = None;
+        for (shard, lats) in &mut per_shard {
+            lats.sort_by(f64::total_cmp);
+            let p99 = quantile_ms(lats, 0.99);
+            shard_entries.push(format!(
+                "{{\"shard\":{shard},\"p99_ms\":{}}}",
+                json_f64(p99)
+            ));
+            if straggler.is_none_or(|(_, worst)| p99 > worst) {
+                straggler = Some((*shard, p99));
+            }
+        }
+        let straggler_json = match straggler {
+            Some((shard, p99)) => {
+                format!("{{\"shard\":{shard},\"p99_ms\":{}}}", json_f64(p99))
+            }
+            None => "null".to_string(),
+        };
         eprintln!(
             "loadgen[{scenario}]: C={concurrency:<3} {} req, {answered} answered, \
              {:.0} qps, p50 {:.2} ms, p99 {:.2} ms, partial rate {:.1}%, \
-             retries {retries}, failovers {failovers}, hedges {hedges}, breaker opens {breaker_opens}",
+             retries {retries}, failovers {failovers}, hedges {hedges}, breaker opens {breaker_opens}{}",
             tally.requests(),
             answered as f64 / wall,
             quantile_ms(&lat, 0.50),
             quantile_ms(&lat, 0.99),
             100.0 * tally.partial_rate(),
+            match straggler {
+                Some((shard, p99)) => format!(", straggler shard {shard} (p99 {p99:.2} ms)"),
+                None => String::new(),
+            },
         );
         lines.push(format!(
             "{{\"concurrency\":{},\"requests\":{},\"ok\":{},\"partial\":{},\"shed\":{},\
              \"dropped\":{},\"errors\":{},\"retries\":{},\"failovers\":{},\"hedges_fired\":{},\
              \"breaker_opens\":{},\"qps\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
-             \"partial_rate\":{}}}",
+             \"partial_rate\":{},\"shard_p99_ms\":[{}],\"straggler\":{}}}",
             concurrency,
             tally.requests(),
             tally.ok,
@@ -471,6 +518,8 @@ fn cluster_ladder(
             json_f64(quantile_ms(&lat, 0.95)),
             json_f64(quantile_ms(&lat, 0.99)),
             json_f64(tally.partial_rate()),
+            shard_entries.join(","),
+            straggler_json,
         ));
     }
     lines
@@ -586,7 +635,7 @@ fn run_cluster(args: &Args) -> Result<(), String> {
     }
 
     let doc = format!(
-        "{{\"schema\":\"bench_cluster/v1\",\"seed\":{},\"config\":{{\"count\":{},\"dims\":{},\
+        "{{\"schema\":\"bench_cluster/v2\",\"seed\":{},\"config\":{{\"count\":{},\"dims\":{},\
          \"k\":{},\"shards\":{},\"workers\":{},\"queue_depth\":{},\"secs_per_level\":{},\
          \"replicas\":true}},\"scenarios\":[{}]}}",
         args.seed,

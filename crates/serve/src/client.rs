@@ -10,6 +10,7 @@ use crate::protocol::{self, ErrorCode, Request, Response, WireError, DEFAULT_MAX
 use crate::retry::RetryPolicy;
 use earthmover_core::stats::QueryStats;
 use earthmover_core::Histogram;
+use earthmover_obs as obs;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -230,7 +231,11 @@ impl Client {
     fn call_once(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = protocol::encode_request(id, req)?;
+        // Ambient propagation: when the calling thread carries a
+        // distributed trace context (see `earthmover_obs::set_trace`),
+        // forward it so the server's spans link into the same trace.
+        // Without one the frame is byte-identical to protocol v1.
+        let frame = protocol::encode_request_traced(id, req, obs::current_trace())?;
         protocol::write_frame(&mut self.stream, &frame)?;
         let raw = protocol::read_frame(&mut self.stream, self.max_frame_len)?
             .ok_or(ClientError::Wire(WireError::Truncated))?;

@@ -25,7 +25,7 @@ use crate::client::{Client, ClientError, HealthInfo, Outcome};
 use crate::retry::{splitmix64, RetryPolicy};
 use crate::shard::{GroupReply, LatencyTracker, ShardEndpoint, ShardGroup, ShardQuery};
 use earthmover_core::deadline::Deadline;
-use earthmover_core::stats::QueryStats;
+use earthmover_core::stats::{QueryStats, ShardProvenance};
 use earthmover_core::Histogram;
 use earthmover_obs::{self as obs, MetricsRegistry};
 use std::net::SocketAddr;
@@ -501,13 +501,21 @@ impl Coordinator {
 
         let mut replies: Vec<Option<GroupReply>> = Vec::new();
         replies.resize_with(self.groups.len(), || None);
+        // Scoped threads start with empty observability thread-locals:
+        // hand each fan-out leg the caller's subscriber and trace
+        // context so its shard_call span (and the client call beneath
+        // it) link into the request's trace tree.
+        let telemetry = obs::Propagation::capture();
         std::thread::scope(|scope| {
             for ((slot, group), hedge_after) in replies
                 .iter_mut()
                 .zip(self.groups.iter_mut())
                 .zip(hedges.iter().copied())
             {
+                let leg_telemetry = telemetry.clone();
                 scope.spawn(move || {
+                    let _scope = leg_telemetry.install();
+                    let _span = obs::span!("shard_call", group = group.index() as u32);
                     *slot = Some(group.call(query, shard_deadline, hedge_after, salt));
                 });
             }
@@ -520,13 +528,22 @@ impl Coordinator {
             match reply {
                 Some(GroupReply::Answered {
                     outcome,
-                    from_replica: _,
+                    from_replica,
                     latency,
+                    endpoint,
+                    retries,
+                    hedge_fired,
                 }) => {
                     if let Some(tracker) = shared.latency.get(i) {
                         tracker.record(latency);
                     }
-                    let (shard_items, shard_stats, partial) = match outcome {
+                    // Per-group straggler attribution: a dynamic
+                    // histogram family, one series per shard group.
+                    shared
+                        .registry
+                        .histogram(&format!("coord_group_{i}_latency_seconds"))
+                        .observe(latency);
+                    let (shard_items, shard_stats, partial) = match *outcome {
                         Outcome::Complete { items, stats } => (items, stats, false),
                         Outcome::Partial { items, stats } => (items, stats, true),
                         // ShardEndpoint::call never returns Overloaded
@@ -536,6 +553,15 @@ impl Coordinator {
                     };
                     degraded |= partial;
                     stats.merge(&shard_stats);
+                    stats.provenance.push(ShardProvenance {
+                        shard: i as u32,
+                        endpoint: endpoint.to_string(),
+                        from_replica,
+                        retries,
+                        hedge_fired,
+                        latency,
+                        stats: shard_stats,
+                    });
                     for (local_id, dist) in shard_items {
                         match shared.topology.global_id(i, local_id) {
                             Some(global) => items.push((global, dist)),

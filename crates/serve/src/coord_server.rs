@@ -18,6 +18,7 @@
 
 use crate::client::Outcome;
 use crate::coord::{ClusterShared, CoordError, Coordinator};
+use crate::fleet::FleetTelemetry;
 use crate::protocol::{self, ErrorCode, RawFrame, Request, Response, WireError, OVERLOAD_NOTE};
 use crate::queue::{ConnQueue, ShedLane};
 use crate::server::StopHandle;
@@ -25,6 +26,7 @@ use earthmover_core::stats::QueryStats;
 use earthmover_obs::{self as obs, Subscriber};
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +45,19 @@ pub struct CoordServerConfig {
     pub write_timeout: Duration,
     /// Maximum accepted frame payload length.
     pub max_frame_len: u32,
+    /// Slow-query log threshold: a query request at least this slow
+    /// emits a `coord_slow_query` event carrying its trace ids.
+    /// `Some(Duration::ZERO)` logs every query; `None` disables the log.
+    pub slow_query: Option<Duration>,
+    /// Deterministic head sampling: every Nth query request arriving
+    /// *without* a caller trace context starts a fresh sampled trace.
+    /// `0` disables root creation (forwarded contexts are still
+    /// honoured).
+    pub trace_sample_every: u64,
+    /// How often the fleet scraper pulls each shard's metrics; `None`
+    /// disables scraping (the `stats` response then carries only the
+    /// coordinator's own registry).
+    pub fleet_scrape_interval: Option<Duration>,
 }
 
 impl Default for CoordServerConfig {
@@ -53,6 +68,9 @@ impl Default for CoordServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+            slow_query: None,
+            trace_sample_every: 0,
+            fleet_scrape_interval: Some(Duration::from_secs(2)),
         }
     }
 }
@@ -73,6 +91,10 @@ struct Shared {
     cluster: Arc<ClusterShared>,
     queue: ConnQueue,
     stop: StopHandle,
+    fleet: FleetTelemetry,
+    /// Query requests seen without a caller trace context; drives the
+    /// deterministic head sampler.
+    sampler: AtomicU64,
 }
 
 impl CoordServer {
@@ -117,6 +139,8 @@ impl CoordServer {
             cluster: Arc::clone(&self.cluster),
             queue: ConnQueue::new(self.cfg.queue_depth),
             stop: self.stop.clone(),
+            fleet: FleetTelemetry::new(self.cluster.config().groups.len()),
+            sampler: AtomicU64::new(0),
         };
         let shed = ShedLane::new();
         std::thread::scope(|scope| {
@@ -132,11 +156,27 @@ impl CoordServer {
                     })?;
             }
             {
+                // The shedder emits `coord_shed` events: it needs the
+                // subscriber installed just like the workers.
                 let shared = &shared;
                 let shed = &shed;
+                let subscriber = subscriber.clone();
                 std::thread::Builder::new()
                     .name("emdd-coord-shedder".into())
-                    .spawn_scoped(scope, move || shed_loop(shared, shed))?;
+                    .spawn_scoped(scope, move || {
+                        let _guard = subscriber.map(obs::install);
+                        shed_loop(shared, shed);
+                    })?;
+            }
+            if let Some(interval) = self.cfg.fleet_scrape_interval {
+                let shared = &shared;
+                let subscriber = subscriber.clone();
+                std::thread::Builder::new()
+                    .name("emdd-coord-fleet".into())
+                    .spawn_scoped(scope, move || {
+                        let _guard = subscriber.map(obs::install);
+                        fleet_loop(shared, interval);
+                    })?;
             }
             accept_loop(&self.listener, &shared, &shed);
             shared.queue.wake_all();
@@ -208,6 +248,21 @@ fn shed_loop(shared: &Shared, lane: &ShedLane) {
     }
 }
 
+/// Periodically pulls every shard's metrics into the fleet cache. The
+/// first scrape runs immediately so the `stats` response fills fast;
+/// between scrapes the loop wakes every 50 ms to honour shutdown.
+fn fleet_loop(shared: &Shared, interval: Duration) {
+    while !shared.stop.is_stopped() {
+        shared.fleet.scrape(&shared.cluster);
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.stop.is_stopped() {
+            let step = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, coordinator: &mut Coordinator) {
     let depth_gauge = shared.cluster.registry().gauge("coord_queue_depth");
     loop {
@@ -270,8 +325,30 @@ fn handle_frame(
     let request_id = raw.request_id;
     registry.counter("coord_requests_total").inc(1);
     let started = Instant::now();
-    let (response, keep_going) = match raw.into_request() {
-        Ok(req) => execute(shared, coordinator, req),
+    let decoded = raw.into_request_ext();
+    let is_query = matches!(
+        &decoded,
+        Ok((Request::Knn { .. } | Request::Range { .. }, _))
+    );
+    // Trace context: adopt the caller's when the frame carries one;
+    // otherwise head-sample — every Nth uncontexted query starts a
+    // fresh sampled trace rooted here.
+    let trace = match &decoded {
+        Ok((_, Some(context))) => Some(*context),
+        Ok((_, None)) if is_query && shared.cfg.trace_sample_every > 0 => {
+            let n = shared.sampler.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(shared.cfg.trace_sample_every) {
+                registry.counter("coord_traces_sampled_total").inc(1);
+                Some(obs::TraceContext::root(true))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    let _trace_scope = trace.map(|t| obs::set_trace(Some(t)));
+    let (response, keep_going) = match decoded {
+        Ok((req, _)) => execute(shared, coordinator, req),
         Err(err) => {
             registry.counter("coord_errors_total").inc(1);
             (
@@ -285,6 +362,17 @@ fn handle_frame(
     };
     let elapsed = started.elapsed();
     registry.histogram("coord_request_seconds").observe(elapsed);
+    if is_query {
+        if let Some(threshold) = shared.cfg.slow_query {
+            if elapsed >= threshold {
+                registry.counter("coord_slow_queries_total").inc(1);
+                // Emitted inside the trace scope: the event's trace_id
+                // links it to the coord_request span and every shard's
+                // serve_request span in the same tree.
+                obs::event!("coord_slow_query", elapsed_us = elapsed.as_micros() as u64);
+            }
+        }
+    }
     let wrote =
         protocol::write_frame(stream, &protocol::encode_response(request_id, &response)).is_ok();
     keep_going && wrote
@@ -328,7 +416,10 @@ fn execute(shared: &Shared, coordinator: &mut Coordinator, req: Request) -> (Res
         }
         Request::Stats => (
             Response::StatsReport {
-                prometheus: registry.to_prometheus(),
+                // The coordinator's own registry followed by every
+                // shard's scraped series with per-shard labels — one
+                // scrape of the coordinator yields the whole fleet.
+                prometheus: shared.fleet.merged_prometheus(&registry.to_prometheus()),
             },
             true,
         ),

@@ -22,7 +22,11 @@
 //!   with bounded retries and deterministic backoff ([`retry`]),
 //!   replica failover and hedged requests ([`shard`]), per-endpoint
 //!   circuit breakers ([`breaker`]), and a seeded fault-injection proxy
-//!   ([`fault`]) that makes distributed-failure tests reproducible.
+//!   ([`fault`]) that makes distributed-failure tests reproducible;
+//! - a **fleet telemetry plane** ([`fleet`]): the coordinator scrapes
+//!   every shard's metrics and exports one per-shard-labeled Prometheus
+//!   view, while distributed trace contexts ride the wire protocol so
+//!   client → coordinator → shard spans link into one trace tree.
 //!
 //! Everything is built on `std::net` — no third-party dependencies, in
 //! keeping with the rest of the workspace.
@@ -36,6 +40,7 @@ pub mod client;
 pub mod coord;
 pub mod coord_server;
 pub mod fault;
+pub mod fleet;
 pub mod protocol;
 mod queue;
 pub mod retry;
@@ -50,6 +55,7 @@ pub use coord::{
 };
 pub use coord_server::{CoordServer, CoordServerConfig};
 pub use fault::{FaultClass, FaultProxy, FaultProxyConfig, FaultSchedule};
+pub use fleet::{parse_fleet, FleetRow, FleetTelemetry, ShardScrape};
 pub use protocol::{Request, Response, WireError};
 pub use retry::{splitmix64, RetryPolicy};
 pub use server::{Server, ServerConfig, StopHandle};

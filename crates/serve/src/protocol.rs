@@ -20,19 +20,36 @@
 //! typed [`WireError`] — never a panic. The proptest suite in
 //! `tests/protocol.rs` round-trips every frame type and fuzzes the
 //! decoder with truncated, oversized, and corrupted frames.
+//!
+//! # Extensions (version 2)
+//!
+//! After a frame's classic payload, version-2 frames may carry tagged
+//! extension blocks (`tag u8 | len u32 LE | body`): a request-side
+//! distributed [`TraceContext`] and a response-side per-shard
+//! [`ShardProvenance`] list. Decoders skip unknown tags, and frames
+//! without extensions are encoded byte-identically to version 1, so old
+//! peers keep parsing everything a tracing-unaware sender produces and
+//! new peers parse old frames cleanly.
 
-use earthmover_core::stats::QueryStats;
+use earthmover_core::stats::{QueryStats, ShardProvenance};
 use earthmover_core::storage;
 use earthmover_core::{Histogram, HistogramDb};
+use earthmover_obs::TraceContext;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
 /// Leading bytes of every frame. "EMDQ" = Earth Mover's Distance Query.
 pub const MAGIC: [u8; 4] = *b"EMDQ";
 
-/// Protocol revision. Bump on any incompatible frame-layout change; a
-/// server rejects frames whose version byte differs.
-pub const VERSION: u8 = 1;
+/// Highest protocol revision this build speaks. Version 2 adds tagged
+/// trailing extension blocks (trace context, per-shard provenance);
+/// frames that carry no extension are still emitted as version 1, so
+/// pre-extension peers interoperate until a frame actually needs the
+/// new layout.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol revision still accepted on read.
+pub const MIN_VERSION: u8 = 1;
 
 /// Bytes in a frame header (magic + version + type + request id + len).
 pub const HEADER_LEN: usize = 18;
@@ -50,7 +67,7 @@ pub const OVERLOAD_NOTE: &str = "server overloaded; request shed before executio
 pub enum WireError {
     /// The stream did not start with [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The version byte differs from [`VERSION`].
+    /// The version byte is outside [`MIN_VERSION`]`..=`[`VERSION`].
     BadVersion(u8),
     /// The type byte names no known request or response.
     UnknownType(u8),
@@ -75,7 +92,10 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:?} (want {MAGIC:?})"),
             WireError::BadVersion(v) => {
-                write!(f, "unsupported protocol version {v} (want {VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {v} (accept {MIN_VERSION}..={VERSION})"
+                )
             }
             WireError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
             WireError::Oversized { len, max } => {
@@ -119,6 +139,17 @@ mod code {
     pub const STATS_REPORT: u8 = 0x85;
     pub const SHUTDOWN_STARTED: u8 = 0x86;
     pub const ERROR: u8 = 0x87;
+}
+
+/// Extension tags in the version-2 trailing block area. Unknown tags
+/// are skipped on decode, so the space can grow without another
+/// version bump.
+mod ext {
+    /// Request-side distributed trace context (17-byte body:
+    /// trace id u64 LE, parent span id u64 LE, flags u8 bit0=sampled).
+    pub const TRACE: u8 = 0x01;
+    /// Response-side per-shard [`super::ShardProvenance`] list.
+    pub const PROVENANCE: u8 = 0x02;
 }
 
 /// A client-to-server message.
@@ -426,6 +457,110 @@ fn get_stats(cur: &mut Cur<'_>) -> Result<QueryStats, WireError> {
     Ok(s)
 }
 
+// ---------------------------------------------------------------------
+// Version-2 extension blocks: `tag u8 | len u32 LE | body`, zero or
+// more, after the classic payload. Unknown tags are skipped.
+
+fn put_ext_block(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+fn put_trace_context(out: &mut Vec<u8>, trace: &TraceContext) {
+    let mut body = Vec::with_capacity(17);
+    put_u64(&mut body, trace.trace_id);
+    put_u64(&mut body, trace.parent_span);
+    body.push(u8::from(trace.sampled));
+    put_ext_block(out, ext::TRACE, &body);
+}
+
+fn put_provenance(out: &mut Vec<u8>, entries: &[ShardProvenance]) {
+    let mut body = Vec::new();
+    put_u32(&mut body, entries.len() as u32);
+    for p in entries {
+        put_u32(&mut body, p.shard);
+        put_string(&mut body, &p.endpoint);
+        body.push(u8::from(p.from_replica) | (u8::from(p.hedge_fired) << 1));
+        put_u32(&mut body, p.retries);
+        put_u64(&mut body, nanos(p.latency));
+        // The shard's own stats travel length-prefixed so the nested
+        // parse is bounded. Attribution nests exactly one level: any
+        // provenance inside `p.stats` is not encoded.
+        let mut stats = Vec::new();
+        put_stats(&mut stats, &p.stats);
+        put_u32(&mut body, stats.len() as u32);
+        body.extend_from_slice(&stats);
+    }
+    put_ext_block(out, ext::PROVENANCE, &body);
+}
+
+fn get_provenance(cur: &mut Cur<'_>) -> Result<Vec<ShardProvenance>, WireError> {
+    // Minimum entry: shard (4) + empty endpoint (4) + flags (1)
+    // + retries (4) + latency (8) + stats length (4).
+    let n = cur.count(25)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shard = cur.u32()?;
+        let endpoint = cur.string()?;
+        let flags = cur.u8()?;
+        let retries = cur.u32()?;
+        let latency = Duration::from_nanos(cur.u64()?);
+        let stats_len = cur.u32()? as usize;
+        let mut stats_cur = Cur::new(cur.take(stats_len)?);
+        let stats = get_stats(&mut stats_cur)?;
+        stats_cur.finish()?;
+        entries.push(ShardProvenance {
+            shard,
+            endpoint,
+            from_replica: flags & 1 != 0,
+            retries,
+            hedge_fired: flags & 2 != 0,
+            latency,
+            stats,
+        });
+    }
+    Ok(entries)
+}
+
+/// Extensions decoded from a frame's trailing block area.
+#[derive(Debug, Default)]
+struct Extensions {
+    trace: Option<TraceContext>,
+    provenance: Option<Vec<ShardProvenance>>,
+}
+
+/// Consumes the rest of the payload as extension blocks. Unknown tags
+/// are skipped whole (their length prefix is trusted only up to the
+/// remaining payload, which [`Cur::take`] enforces).
+fn get_extensions(cur: &mut Cur<'_>) -> Result<Extensions, WireError> {
+    let mut exts = Extensions::default();
+    while cur.remaining() > 0 {
+        let tag = cur.u8()?;
+        let len = cur.u32()? as usize;
+        let mut body = Cur::new(cur.take(len)?);
+        match tag {
+            ext::TRACE => {
+                let trace_id = body.u64()?;
+                let parent_span = body.u64()?;
+                let flags = body.u8()?;
+                body.finish()?;
+                exts.trace = Some(TraceContext {
+                    trace_id,
+                    parent_span,
+                    sampled: flags & 1 != 0,
+                });
+            }
+            ext::PROVENANCE => {
+                exts.provenance = Some(get_provenance(&mut body)?);
+                body.finish()?;
+            }
+            _ => {}
+        }
+    }
+    Ok(exts)
+}
+
 fn put_items(out: &mut Vec<u8>, items: &[(u64, f64)]) {
     put_u32(out, items.len() as u32);
     for (id, dist) in items {
@@ -448,10 +583,10 @@ fn get_items(cur: &mut Cur<'_>) -> Result<Vec<(u64, f64)>, WireError> {
 // ---------------------------------------------------------------------
 // Frame encode.
 
-fn frame(type_code: u8, request_id: u64, payload: Vec<u8>) -> Vec<u8> {
+fn frame(version: u8, type_code: u8, request_id: u64, payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(type_code);
     put_u64(&mut out, request_id);
     put_u32(&mut out, payload.len() as u32);
@@ -459,8 +594,32 @@ fn frame(type_code: u8, request_id: u64, payload: Vec<u8>) -> Vec<u8> {
     out
 }
 
-/// Serializes a request into one wire frame.
+/// Serializes a request into one wire frame (no trace context; emitted
+/// as a version-1 frame any peer parses).
 pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, WireError> {
+    encode_request_traced(request_id, req, None)
+}
+
+/// Serializes a request, attaching `trace` as a version-2 extension
+/// block when present. Without a context this is byte-identical to
+/// [`encode_request`].
+pub fn encode_request_traced(
+    request_id: u64,
+    req: &Request,
+    trace: Option<TraceContext>,
+) -> Result<Vec<u8>, WireError> {
+    let (code, mut payload) = request_payload(req)?;
+    let version = match trace {
+        Some(t) => {
+            put_trace_context(&mut payload, &t);
+            VERSION
+        }
+        None => MIN_VERSION,
+    };
+    Ok(frame(version, code, request_id, payload))
+}
+
+fn request_payload(req: &Request) -> Result<(u8, Vec<u8>), WireError> {
     let (code, payload) = match req {
         Request::Knn {
             k,
@@ -492,16 +651,32 @@ pub fn encode_request(request_id: u64, req: &Request) -> Result<Vec<u8>, WireErr
         Request::Stats => (code::STATS, Vec::new()),
         Request::Shutdown => (code::SHUTDOWN, Vec::new()),
     };
-    Ok(frame(code, request_id, payload))
+    Ok((code, payload))
 }
 
-/// Serializes a response into one wire frame.
+/// Serializes a response into one wire frame. Responses whose stats
+/// carry per-shard provenance gain a version-2 extension block; all
+/// others stay byte-identical to version 1.
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    // Appends the stats block plus, when attribution is attached, the
+    // provenance extension; returns whether the frame needs version 2.
+    fn stats_payload(p: &mut Vec<u8>, stats: &QueryStats) -> bool {
+        put_stats(p, stats);
+        if stats.provenance.is_empty() {
+            false
+        } else {
+            put_provenance(p, &stats.provenance);
+            true
+        }
+    }
+    let mut version = MIN_VERSION;
     let (code, payload) = match resp {
         Response::Results { items, stats } | Response::DeadlineExceeded { items, stats } => {
             let mut p = Vec::new();
             put_items(&mut p, items);
-            put_stats(&mut p, stats);
+            if stats_payload(&mut p, stats) {
+                version = VERSION;
+            }
             let code = if matches!(resp, Response::Results { .. }) {
                 code::RESULTS
             } else {
@@ -512,7 +687,9 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
         Response::Overloaded { queue_depth, stats } => {
             let mut p = Vec::new();
             put_u32(&mut p, *queue_depth);
-            put_stats(&mut p, stats);
+            if stats_payload(&mut p, stats) {
+                version = VERSION;
+            }
             (code::OVERLOADED, p)
         }
         Response::HealthReport {
@@ -541,7 +718,7 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             (code::ERROR, p)
         }
     };
-    frame(code, request_id, payload)
+    frame(version, code, request_id, payload)
 }
 
 // ---------------------------------------------------------------------
@@ -550,6 +727,8 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
 /// One frame pulled off the wire, payload still undecoded.
 #[derive(Debug)]
 pub struct RawFrame {
+    /// Protocol version byte the frame arrived with.
+    pub version: u8,
     /// Frame type byte.
     pub type_code: u8,
     /// Client-chosen correlation id, echoed in responses.
@@ -563,11 +742,23 @@ impl RawFrame {
     /// the fault-injection proxy relays (or deliberately truncates)
     /// frames without understanding their payloads.
     pub fn encode(&self) -> Vec<u8> {
-        frame(self.type_code, self.request_id, self.payload.clone())
+        frame(
+            self.version,
+            self.type_code,
+            self.request_id,
+            self.payload.clone(),
+        )
     }
 
-    /// Decodes the payload as a request.
+    /// Decodes the payload as a request, discarding any extensions.
     pub fn into_request(self) -> Result<Request, WireError> {
+        self.into_request_ext().map(|(req, _)| req)
+    }
+
+    /// Decodes the payload as a request plus its trailing extensions —
+    /// currently the forwarded distributed [`TraceContext`], `None` on
+    /// extension-free (e.g. version-1) frames.
+    pub fn into_request_ext(self) -> Result<(Request, Option<TraceContext>), WireError> {
         let mut cur = Cur::new(&self.payload);
         let req = match self.type_code {
             code::KNN => {
@@ -600,14 +791,16 @@ impl RawFrame {
             code::SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownType(other)),
         };
+        let exts = get_extensions(&mut cur)?;
         cur.finish()?;
-        Ok(req)
+        Ok((req, exts.trace))
     }
 
-    /// Decodes the payload as a response.
+    /// Decodes the payload as a response, folding a provenance
+    /// extension (if present) into the response's stats.
     pub fn into_response(self) -> Result<Response, WireError> {
         let mut cur = Cur::new(&self.payload);
-        let resp = match self.type_code {
+        let mut resp = match self.type_code {
             code::RESULTS => {
                 let items = get_items(&mut cur)?;
                 let stats = get_stats(&mut cur)?;
@@ -646,7 +839,16 @@ impl RawFrame {
             }
             other => return Err(WireError::UnknownType(other)),
         };
+        let exts = get_extensions(&mut cur)?;
         cur.finish()?;
+        if let Some(provenance) = exts.provenance {
+            match &mut resp {
+                Response::Results { stats, .. }
+                | Response::DeadlineExceeded { stats, .. }
+                | Response::Overloaded { stats, .. } => stats.provenance = provenance,
+                _ => {}
+            }
+        }
         Ok(resp)
     }
 }
@@ -678,7 +880,7 @@ pub fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<Option<RawFra
         return Err(WireError::BadMagic(magic));
     }
     let version = cur.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let type_code = cur.u8()?;
@@ -693,6 +895,7 @@ pub fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<Option<RawFra
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Some(RawFrame {
+        version,
         type_code,
         request_id,
         payload,
@@ -777,6 +980,123 @@ mod tests {
             read_frame(&mut bytes.as_slice(), 1024),
             Err(WireError::Oversized { len: u32::MAX, .. })
         ));
+    }
+
+    #[test]
+    fn plain_frames_stay_version_1() {
+        let bytes = encode_request(1, &Request::Health).unwrap();
+        assert_eq!(bytes[4], MIN_VERSION);
+        let resp = encode_response(1, &Response::ShutdownStarted);
+        assert_eq!(resp[4], MIN_VERSION);
+    }
+
+    #[test]
+    fn traced_request_roundtrips_context() {
+        let trace = TraceContext {
+            trace_id: 0x1234_5678_9ABC_DEF0,
+            parent_span: 42,
+            sampled: true,
+        };
+        let bytes = encode_request_traced(
+            7,
+            &Request::Knn {
+                k: 3,
+                deadline_us: 0,
+                histogram: hist(8),
+            },
+            Some(trace),
+        )
+        .unwrap();
+        assert_eq!(bytes[4], VERSION, "extension frames are version 2");
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(raw.version, VERSION);
+        let (req, got) = raw.into_request_ext().unwrap();
+        assert!(matches!(req, Request::Knn { k: 3, .. }));
+        assert_eq!(got, Some(trace));
+    }
+
+    #[test]
+    fn extension_free_frames_decode_without_context() {
+        let bytes = encode_request(7, &Request::Stats).unwrap();
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let (req, trace) = raw.into_request_ext().unwrap();
+        assert_eq!(req, Request::Stats);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped() {
+        let mut bytes = encode_request_traced(
+            7,
+            &Request::Health,
+            Some(TraceContext {
+                trace_id: 9,
+                parent_span: 0,
+                sampled: false,
+            }),
+        )
+        .unwrap();
+        // Append a future extension tag after the trace block and fix
+        // up the payload length.
+        bytes.push(0x7F);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"xyz");
+        let new_len = (bytes.len() - HEADER_LEN) as u32;
+        bytes.splice(HEADER_LEN - 4..HEADER_LEN, new_len.to_le_bytes());
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let (req, trace) = raw.into_request_ext().unwrap();
+        assert_eq!(req, Request::Health);
+        assert_eq!(trace.unwrap().trace_id, 9);
+    }
+
+    #[test]
+    fn provenance_roundtrips_on_results() {
+        use earthmover_core::stats::ShardProvenance;
+        let mut shard_stats = QueryStats {
+            db_size: 50,
+            exact_evaluations: 4,
+            ..QueryStats::default()
+        };
+        shard_stats.add_stage_elapsed("exact", Duration::from_micros(120));
+        let stats = QueryStats {
+            provenance: vec![
+                ShardProvenance {
+                    shard: 0,
+                    endpoint: "127.0.0.1:4411".into(),
+                    from_replica: false,
+                    retries: 1,
+                    hedge_fired: true,
+                    latency: Duration::from_millis(3),
+                    stats: shard_stats.clone(),
+                },
+                ShardProvenance {
+                    shard: 1,
+                    endpoint: "127.0.0.1:4412".into(),
+                    from_replica: true,
+                    retries: 0,
+                    hedge_fired: false,
+                    latency: Duration::from_millis(9),
+                    stats: shard_stats,
+                },
+            ],
+            ..QueryStats::default()
+        };
+        let resp = Response::Results {
+            items: vec![(1, 0.5)],
+            stats,
+        };
+        let bytes = encode_response(7, &resp);
+        assert_eq!(bytes[4], VERSION);
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(raw.into_response().unwrap(), resp);
     }
 
     #[test]

@@ -169,9 +169,15 @@ impl Server {
             {
                 let shared = &shared;
                 let shed = &shed;
+                // The shedder emits `serve_shed` events; it needs the
+                // subscriber too, or the events silently hit Noop.
+                let subscriber = subscriber.clone();
                 std::thread::Builder::new()
                     .name("emdd-shedder".into())
-                    .spawn_scoped(scope, move || shed_loop(shared, shed))?;
+                    .spawn_scoped(scope, move || {
+                        let _guard = subscriber.map(obs::install);
+                        shed_loop(shared, shed);
+                    })?;
             }
             accept_loop(&self.listener, &shared, &shed);
             // Drain: wake every worker so the ones parked on an empty
@@ -317,18 +323,26 @@ fn handle_frame(shared: &Shared<'_>, stream: &mut TcpStream, raw: RawFrame) -> b
     shared.registry.counter("serve_requests_total").inc(1);
     shared.requests_in_flight.fetch_add(1, Ordering::SeqCst);
     let started = Instant::now();
-    let request = raw.into_request();
+    let request = raw.into_request_ext();
     let endpoint = match &request {
-        Ok(Request::Knn { .. }) => "serve_knn_seconds",
-        Ok(Request::Range { .. }) => "serve_range_seconds",
-        Ok(Request::Health) => "serve_health_seconds",
-        Ok(Request::Stats) => "serve_stats_seconds",
-        Ok(Request::Shutdown) => "serve_shutdown_seconds",
+        Ok((Request::Knn { .. }, _)) => "serve_knn_seconds",
+        Ok((Request::Range { .. }, _)) => "serve_range_seconds",
+        Ok((Request::Health, _)) => "serve_health_seconds",
+        Ok((Request::Stats, _)) => "serve_stats_seconds",
+        Ok((Request::Shutdown, _)) => "serve_shutdown_seconds",
         Err(_) => "serve_errors_total",
     };
+    // Adopt the caller's trace context (if the frame carried one) for
+    // the duration of this request, so `serve_request` and everything
+    // under it link into the distributed trace.
+    let trace = match &request {
+        Ok((_, trace)) => *trace,
+        Err(_) => None,
+    };
+    let _trace_scope = trace.map(|t| obs::set_trace(Some(t)));
     let mut span = obs::span!("serve_request");
     let (response, keep_going) = match request {
-        Ok(req) => execute(shared, req),
+        Ok((req, _)) => execute(shared, req),
         Err(err) => {
             shared.registry.counter("serve_errors_total").inc(1);
             (

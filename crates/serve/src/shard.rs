@@ -138,7 +138,8 @@ impl ShardEndpoint {
 
     /// Calls the endpoint with retry, reconnect, backoff, and the
     /// breaker gate. Returns the shard's answer (complete or typed
-    /// partial) plus the successful attempt's latency.
+    /// partial) plus the successful attempt's latency and how many
+    /// retries were burned before it (0 = first attempt won).
     ///
     /// `salt` decorrelates the jitter streams of concurrent callers
     /// (pass the request id or shard index).
@@ -147,7 +148,7 @@ impl ShardEndpoint {
         query: &ShardQuery,
         deadline: Deadline,
         salt: u64,
-    ) -> Result<(Outcome, Duration), CallFailure> {
+    ) -> Result<(Outcome, Duration, u32), CallFailure> {
         let mut last_failure = String::new();
         for attempt in 0..=self.retry.max_retries {
             if attempt > 0 && deadline.expired() {
@@ -177,7 +178,7 @@ impl ShardEndpoint {
                 }
                 Ok(outcome) => {
                     self.breaker.record_success();
-                    return Ok((outcome, started.elapsed()));
+                    return Ok((outcome, started.elapsed(), attempt));
                 }
                 Err(ClientError::Server { code, message }) => {
                     // A structured error frame proves the endpoint is
@@ -276,11 +277,18 @@ pub enum GroupReply {
     /// Some endpoint of the group answered.
     Answered {
         /// The shard's outcome (complete or typed partial).
-        outcome: Outcome,
+        outcome: Box<Outcome>,
         /// True when the replica produced the winning answer.
         from_replica: bool,
         /// Latency of the winning call (feeds the hedge delay).
         latency: Duration,
+        /// Address of the endpoint that produced the winning answer.
+        endpoint: SocketAddr,
+        /// Retries burned by the winning endpoint before it answered.
+        retries: u32,
+        /// True when a hedged duplicate was dispatched for this leg
+        /// (regardless of which side ultimately won).
+        hedge_fired: bool,
     },
     /// Neither the primary nor the replica could answer.
     Unavailable {
@@ -335,10 +343,13 @@ impl ShardGroup {
         let salt = salt ^ (self.index as u64).wrapping_mul(0x9E37);
         match (&mut self.replica, hedge_after) {
             (None, _) => match self.primary.call(query, deadline, salt) {
-                Ok((outcome, latency)) => GroupReply::Answered {
-                    outcome,
+                Ok((outcome, latency, retries)) => GroupReply::Answered {
+                    outcome: Box::new(outcome),
                     from_replica: false,
                     latency,
+                    endpoint: self.primary.addr,
+                    retries,
+                    hedge_fired: false,
                 },
                 Err(e) => GroupReply::Unavailable {
                     reason: format!("primary {}: {e}", self.primary.addr),
@@ -347,19 +358,25 @@ impl ShardGroup {
             (Some(replica), None) => {
                 // Sequential failover, no hedging.
                 match self.primary.call(query, deadline, salt) {
-                    Ok((outcome, latency)) => GroupReply::Answered {
-                        outcome,
+                    Ok((outcome, latency, retries)) => GroupReply::Answered {
+                        outcome: Box::new(outcome),
                         from_replica: false,
                         latency,
+                        endpoint: self.primary.addr,
+                        retries,
+                        hedge_fired: false,
                     },
                     Err(primary_err) => {
                         self.registry.counter("shard_failovers_total").inc(1);
                         obs::event!("shard_failover");
                         match replica.call(query, deadline, salt ^ 1) {
-                            Ok((outcome, latency)) => GroupReply::Answered {
-                                outcome,
+                            Ok((outcome, latency, retries)) => GroupReply::Answered {
+                                outcome: Box::new(outcome),
                                 from_replica: true,
                                 latency,
+                                endpoint: replica.addr,
+                                retries,
+                                hedge_fired: false,
                             },
                             Err(replica_err) => GroupReply::Unavailable {
                                 reason: format!(
@@ -396,20 +413,27 @@ fn hedged_call(
     hedge_after: Duration,
     salt: u64,
 ) -> GroupReply {
-    type LegResult = (bool, Result<(Outcome, Duration), CallFailure>);
+    type LegResult = (bool, Result<(Outcome, Duration, u32), CallFailure>);
     let primary_addr = primary.addr;
     let replica_addr = replica.addr;
+    // Scoped threads start with an empty observability thread-local:
+    // capture this thread's subscriber + trace context and re-install
+    // them in each leg so retry/hedge events and spans stay linked.
+    let telemetry = obs::Propagation::capture();
     let (tx, rx) = mpsc::channel::<LegResult>();
     let reply = std::thread::scope(|scope| {
         let tx_primary = tx.clone();
         let mut tx_replica = Some(tx);
+        let primary_telemetry = telemetry.clone();
         scope.spawn(move || {
+            let _scope = primary_telemetry.install();
             let r = primary.call(query, deadline, salt);
             let _ = tx_primary.send((false, r));
         });
         let mut replica_slot = Some(replica);
         let mut failures: Vec<String> = Vec::new();
         let mut outstanding = 1u32;
+        let mut hedge_fired = false;
         loop {
             // Until the replica is dispatched we wait exactly the hedge
             // delay; afterwards senders dropping ends the loop, so a
@@ -423,11 +447,18 @@ fn hedged_call(
                 rx.recv().map_err(|_| Some(()))
             };
             match next {
-                Ok((from_replica, Ok((outcome, latency)))) => {
+                Ok((from_replica, Ok((outcome, latency, retries)))) => {
                     break GroupReply::Answered {
-                        outcome,
+                        outcome: Box::new(outcome),
                         from_replica,
                         latency,
+                        endpoint: if from_replica {
+                            replica_addr
+                        } else {
+                            primary_addr
+                        },
+                        retries,
+                        hedge_fired,
                     };
                 }
                 Ok((from_replica, Err(e))) => {
@@ -446,7 +477,9 @@ fn hedged_call(
                         obs::event!("shard_failover");
                         if let Some(tx) = tx_replica.take() {
                             outstanding += 1;
+                            let leg_telemetry = telemetry.clone();
                             scope.spawn(move || {
+                                let _scope = leg_telemetry.install();
                                 let r = replica.call(query, deadline, salt ^ 1);
                                 let _ = tx.send((true, r));
                             });
@@ -462,9 +495,12 @@ fn hedged_call(
                     if let Some(replica) = replica_slot.take() {
                         registry.counter("shard_hedges_total").inc(1);
                         obs::event!("shard_hedge");
+                        hedge_fired = true;
                         if let Some(tx) = tx_replica.take() {
                             outstanding += 1;
+                            let leg_telemetry = telemetry.clone();
                             scope.spawn(move || {
+                                let _scope = leg_telemetry.install();
                                 let r = replica.call(query, deadline, salt ^ 1);
                                 let _ = tx.send((true, r));
                             });

@@ -1,13 +1,17 @@
 //! Wire-protocol properties: every frame type round-trips bit-for-bit,
 //! and the decoder survives arbitrary hostile bytes — truncations,
 //! oversized length prefixes, bad magic/version, and random corruption
-//! — with a typed error, never a panic.
+//! — with a typed error, never a panic. The version-2 extension blocks
+//! (trace context on requests, per-shard provenance on responses) get
+//! the same treatment, plus proof that extension-free frames stay
+//! byte-identical to version 1 so old peers keep parsing them.
 
-use earthmover_core::stats::QueryStats;
+use earthmover_core::stats::{QueryStats, ShardProvenance};
 use earthmover_core::Histogram;
+use earthmover_obs::TraceContext;
 use earthmover_serve::protocol::{
-    encode_request, encode_response, read_frame, ErrorCode, Request, Response, WireError,
-    DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, VERSION,
+    encode_request, encode_request_traced, encode_response, read_frame, ErrorCode, Request,
+    Response, WireError, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -53,6 +57,31 @@ fn random_stats(rng: &mut StdRng) -> QueryStats {
     s
 }
 
+fn random_trace(rng: &mut StdRng) -> TraceContext {
+    TraceContext {
+        trace_id: rng.gen(),
+        parent_span: rng.gen(),
+        sampled: rng.gen_bool(0.5),
+    }
+}
+
+/// Provenance entries as the coordinator attaches them: flat per-shard
+/// stats (attribution nests exactly one level, so nested provenance is
+/// never encoded).
+fn random_provenance(rng: &mut StdRng) -> Vec<ShardProvenance> {
+    (0..rng.gen_range(0usize..4))
+        .map(|i| ShardProvenance {
+            shard: i as u32,
+            endpoint: format!("10.0.0.{}:{}", rng.gen_range(1u8..20), 4400 + i),
+            from_replica: rng.gen_bool(0.3),
+            retries: rng.gen_range(0u32..4),
+            hedge_fired: rng.gen_bool(0.2),
+            latency: Duration::from_nanos(rng.gen_range(0u64..2_000_000_000)),
+            stats: random_stats(rng),
+        })
+        .collect()
+}
+
 fn random_items(rng: &mut StdRng) -> Vec<(u64, f64)> {
     (0..rng.gen_range(0usize..20))
         .map(|_| (rng.gen_range(0u64..100_000), rng.gen::<f64>() * 10.0))
@@ -83,19 +112,31 @@ fn random_request(rng: &mut StdRng) -> Request {
     }
 }
 
+/// Stats as a coordinator response carries them: sometimes with
+/// per-shard provenance attached, which travels as a version-2
+/// extension block. The `response_roundtrip` property therefore covers
+/// both plain version-1 frames and extended ones.
+fn random_traced_stats(rng: &mut StdRng) -> QueryStats {
+    let mut s = random_stats(rng);
+    if rng.gen_bool(0.5) {
+        s.provenance = random_provenance(rng);
+    }
+    s
+}
+
 fn random_response(rng: &mut StdRng) -> Response {
     match rng.gen_range(0u8..7) {
         0 => Response::Results {
             items: random_items(rng),
-            stats: random_stats(rng),
+            stats: random_traced_stats(rng),
         },
         1 => Response::DeadlineExceeded {
             items: random_items(rng),
-            stats: random_stats(rng),
+            stats: random_traced_stats(rng),
         },
         2 => Response::Overloaded {
             queue_depth: rng.gen_range(0u32..1_000),
-            stats: random_stats(rng),
+            stats: random_traced_stats(rng),
         },
         3 => Response::HealthReport {
             draining: rng.gen_bool(0.5),
@@ -249,6 +290,153 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         let _ = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN);
     }
+
+    /// A traced request upgrades to version 2, round-trips its context
+    /// through the extension-aware decode, and still parses through the
+    /// legacy `into_request` path (extensions are ignorable).
+    #[test]
+    fn traced_request_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let context = random_trace(&mut rng);
+        let id: u64 = rng.gen();
+        let bytes = encode_request_traced(id, &req, Some(context)).unwrap();
+        prop_assert_eq!(bytes[4], VERSION, "a trace context needs version 2");
+
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("one full frame");
+        prop_assert_eq!(raw.request_id, id);
+        let (got, got_context) = raw.into_request_ext().unwrap();
+        prop_assert_eq!(got_context, Some(context));
+        let want = canonical(&req);
+        prop_assert!(requests_equal(&got, &want), "{:?} != {:?}", got, want);
+
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("one full frame");
+        let got = raw.into_request().unwrap();
+        prop_assert!(requests_equal(&got, &want), "legacy decode must skip the extension");
+    }
+
+    /// Without a context the traced encoder emits a frame byte-identical
+    /// to the version-1 encoder, and the extension-aware decoder reports
+    /// no context on it — a rolling upgrade never changes old traffic.
+    #[test]
+    fn untraced_frames_stay_version_one(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = random_request(&mut rng);
+        let id: u64 = rng.gen();
+        let plain = encode_request(id, &req).unwrap();
+        let traced = encode_request_traced(id, &req, None).unwrap();
+        prop_assert_eq!(&plain, &traced, "no context must mean no wire change");
+        prop_assert_eq!(plain[4], MIN_VERSION);
+        let raw = read_frame(&mut plain.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("one full frame");
+        let (_, got_context) = raw.into_request_ext().unwrap();
+        prop_assert_eq!(got_context, None);
+    }
+
+    /// Truncating an extension-carrying frame anywhere — including
+    /// inside the trailing blocks — yields a typed error, never a panic.
+    #[test]
+    fn extended_truncation_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let context = random_trace(&mut rng);
+        let bytes =
+            encode_request_traced(rng.gen(), &random_request(&mut rng), Some(context)).unwrap();
+        let cut = rng.gen_range(0..bytes.len());
+        let head = &bytes[..cut];
+        match read_frame(&mut { head }, DEFAULT_MAX_FRAME_LEN) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+            Err(WireError::Truncated) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+        }
+    }
+
+    /// Flipping bytes in a provenance-carrying response never panics
+    /// either decode path.
+    #[test]
+    fn extended_corruption_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resp = Response::Results {
+            items: random_items(&mut rng),
+            stats: QueryStats {
+                provenance: random_provenance(&mut rng),
+                ..random_stats(&mut rng)
+            },
+        };
+        let mut bytes = encode_response(rng.gen(), &resp);
+        for _ in 0..rng.gen_range(1usize..8) {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen();
+        }
+        if let Ok(Some(raw)) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN) {
+            let _ = raw.into_response();
+        }
+    }
+}
+
+/// Appends one raw extension block to a frame, upgrading it to version
+/// 2 and fixing the payload length — builds the hostile/unknown frames
+/// the public encoder never produces.
+fn append_ext(frame: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    frame[4] = VERSION;
+    frame.push(tag);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    let payload_len = (frame.len() - HEADER_LEN) as u32;
+    frame.splice(HEADER_LEN - 4..HEADER_LEN, payload_len.to_le_bytes());
+}
+
+/// Unknown extension tags must be skipped whole — a newer peer can ship
+/// extensions this build has never heard of.
+#[test]
+fn unknown_extension_tag_is_skipped() {
+    let mut bytes = encode_request(7, &Request::Health).unwrap();
+    append_ext(&mut bytes, 0x7f, &[0xde, 0xad, 0xbe, 0xef]);
+    let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    let (req, context) = raw.into_request_ext().unwrap();
+    assert_eq!(req, Request::Health);
+    assert_eq!(context, None, "an unknown tag is not a trace context");
+}
+
+/// An extension block whose length prefix runs past the payload is a
+/// typed payload error, not an out-of-bounds read.
+#[test]
+fn extension_length_past_payload_is_rejected() {
+    let mut bytes = encode_request(7, &Request::Health).unwrap();
+    append_ext(&mut bytes, 0x01, &[0u8; 3]);
+    // Lie about the block length: 100 bytes claimed, 3 present.
+    let block_len_at = bytes.len() - 3 - 4;
+    bytes.splice(block_len_at..block_len_at + 4, 100u32.to_le_bytes());
+    let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(
+        raw.into_request_ext(),
+        Err(WireError::BadPayload(_))
+    ));
+}
+
+/// A hostile element count inside a provenance extension is rejected
+/// before allocation, like every other count on the wire.
+#[test]
+fn hostile_provenance_count_is_rejected() {
+    let resp = Response::Results {
+        items: Vec::new(),
+        stats: QueryStats::default(),
+    };
+    let mut bytes = encode_response(3, &resp);
+    append_ext(&mut bytes, 0x02, &u32::MAX.to_le_bytes());
+    let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(raw.into_response(), Err(WireError::BadPayload(_))));
 }
 
 #[test]

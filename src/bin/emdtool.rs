@@ -19,6 +19,10 @@
 //! emdtool client --addr 127.0.0.1:4406 --op knn --db photos.emdb --id 42 --k 10
 //! emdtool client --addr 127.0.0.1:4406 --op health
 //! emdtool client --addr 127.0.0.1:4406 --op shutdown
+//!
+//! # Distributed tracing and fleet telemetry (against emdd-coord):
+//! emdtool trace --addr 127.0.0.1:4410 --db photos.emdb --id 42 --k 10
+//! emdtool top --addr 127.0.0.1:4410
 //! ```
 //!
 //! Pipelines: `combo` (3-D LB_Avg index → LB_IM → EMD, the paper's best),
@@ -48,6 +52,10 @@ fn main() -> ExitCode {
              [--default-deadline-ms MS] [--trace-json PATH|-]\n  \
              emdtool client --addr HOST:PORT --op knn|range|health|stats|shutdown\n    \
              [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]\n  \
+             emdtool trace --addr HOST:PORT --db FILE --id OBJ [--k K] [--deadline-ms MS]\n    \
+             issue one sampled, traced k-NN and render the per-shard trace tree\n  \
+             emdtool top --addr HOST:PORT\n    \
+             per-shard fleet table from the coordinator's merged metrics\n  \
              emdtool shard-split --db FILE --shards N --out-prefix P\n    \
              writes P0.emdb .. P{{N-1}}.emdb by coordinator hash placement"
         );
@@ -59,6 +67,8 @@ fn main() -> ExitCode {
         "query" => query(&flags),
         "serve" => serve(&flags),
         "client" => client(&flags),
+        "trace" => trace(&flags),
+        "top" => top(&flags),
         "shard-split" => shard_split(&flags),
         other => Err(format!("unknown command {other}")),
     };
@@ -422,6 +432,118 @@ fn print_outcome(outcome: serve_api::Outcome) {
             }
         }
     }
+}
+
+/// `emdtool trace` — issue one sampled, traced k-NN and render the
+/// linked result tree from the response's per-shard provenance. The
+/// printed trace id greps straight into the daemons' `--trace-json`
+/// JSONL output (`"trace_id":"<hex>"`), where the full span tree lives.
+fn trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let db = load_db(flags)?;
+    let id: usize = get_num(flags, "id", usize::MAX)?;
+    if id >= db.len() {
+        return Err(format!(
+            "--id must name a database object (0..{})",
+            db.len().saturating_sub(1)
+        ));
+    }
+    let k: u32 = get_num(flags, "k", 10)?;
+    let deadline_us: u64 = get_num::<u64>(flags, "deadline-ms", 0)?.saturating_mul(1000);
+    let q = db.get(id).to_histogram();
+    // A fresh sampled root: the client call below forwards it on the
+    // wire, so every process this query touches joins the same trace.
+    let context = obs::TraceContext::root(true);
+    let _scope = obs::set_trace(Some(context));
+    let mut client = serve_api::Client::connect(addr, std::time::Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let started = std::time::Instant::now();
+    let outcome = client.knn(&q, k, deadline_us).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    println!("trace {:016x} (sampled root)", context.trace_id);
+    match outcome {
+        serve_api::Outcome::Complete { items, stats }
+        | serve_api::Outcome::Partial { items, stats } => {
+            println!(
+                "└─ request @ {addr}  {:.1}ms round-trip, {:.1}ms server-side, {} result(s){}",
+                elapsed.as_secs_f64() * 1e3,
+                stats.elapsed.as_secs_f64() * 1e3,
+                items.len(),
+                if stats.deadline_expired {
+                    "  [partial]"
+                } else {
+                    ""
+                }
+            );
+            let straggler = stats.straggler().map(|p| (p.shard, p.endpoint.clone()));
+            let last = stats.provenance.len().saturating_sub(1);
+            for (i, p) in stats.provenance.iter().enumerate() {
+                let branch = if i == last { "└─" } else { "├─" };
+                let role = if p.from_replica { "replica" } else { "primary" };
+                let slowest = straggler
+                    .as_ref()
+                    .is_some_and(|(s, e)| *s == p.shard && *e == p.endpoint);
+                println!(
+                    "   {branch} shard {} @ {} ({role})  {:.1}ms  retries={} hedge={}  \
+                     exact_emd={}{}",
+                    p.shard,
+                    p.endpoint,
+                    p.latency.as_secs_f64() * 1e3,
+                    p.retries,
+                    if p.hedge_fired { "yes" } else { "no" },
+                    p.stats.exact_evaluations,
+                    if slowest { "  <- straggler" } else { "" }
+                );
+            }
+            if stats.provenance.is_empty() {
+                println!("   (no per-shard provenance: single-node server)");
+            }
+            for note in &stats.degradations {
+                eprintln!("warning: {note}");
+            }
+        }
+        serve_api::Outcome::Overloaded { queue_depth, .. } => {
+            eprintln!("server overloaded (queue depth {queue_depth}); request shed");
+        }
+    }
+    Ok(())
+}
+
+/// `emdtool top` — per-shard fleet table parsed out of the
+/// coordinator's merged, per-shard-labeled metrics export.
+fn top(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = get(flags, "addr")?;
+    let mut client = serve_api::Client::connect(addr, std::time::Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let prom = client.stats().map_err(|e| e.to_string())?;
+    let rows = serve_api::parse_fleet(&prom);
+    if rows.is_empty() {
+        return Err(
+            "no per-shard series in the stats export — is the target an emdd-coord \
+             with fleet scraping enabled, and has a scrape completed yet?"
+                .to_string(),
+        );
+    }
+    let fmt_ms = |v: Option<f64>| match v {
+        Some(ms) => format!("{ms:.2}"),
+        None => "-".to_string(),
+    };
+    println!(
+        "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}",
+        "SHARD", "ENDPOINT", "REQUESTS", "P50(ms)", "P99(ms)", "QUEUE"
+    );
+    for row in rows {
+        println!(
+            "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}",
+            row.shard,
+            row.endpoint,
+            row.requests,
+            fmt_ms(row.p50_ms),
+            fmt_ms(row.p99_ms),
+            fmt_ms(row.queue_depth),
+        );
+    }
+    Ok(())
 }
 
 /// `emdtool client` — one request against a running daemon.
