@@ -70,6 +70,7 @@ pub mod ground;
 pub mod histogram;
 pub mod lower_bounds;
 pub mod multistep;
+pub mod notes;
 pub mod parallel;
 pub mod pipeline;
 pub mod quadratic_form;

@@ -22,7 +22,7 @@ mod kernel;
 mod lp_norms;
 
 pub use avg::LbAvg;
-pub use exact::ExactEmd;
+pub use exact::{ExactEmd, RUNG_BLAND, RUNG_DENSE_LP};
 pub use im::LbIm;
 pub use kernel::DistanceKernel;
 pub use lp_norms::{min_off_diagonal_costs, LbEuclidean, LbManhattan, LbMax};

@@ -1,0 +1,90 @@
+//! Canonical degradation-note registry.
+//!
+//! Degradation notes are the human-readable audit trail of every
+//! graceful-degradation path in the system: deadline cutoffs, overload
+//! shedding, solver recovery-ladder rungs, unreachable shard groups.
+//! They are also *merge keys* — the coordinator deduplicates notes when
+//! folding per-shard [`crate::stats::QueryStats`] together
+//! (`record_degradation_once`), and tests grep for them — so a typo'd
+//! note silently forks the dedup and breaks the operator-facing story.
+//!
+//! Like the observability name registry (`obs::names`), this module
+//! pins every note to one spelling. `xlint`'s `degradation_registry`
+//! rule enforces it statically: a `*_NOTE`/`RUNG_*` constant or a
+//! literal recorded at a `record_degradation*`/`degradations.push`
+//! site that is not declared here fails the lint.
+//!
+//! Two shapes exist:
+//!
+//! - [`NOTE_LITERALS`] — complete notes recorded verbatim;
+//! - [`NOTE_PREFIXES`] — the static head of notes that append runtime
+//!   detail (`format!`-built), e.g. `"SHARD_UNAVAILABLE: shard group 2
+//!   (connect refused)"`. Matching is on the prefix.
+//!
+//! The constants the code actually records live next to their
+//! subsystem ([`crate::deadline::DEADLINE_NOTE`],
+//! [`crate::lower_bounds::RUNG_BLAND`], serve's `OVERLOAD_NOTE` and
+//! `SHARD_UNAVAILABLE_NOTE`); this registry re-states their values as
+//! data so the lint can diff spellings without resolving Rust paths.
+
+/// Complete degradation notes, recorded verbatim at their site.
+pub const NOTE_LITERALS: &[&str] = &[
+    // crates/core/src/deadline.rs — DEADLINE_NOTE
+    "deadline expired; result is a partial best-effort prefix",
+    // crates/serve/src/protocol.rs — OVERLOAD_NOTE
+    "server overloaded; request shed before execution",
+    // crates/core/src/lower_bounds/exact.rs — RUNG_BLAND
+    "exact EMD: transportation simplex hit its pivot cap; recovered via Bland's rule",
+    // crates/core/src/lower_bounds/exact.rs — RUNG_DENSE_LP
+    "exact EMD: transportation simplex exhausted; recovered via dense LP",
+];
+
+/// Static heads of `format!`-built degradation notes. A recorded note
+/// (or note constant) matches the registry when it starts with one of
+/// these.
+pub const NOTE_PREFIXES: &[&str] = &[
+    // crates/serve/src/coord.rs — SHARD_UNAVAILABLE_NOTE, extended with
+    // ": shard group {i} ({reason})" at the record site.
+    "SHARD_UNAVAILABLE",
+    // crates/core/src/pipeline.rs — first-stage source failure fallback.
+    "first stage '",
+    // crates/serve/src/coord.rs — a shard answered with a local id
+    // outside its discovered id map.
+    "shard group ",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_unique_and_non_empty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in NOTE_LITERALS.iter().chain(NOTE_PREFIXES) {
+            assert!(!s.is_empty(), "empty registry entry");
+            assert!(seen.insert(*s), "duplicate registry entry {s:?}");
+        }
+    }
+
+    #[test]
+    fn core_note_constants_are_registered() {
+        assert!(NOTE_LITERALS.contains(&crate::deadline::DEADLINE_NOTE));
+        assert!(NOTE_LITERALS.contains(&crate::lower_bounds::RUNG_BLAND));
+        assert!(NOTE_LITERALS.contains(&crate::lower_bounds::RUNG_DENSE_LP));
+    }
+
+    #[test]
+    fn no_literal_shadows_a_shorter_prefix_ambiguously() {
+        // A literal that begins with a registered prefix would make the
+        // prefix rule and the literal rule disagree about which entry
+        // "owns" a site — keep the namespaces disjoint.
+        for lit in NOTE_LITERALS {
+            for pre in NOTE_PREFIXES {
+                assert!(
+                    !lit.starts_with(pre),
+                    "literal {lit:?} starts with registered prefix {pre:?}"
+                );
+            }
+        }
+    }
+}

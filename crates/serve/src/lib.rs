@@ -44,6 +44,7 @@ pub mod fleet;
 pub mod protocol;
 mod queue;
 pub mod retry;
+pub mod schema;
 pub mod server;
 pub mod shard;
 

@@ -1,0 +1,102 @@
+//! Machine-readable wire-schema registry.
+//!
+//! [`protocol`](crate::protocol) defines the EMDQ framing — version
+//! byte, frame-type codes, extension tags — as private constants next
+//! to the encode/decode paths that use them. This module states the
+//! same facts as *data*, so that tooling can cross-check the codec
+//! without parsing it:
+//!
+//! - `xlint`'s `wire_schema` rule extracts the constants from
+//!   `protocol.rs` at lint time and diffs them against this registry
+//!   (both directions), flags encoder/decoder asymmetry, and requires
+//!   every entry to be documented in DESIGN.md §12 — a new frame kind
+//!   or tag cannot land half-wired or undocumented;
+//! - `tests/protocol.rs` iterates the registry to round-trip every
+//!   frame kind × extension tag through encode/decode, so the registry
+//!   and the codec cannot drift silently.
+//!
+//! Adding a frame or tag therefore means touching three places on
+//! purpose: `protocol.rs` (the codec), this file (the registry), and
+//! DESIGN.md §12 (the contract for other implementers).
+
+/// Protocol revision this registry describes. Must equal
+/// [`crate::protocol::VERSION`]; the `wire_schema` lint and a unit test
+/// below both enforce the equality.
+pub const SCHEMA_VERSION: u8 = 2;
+
+/// Oldest revision still accepted on read. Must equal
+/// [`crate::protocol::MIN_VERSION`].
+pub const SCHEMA_MIN_VERSION: u8 = 1;
+
+/// Client-to-server frame kinds as `(constant name, wire code)`.
+/// Request codes never set the high bit.
+pub const REQUEST_FRAMES: &[(&str, u8)] = &[
+    ("KNN", 0x01),
+    ("RANGE", 0x02),
+    ("HEALTH", 0x03),
+    ("STATS", 0x04),
+    ("SHUTDOWN", 0x05),
+];
+
+/// Server-to-client frame kinds as `(constant name, wire code)`.
+/// Response codes always set the high bit.
+pub const RESPONSE_FRAMES: &[(&str, u8)] = &[
+    ("RESULTS", 0x81),
+    ("DEADLINE_EXCEEDED", 0x82),
+    ("OVERLOADED", 0x83),
+    ("HEALTH_REPORT", 0x84),
+    ("STATS_REPORT", 0x85),
+    ("SHUTDOWN_STARTED", 0x86),
+    ("ERROR", 0x87),
+];
+
+/// Version-2 trailing extension-block tags as `(constant name, tag)`.
+/// Unknown tags are skipped whole on decode, so this space can grow
+/// without a version bump.
+pub const EXTENSION_TAGS: &[(&str, u8)] = &[("TRACE", 0x01), ("PROVENANCE", 0x02)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol;
+
+    #[test]
+    fn registry_matches_protocol_version() {
+        assert_eq!(SCHEMA_VERSION, protocol::VERSION);
+        assert_eq!(SCHEMA_MIN_VERSION, protocol::MIN_VERSION);
+    }
+
+    #[test]
+    fn codes_are_unique_and_classified_by_high_bit() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, code) in REQUEST_FRAMES {
+            assert!(code & 0x80 == 0, "request {name} must not set the high bit");
+            assert!(seen.insert(*code), "duplicate frame code {code:#04x}");
+        }
+        for (name, code) in RESPONSE_FRAMES {
+            assert!(code & 0x80 != 0, "response {name} must set the high bit");
+            assert!(seen.insert(*code), "duplicate frame code {code:#04x}");
+        }
+        let mut tags = std::collections::BTreeSet::new();
+        for (name, tag) in EXTENSION_TAGS {
+            assert!(tags.insert(*tag), "duplicate extension tag for {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_screaming_snake_case() {
+        for (name, _) in REQUEST_FRAMES
+            .iter()
+            .chain(RESPONSE_FRAMES)
+            .chain(EXTENSION_TAGS)
+        {
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'),
+                "registry name {name:?} must be SCREAMING_SNAKE_CASE"
+            );
+        }
+    }
+}

@@ -13,6 +13,7 @@ use earthmover_serve::protocol::{
     encode_request, encode_request_traced, encode_response, read_frame, ErrorCode, Request,
     Response, WireError, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
+use earthmover_serve::schema::{EXTENSION_TAGS, REQUEST_FRAMES, RESPONSE_FRAMES};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -375,6 +376,198 @@ proptest! {
         }
         if let Ok(Some(raw)) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN) {
             let _ = raw.into_response();
+        }
+    }
+}
+
+/// A request of the frame kind the schema registry names. A registry
+/// entry this match cannot build fails the test — adding a frame kind
+/// to `schema.rs` forces this matrix to cover it.
+fn request_of(name: &str, rng: &mut StdRng) -> Request {
+    let dims = [16, 32, 64][rng.gen_range(0usize..3)];
+    match name {
+        "KNN" => Request::Knn {
+            k: rng.gen_range(0u32..100),
+            deadline_us: rng.gen_range(0u64..10_000_000),
+            histogram: random_histogram(rng, dims),
+        },
+        "RANGE" => Request::Range {
+            epsilon: rng.gen::<f64>() * 5.0,
+            deadline_us: rng.gen_range(0u64..10_000_000),
+            histogram: random_histogram(rng, dims),
+        },
+        "HEALTH" => Request::Health,
+        "STATS" => Request::Stats,
+        "SHUTDOWN" => Request::Shutdown,
+        other => panic!("schema registry lists request frame {other:?} this matrix cannot build"),
+    }
+}
+
+/// A response of the frame kind the schema registry names, with
+/// extension-free stats (so the base frame stays version 1).
+fn response_of(name: &str, rng: &mut StdRng) -> Response {
+    match name {
+        "RESULTS" => Response::Results {
+            items: random_items(rng),
+            stats: random_stats(rng),
+        },
+        "DEADLINE_EXCEEDED" => Response::DeadlineExceeded {
+            items: random_items(rng),
+            stats: random_stats(rng),
+        },
+        "OVERLOADED" => Response::Overloaded {
+            queue_depth: rng.gen_range(0u32..1_000),
+            stats: random_stats(rng),
+        },
+        "HEALTH_REPORT" => Response::HealthReport {
+            draining: rng.gen_bool(0.5),
+            db_size: rng.gen_range(0u64..1_000_000),
+            dims: [16u32, 32, 64][rng.gen_range(0usize..3)],
+            uptime_ms: rng.gen_range(0u64..1_000_000),
+        },
+        "STATS_REPORT" => Response::StatsReport {
+            prometheus: random_string(rng),
+        },
+        "SHUTDOWN_STARTED" => Response::ShutdownStarted,
+        "ERROR" => Response::Error {
+            code: [
+                ErrorCode::BadRequest,
+                ErrorCode::Internal,
+                ErrorCode::ShuttingDown,
+            ][rng.gen_range(0usize..3)],
+            message: random_string(rng),
+        },
+        other => panic!("schema registry lists response frame {other:?} this matrix cannot build"),
+    }
+}
+
+/// The registered value of a named extension tag.
+fn tag_of(name: &str) -> u8 {
+    EXTENSION_TAGS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("extension tag {name:?} missing from schema registry"))
+        .1
+}
+
+/// The same response with per-shard provenance attached, for the kinds
+/// that carry stats (provenance rides a version-2 extension block).
+fn with_provenance(resp: &Response, rng: &mut StdRng) -> Option<Response> {
+    let mut prov = random_provenance(rng);
+    if prov.is_empty() {
+        prov = random_provenance(rng);
+        prov.push(ShardProvenance {
+            shard: 0,
+            endpoint: "10.0.0.1:4400".to_string(),
+            from_replica: false,
+            retries: 0,
+            hedge_fired: false,
+            latency: Duration::from_millis(1),
+            stats: QueryStats::default(),
+        });
+    }
+    match resp.clone() {
+        Response::Results { items, mut stats } => {
+            stats.provenance = prov;
+            Some(Response::Results { items, stats })
+        }
+        Response::DeadlineExceeded { items, mut stats } => {
+            stats.provenance = prov;
+            Some(Response::DeadlineExceeded { items, stats })
+        }
+        Response::Overloaded {
+            queue_depth,
+            mut stats,
+        } => {
+            stats.provenance = prov;
+            Some(Response::Overloaded { queue_depth, stats })
+        }
+        _ => None,
+    }
+}
+
+proptest! {
+    /// Schema-driven matrix: every frame kind enumerated by the
+    /// `schema.rs` registry round-trips, its wire type byte equals the
+    /// registered code, and every registered extension tag rides every
+    /// applicable frame kind (trace context on each request kind,
+    /// provenance on each stats-bearing response kind, and every tag
+    /// skippable by the legacy decode path on every request kind). The
+    /// matrix is built FROM the registry, so a frame kind or tag added
+    /// to `schema.rs` fails here until the codec and this test cover it.
+    #[test]
+    fn schema_matrix_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace_tag = tag_of("TRACE");
+        let provenance_tag = tag_of("PROVENANCE");
+
+        for &(name, code) in REQUEST_FRAMES {
+            let req = request_of(name, &mut rng);
+            let id: u64 = rng.gen();
+            let plain = encode_request(id, &req).unwrap();
+            prop_assert_eq!(plain[5], code, "wire type byte of {} != schema code", name);
+            let raw = read_frame(&mut plain.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .expect("one full frame");
+            let want = canonical(&req);
+            let got = raw.into_request().unwrap();
+            prop_assert!(requests_equal(&got, &want), "{}: {:?} != {:?}", name, got, want);
+
+            // TRACE rides every request kind; the first extension block
+            // starts right after the base payload.
+            let context = random_trace(&mut rng);
+            let traced = encode_request_traced(id, &req, Some(context)).unwrap();
+            prop_assert_eq!(traced[plain.len()], trace_tag,
+                "{}: first extension tag on a traced frame", name);
+            let raw = read_frame(&mut traced.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .expect("one full frame");
+            let (got, got_context) = raw.into_request_ext().unwrap();
+            prop_assert_eq!(got_context, Some(context));
+            prop_assert!(requests_equal(&got, &want), "{}: traced payload differs", name);
+
+            // Every registered tag on every request kind: an arbitrary
+            // block body either parses or is rejected with a typed
+            // error (registered tags are validated, not skipped), and a
+            // successful decode never perturbs the base payload.
+            for &(tag_name, tag) in EXTENSION_TAGS {
+                let mut ext = plain.clone();
+                let body: Vec<u8> = (0..rng.gen_range(0usize..16)).map(|_| rng.gen()).collect();
+                append_ext(&mut ext, tag, &body);
+                let raw = read_frame(&mut ext.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                    .unwrap()
+                    .expect("one full frame");
+                if let Ok(got) = raw.into_request() {
+                    prop_assert!(requests_equal(&got, &want),
+                        "{} + {}: extension block changed the base payload", name, tag_name);
+                }
+            }
+        }
+
+        for &(name, code) in RESPONSE_FRAMES {
+            let resp = response_of(name, &mut rng);
+            let id: u64 = rng.gen();
+            let plain = encode_response(id, &resp);
+            prop_assert_eq!(plain[5], code, "wire type byte of {} != schema code", name);
+            prop_assert_eq!(plain[4], MIN_VERSION,
+                "{}: extension-free responses stay version 1", name);
+            let raw = read_frame(&mut plain.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .expect("one full frame");
+            prop_assert_eq!(raw.into_response().unwrap(), resp.clone());
+
+            // PROVENANCE rides every stats-bearing response kind.
+            if let Some(extended_resp) = with_provenance(&resp, &mut rng) {
+                let extended = encode_response(id, &extended_resp);
+                prop_assert_eq!(extended[4], VERSION,
+                    "{}: provenance needs a version-2 frame", name);
+                prop_assert_eq!(extended[plain.len()], provenance_tag,
+                    "{}: first extension tag on a provenance frame", name);
+                let raw = read_frame(&mut extended.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                    .unwrap()
+                    .expect("one full frame");
+                prop_assert_eq!(raw.into_response().unwrap(), extended_resp);
+            }
         }
     }
 }

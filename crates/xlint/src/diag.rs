@@ -22,7 +22,7 @@ pub struct Diagnostic {
 /// The outcome of a full check run.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Violations, sorted by path then line.
+    /// Violations, sorted by rule, then path, line, column.
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned.
     pub files_scanned: usize,
@@ -45,10 +45,13 @@ impl Report {
         out
     }
 
-    /// Sorts diagnostics into a stable display order.
+    /// Sorts diagnostics into a stable display order: rule first, then
+    /// position. Rule-major order keeps the JSON artifact diff-stable
+    /// across runs — filesystem walk order and per-rule emission order
+    /// never leak into the report.
     pub fn finish(&mut self) {
         self.diagnostics.sort_by(|a, b| {
-            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+            (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col))
         });
     }
 
@@ -173,6 +176,7 @@ mod tests {
         });
         r.finish();
         assert_eq!(r.diagnostics[0].path, "a.rs");
+        assert_eq!(r.diagnostics[0].rule, "a_rule", "rule-major sort order");
         let json = r.to_json();
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\"files_scanned\":2"));

@@ -25,6 +25,9 @@ pub enum TokenKind {
     NumLit {
         /// Whether the literal is a floating-point literal.
         is_float: bool,
+        /// The literal as written (`0x81`, `1_000`, `2f64`, ...), so
+        /// rules can read constant values (e.g. wire-schema codes).
+        text: String,
     },
     /// A lifetime such as `'a` (distinct from char literals).
     Lifetime,
@@ -323,6 +326,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn number(&mut self, line: usize, col: usize) {
+        let start = self.pos;
         let mut is_float = false;
         // Integer part (also covers 0x/0b/0o prefixes well enough — any
         // alphanumeric run is consumed below).
@@ -373,7 +377,8 @@ impl<'a> Lexer<'a> {
             is_float = true;
             self.bump();
         }
-        self.push(TokenKind::NumLit { is_float }, line, col);
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::NumLit { is_float, text }, line, col);
     }
 
     fn ident(&mut self, line: usize, col: usize) {
@@ -638,12 +643,21 @@ mod tests {
         let floats: Vec<bool> = lx
             .tokens
             .iter()
-            .filter_map(|t| match t.kind {
-                TokenKind::NumLit { is_float } => Some(is_float),
+            .filter_map(|t| match &t.kind {
+                TokenKind::NumLit { is_float, .. } => Some(*is_float),
                 _ => None,
             })
             .collect();
         assert_eq!(floats, vec![true, false, false, false, true, true, false]);
+        let texts: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::NumLit { text, .. } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["1.0", "10", "1", "4", "1e-9", "2f64", "0"]);
     }
 
     #[test]

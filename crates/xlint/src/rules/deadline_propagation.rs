@@ -1,0 +1,333 @@
+//! `deadline_propagation` — every network-touching entry point carries
+//! a time budget.
+//!
+//! The serving layer's contract is that a caller's deadline bounds the
+//! whole fan-out: coordinator → shard groups → replicas, with
+//! [`Deadline::sub_budget`] splitting the remaining time at each hop.
+//! One new public fn that opens a socket without accepting a deadline
+//! quietly re-introduces the unbounded-tail-latency bug the budget
+//! machinery exists to kill.
+//!
+//! This rule audits the configured serving files: any **public** fn
+//! whose body mentions a configured I/O marker (`connect`,
+//! `read_frame`, `write_frame`, ...) must either
+//!
+//! - take a deadline (a `Deadline`-typed or `deadline`/`deadline_us`
+//!   named parameter) **and** be listed in `[deadline_propagation]
+//!   entry_points`, or
+//! - be listed in `exempt` — the audited list of entry points that
+//!   legitimately have no budget (startup/bind paths, fire-and-forget
+//!   admin calls), each one a deliberate decision recorded in
+//!   `xlint.toml`.
+//!
+//! An unlisted network fn fails; a listed fn that no longer exists
+//! fails (stale registry); an `entry_points` member whose signature
+//! lost its deadline parameter fails. Adding a new fan-out path
+//! therefore *forces* a config-reviewed decision about its budget.
+//!
+//! Fn names are qualified as `"Type::fn"` using the innermost
+//! enclosing `impl` block, or bare `"fn"` for free functions.
+//!
+//! [`Deadline::sub_budget`]: ../../../earthmover_core/deadline/struct.Deadline.html
+
+use super::{files_in_scope, is_ident, is_punct, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+const RULE: &str = "deadline_propagation";
+
+/// Runs the rule.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let entry_points = cfg.list("deadline_propagation.entry_points");
+    let exempt = cfg.list("deadline_propagation.exempt");
+    let io_markers = cfg.list("deadline_propagation.io_markers");
+
+    for name in &entry_points {
+        if exempt.contains(name) {
+            em.report.diagnostics.push(Diagnostic {
+                rule: RULE,
+                path: "xlint.toml".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "\"{name}\" is listed in both [deadline_propagation] entry_points and \
+                     exempt — it cannot be both budgeted and exempt; pick one"
+                ),
+            });
+        }
+    }
+
+    let mut found: BTreeSet<String> = BTreeSet::new();
+    for fi in files_in_scope(ws, cfg, RULE) {
+        audit_file(ws, em, fi, &entry_points, &exempt, &io_markers, &mut found);
+    }
+
+    // Stale registry entries: listed fns that no longer exist in scope.
+    for (list, name) in [(&entry_points, "entry_points"), (&exempt, "exempt")] {
+        for f in list {
+            if !found.contains(f) {
+                em.report.diagnostics.push(Diagnostic {
+                    rule: RULE,
+                    path: "xlint.toml".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "[deadline_propagation] {name} entry \"{f}\" matches no public fn \
+                         in scope — remove the stale entry or restore the fn"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// One `impl` block: the type name and the token range of its body.
+struct ImplBlock {
+    type_name: String,
+    start: usize,
+    end: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn audit_file(
+    ws: &Workspace,
+    em: &mut Emitter,
+    fi: usize,
+    entry_points: &[String],
+    exempt: &[String],
+    io_markers: &[String],
+    found: &mut BTreeSet<String>,
+) {
+    let file = &ws.files[fi];
+    let toks = &file.lexed.tokens;
+    let impls = impl_blocks(toks);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.lexed.test_gated[i] || !is_ident(&toks[i].kind, "pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` etc. are not part of the public API surface.
+        if toks.get(i + 1).is_some_and(|t| is_punct(&t.kind, "(")) {
+            i += 1;
+            continue;
+        }
+        // Skip qualifiers to the `fn` keyword (const/unsafe/async/extern).
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|t| {
+            matches!(&t.kind, TokenKind::Ident(q)
+                if q == "const" || q == "unsafe" || q == "async" || q == "extern")
+        }) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| is_ident(&t.kind, "fn")) {
+            i += 1;
+            continue;
+        }
+        let Some(TokenKind::Ident(fn_name)) = toks.get(j + 1).map(|t| &t.kind) else {
+            i += 1;
+            continue;
+        };
+        let qualified = match impls.iter().rev().find(|b| b.start < i && i < b.end) {
+            Some(b) => format!("{}::{fn_name}", b.type_name),
+            None => fn_name.clone(),
+        };
+        let (has_deadline, body) = signature_info(toks, j + 2);
+        let does_network = body.is_some_and(|(s, e)| {
+            toks[s..e].iter().any(|t| match &t.kind {
+                TokenKind::Ident(id) => io_markers.iter().any(|m| m == id),
+                _ => false,
+            })
+        });
+        let listed_entry = entry_points.contains(&qualified);
+        let listed_exempt = exempt.contains(&qualified);
+        if listed_entry || listed_exempt {
+            found.insert(qualified.clone());
+        }
+        let (line, col) = (toks[j + 1].line, toks[j + 1].col);
+        if listed_entry && !has_deadline {
+            em.emit(
+                ws,
+                fi,
+                RULE,
+                line,
+                col,
+                format!(
+                    "`{qualified}` is a registered deadline entry point but its signature \
+                     has no Deadline (or deadline_us) parameter — the budget chain is broken"
+                ),
+            );
+        } else if does_network && !listed_entry && !listed_exempt {
+            em.emit(
+                ws,
+                fi,
+                RULE,
+                line,
+                col,
+                format!(
+                    "public fn `{qualified}` performs network I/O but is not registered in \
+                     [deadline_propagation] — add \"{qualified}\" to entry_points (and \
+                     thread a Deadline through it) or, if it legitimately has no budget, \
+                     to exempt"
+                ),
+            );
+        }
+        i = j + 2;
+    }
+}
+
+/// All `impl` blocks in the file: `impl Type`, `impl<T> Type<T>`,
+/// `impl Trait for Type`.
+fn impl_blocks(toks: &[crate::lexer::Token]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(&toks[i].kind, "impl") {
+            i += 1;
+            continue;
+        }
+        // Collect idents up to the body `{`; the type is the last ident
+        // before `{` at angle depth 0 that follows `for` if present,
+        // else the first head ident.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut first: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut saw_where = false;
+        let open = loop {
+            match toks.get(j).map(|t| &t.kind) {
+                Some(TokenKind::Punct("<")) => angle += 1,
+                Some(TokenKind::Punct(">")) => angle -= 1,
+                Some(TokenKind::Punct("{")) if angle == 0 => break Some(j),
+                Some(TokenKind::Punct(";")) if angle == 0 => break None,
+                Some(TokenKind::Ident(id)) if angle == 0 && !saw_where => {
+                    if id == "where" {
+                        saw_where = true;
+                    } else if id == "for" {
+                        saw_for = true;
+                    } else if saw_for {
+                        // Path segments: keep overwriting so the final
+                        // segment (`a::b::Type` -> `Type`) wins.
+                        after_for = Some(id.clone());
+                    } else {
+                        first = Some(id.clone());
+                    }
+                }
+                None => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let type_name = match after_for.or(first) {
+            Some(n) => n,
+            None => {
+                i = open + 1;
+                continue;
+            }
+        };
+        // Match the body braces.
+        let mut depth = 0i32;
+        let mut k = open;
+        let mut end = toks.len();
+        while k < toks.len() {
+            match &toks[k].kind {
+                TokenKind::Punct("{") => depth += 1,
+                TokenKind::Punct("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(ImplBlock {
+            type_name,
+            start: open,
+            end,
+        });
+        // Nested impls don't occur; continue scanning inside anyway so
+        // trait impls with inner items are still walked.
+        i = open + 1;
+    }
+    out
+}
+
+/// From the token after the fn name: does the parameter list mention a
+/// deadline, and what is the body's token range (`None` for
+/// `fn f(..);` trait signatures)?
+fn signature_info(toks: &[crate::lexer::Token], mut i: usize) -> (bool, Option<(usize, usize)>) {
+    // Skip generic params.
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(i) {
+        match &t.kind {
+            TokenKind::Punct("<") => angle += 1,
+            TokenKind::Punct(">") => angle -= 1,
+            TokenKind::Punct("(") if angle == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    // Parameter list.
+    let mut depth = 0i32;
+    let mut has_deadline = false;
+    while let Some(t) = toks.get(i) {
+        match &t.kind {
+            TokenKind::Punct("(") => depth += 1,
+            TokenKind::Punct(")") => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident(id) if id == "Deadline" || id == "deadline" || id == "deadline_us" => {
+                has_deadline = true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Return type, then `{ body }` or `;`.
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(i) {
+        match &t.kind {
+            TokenKind::Punct("<") => angle += 1,
+            TokenKind::Punct(">") => angle -= 1,
+            TokenKind::Punct("{") if angle <= 0 => {
+                // Body: match braces.
+                let start = i;
+                let mut depth = 0i32;
+                while let Some(t) = toks.get(i) {
+                    match &t.kind {
+                        TokenKind::Punct("{") => depth += 1,
+                        TokenKind::Punct("}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return (has_deadline, Some((start, i)));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return (has_deadline, Some((start, toks.len())));
+            }
+            TokenKind::Punct(";") if angle <= 0 => return (has_deadline, None),
+            _ => {}
+        }
+        i += 1;
+    }
+    (has_deadline, None)
+}

@@ -1,0 +1,247 @@
+//! `degradation_registry` — degradation notes come from one registry.
+//!
+//! Degradation notes are merge keys: the coordinator deduplicates them
+//! when folding per-shard stats (`record_degradation_once`), operators
+//! grep for them, and tests assert on them. A note spelled ad hoc at
+//! its record site silently forks all three. This rule pins every note
+//! to the declarative registry `core::notes` ([`NOTE_LITERALS`] for
+//! verbatim notes, [`NOTE_PREFIXES`] for the static head of
+//! `format!`-built ones):
+//!
+//! 1. a string literal recorded at a `record_degradation*(..)` or
+//!    `degradations.push(..)` site must be a registered literal or
+//!    start with a registered prefix;
+//! 2. a `format!("..")` argument's static head (text before the first
+//!    `{`) must start with a registered prefix;
+//! 3. a `*_NOTE` or `RUNG_*` constant's value must be a registered
+//!    literal or prefix;
+//! 4. registry entries matched by no site or constant are stale and
+//!    flagged at their declaration.
+//!
+//! Arguments that are plain identifiers (a note constant, a variable)
+//! are skipped at the site — the constant's own definition is checked
+//! by (3) instead.
+//!
+//! Config (`xlint.toml` `[degradation_registry]`): `registry` (the
+//! registry file) and `paths` (scanned crates).
+//!
+//! [`NOTE_LITERALS`]: ../../../earthmover_core/notes/constant.NOTE_LITERALS.html
+//! [`NOTE_PREFIXES`]: ../../../earthmover_core/notes/constant.NOTE_PREFIXES.html
+
+use super::{const_string_entries, files_in_scope, is_ident, is_punct, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+const RULE: &str = "degradation_registry";
+
+/// Runs the rule.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let registry_path = cfg
+        .str("degradation_registry.registry")
+        .unwrap_or("crates/core/src/notes.rs");
+    let Some(reg) = ws.files.iter().find(|f| f.path == registry_path) else {
+        em.report.diagnostics.push(Diagnostic {
+            rule: RULE,
+            path: registry_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "degradation_registry: registry file {registry_path:?} not found — \
+                 fix the [degradation_registry] registry path in xlint.toml"
+            ),
+        });
+        return;
+    };
+    let literals = const_string_entries(reg, "NOTE_LITERALS");
+    let prefixes = const_string_entries(reg, "NOTE_PREFIXES");
+    if literals.is_empty() && prefixes.is_empty() {
+        em.report.diagnostics.push(Diagnostic {
+            rule: RULE,
+            path: registry_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "degradation_registry: NOTE_LITERALS/NOTE_PREFIXES not found in the \
+                      registry file"
+                .to_string(),
+        });
+        return;
+    }
+
+    // Registry entries matched by at least one site or constant.
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    // Borrow-friendly lookup helpers.
+    let lit_values: Vec<&str> = literals.iter().map(|(s, _, _)| s.as_str()).collect();
+    let pre_values: Vec<&str> = prefixes.iter().map(|(s, _, _)| s.as_str()).collect();
+
+    for fi in files_in_scope(ws, cfg, RULE) {
+        let file = &ws.files[fi];
+        if file.path == registry_path {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if file.lexed.test_gated[i] {
+                continue;
+            }
+            // Record sites: record_degradation*( ARG ) and
+            // degradations.push( ARG ).
+            let arg_at = match &toks[i].kind {
+                TokenKind::Ident(id)
+                    if id.starts_with("record_degradation")
+                        && toks.get(i + 1).is_some_and(|t| is_punct(&t.kind, "(")) =>
+                {
+                    Some(i + 2)
+                }
+                TokenKind::Ident(id)
+                    if id == "degradations"
+                        && toks.get(i + 1).is_some_and(|t| is_punct(&t.kind, "."))
+                        && toks.get(i + 2).is_some_and(|t| is_ident(&t.kind, "push"))
+                        && toks.get(i + 3).is_some_and(|t| is_punct(&t.kind, "(")) =>
+                {
+                    Some(i + 4)
+                }
+                _ => None,
+            };
+            if let Some(j) = arg_at {
+                check_site(ws, em, fi, j, &lit_values, &pre_values, &mut used);
+            }
+            // Note constants: const FOO_NOTE / RUNG_FOO = "..";
+            if let TokenKind::Ident(name) = &toks[i].kind {
+                if (name.ends_with("_NOTE") || name.starts_with("RUNG_"))
+                    && i > 0
+                    && is_ident(&toks[i - 1].kind, "const")
+                {
+                    let mut j = i + 1;
+                    while let Some(t) = toks.get(j) {
+                        match &t.kind {
+                            TokenKind::StrLit(s) => {
+                                if let Some(hit) = lit_values
+                                    .iter()
+                                    .chain(&pre_values)
+                                    .copied()
+                                    .find(|v| *v == s.as_str())
+                                {
+                                    used.insert(hit);
+                                } else {
+                                    em.emit(
+                                        ws,
+                                        fi,
+                                        RULE,
+                                        toks[i].line,
+                                        toks[i].col,
+                                        format!(
+                                            "note constant `{name}` = {s:?} is not declared in \
+                                             the degradation-note registry — add it to \
+                                             NOTE_LITERALS (or NOTE_PREFIXES) in core::notes"
+                                        ),
+                                    );
+                                }
+                                break;
+                            }
+                            TokenKind::Punct(";") => break,
+                            _ => j += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Stale registry entries.
+    for (s, line, col) in literals.iter().chain(&prefixes) {
+        if !used.contains(s.as_str()) {
+            em.report.diagnostics.push(Diagnostic {
+                rule: RULE,
+                path: registry_path.to_string(),
+                line: *line,
+                col: *col,
+                message: format!(
+                    "registry entry {s:?} matches no degradation site or note constant — \
+                     remove the stale entry or restore the code path it describes"
+                ),
+            });
+        }
+    }
+}
+
+/// Classifies and checks the argument starting at token `j`.
+fn check_site<'r>(
+    ws: &Workspace,
+    em: &mut Emitter,
+    fi: usize,
+    mut j: usize,
+    literals: &[&'r str],
+    prefixes: &[&'r str],
+    used: &mut BTreeSet<&'r str>,
+) {
+    let toks = &ws.files[fi].lexed.tokens;
+    // Skip leading `&`s.
+    while toks.get(j).is_some_and(|t| is_punct(&t.kind, "&")) {
+        j += 1;
+    }
+    match toks.get(j).map(|t| &t.kind) {
+        // Direct literal: must be registered verbatim or by prefix.
+        Some(TokenKind::StrLit(s)) => {
+            if let Some(hit) = literals.iter().copied().find(|v| *v == s.as_str()) {
+                used.insert(hit);
+            } else if let Some(hit) = prefixes.iter().copied().find(|p| s.starts_with(*p)) {
+                used.insert(hit);
+            } else {
+                em.emit(
+                    ws,
+                    fi,
+                    RULE,
+                    toks[j].line,
+                    toks[j].col,
+                    format!(
+                        "degradation note {s:?} is not declared in the registry — \
+                         add it to NOTE_LITERALS in core::notes (or record a \
+                         registered note instead)"
+                    ),
+                );
+            }
+        }
+        // format!("head {detail}"): the static head must match a prefix.
+        Some(TokenKind::Ident(id))
+            if id == "format"
+                && toks.get(j + 1).is_some_and(|t| is_punct(&t.kind, "!"))
+                && toks.get(j + 2).is_some_and(|t| is_punct(&t.kind, "(")) =>
+        {
+            if let Some(TokenKind::StrLit(s)) = toks.get(j + 3).map(|t| &t.kind) {
+                let head = s.split('{').next().unwrap_or("");
+                if head.is_empty() {
+                    // Leading interpolation carries a note constant that is
+                    // checked at its own definition.
+                    return;
+                }
+                if let Some(hit) = literals
+                    .iter()
+                    .copied()
+                    .find(|v| *v == s.as_str())
+                    .or_else(|| prefixes.iter().copied().find(|p| head.starts_with(*p)))
+                {
+                    used.insert(hit);
+                } else {
+                    em.emit(
+                        ws,
+                        fi,
+                        RULE,
+                        toks[j + 3].line,
+                        toks[j + 3].col,
+                        format!(
+                            "format!-built degradation note head {head:?} matches no \
+                             registered prefix — add the static head to NOTE_PREFIXES \
+                             in core::notes"
+                        ),
+                    );
+                }
+            }
+        }
+        // Identifier / expression argument: the value is dynamic here;
+        // note constants are checked at their definitions.
+        _ => {}
+    }
+}

@@ -27,13 +27,13 @@ pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
             if is_punct(&toks[i].kind, "==") || is_punct(&toks[i].kind, "!=") {
                 let prev_float = i
                     .checked_sub(1)
-                    .map(|p| matches!(toks[p].kind, TokenKind::NumLit { is_float: true }))
+                    .map(|p| matches!(toks[p].kind, TokenKind::NumLit { is_float: true, .. }))
                     .unwrap_or(false);
                 let next_float = match toks.get(i + 1).map(|t| &t.kind) {
-                    Some(TokenKind::NumLit { is_float: true }) => true,
+                    Some(TokenKind::NumLit { is_float: true, .. }) => true,
                     Some(TokenKind::Punct("-")) => matches!(
                         toks.get(i + 2).map(|t| &t.kind),
-                        Some(TokenKind::NumLit { is_float: true })
+                        Some(TokenKind::NumLit { is_float: true, .. })
                     ),
                     _ => false,
                 };

@@ -1,0 +1,517 @@
+//! `wire_schema` — cross-checks the wire protocol against its registry.
+//!
+//! `crates/serve/src/protocol.rs` defines the EMDQ frame codes
+//! (`mod code`), extension tags (`mod ext`) and version window; the
+//! declarative registry `crates/serve/src/schema.rs` re-states them as
+//! data, and DESIGN.md §12 documents them for operators. Those three
+//! places drift independently — a new frame kind that is encoded but
+//! never decoded, or shipped but never documented, is exactly the kind
+//! of bug that surfaces as a cross-version outage. This rule diffs all
+//! three:
+//!
+//! 1. every `mod code`/`mod ext` constant appears in the matching
+//!    registry list (`REQUEST_FRAMES`/`RESPONSE_FRAMES` split on the
+//!    `0x80` response bit, `EXTENSION_TAGS`), with the same value;
+//! 2. every registry entry still has a protocol constant (stale
+//!    entries fail);
+//! 3. `VERSION`/`MIN_VERSION` equal `SCHEMA_VERSION`/`SCHEMA_MIN_VERSION`;
+//! 4. each constant is referenced at least twice outside its defining
+//!    mod — once on the encode path and once on the decode path; a
+//!    single reference means encoder/decoder asymmetry;
+//! 5. each frame name appears (backticked, lowercase) and each
+//!    extension tag value (as `0x..`) in the DESIGN.md §12 section.
+//!
+//! Config (`xlint.toml` `[wire_schema]`): `protocol`, `schema`,
+//! `design` paths and the `design_section` heading prefix.
+
+use super::{is_ident, is_punct, parse_u8_literal, Emitter};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::{SourceFile, Workspace};
+
+const RULE: &str = "wire_schema";
+
+/// A named `u8` constant with its source position.
+struct CodeConst {
+    name: String,
+    value: u8,
+    line: usize,
+    col: usize,
+}
+
+/// Runs the rule.
+pub fn run(ws: &Workspace, cfg: &Config, em: &mut Emitter) {
+    let protocol_path = cfg
+        .str("wire_schema.protocol")
+        .unwrap_or("crates/serve/src/protocol.rs");
+    let schema_path = cfg
+        .str("wire_schema.schema")
+        .unwrap_or("crates/serve/src/schema.rs");
+    let design_path = cfg.str("wire_schema.design").unwrap_or("DESIGN.md");
+    let design_section = cfg.str("wire_schema.design_section").unwrap_or("## 12.");
+
+    let (pi, si) = match (
+        ws.files.iter().position(|f| f.path == protocol_path),
+        ws.files.iter().position(|f| f.path == schema_path),
+    ) {
+        (Some(p), Some(s)) => (p, s),
+        (p, _) => {
+            let missing = if p.is_none() {
+                protocol_path
+            } else {
+                schema_path
+            };
+            em.report.diagnostics.push(Diagnostic {
+                rule: RULE,
+                path: missing.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "wire_schema: file {missing:?} not found in the workspace — \
+                     fix the [wire_schema] paths in xlint.toml"
+                ),
+            });
+            return;
+        }
+    };
+
+    let proto = &ws.files[pi];
+    let schema = &ws.files[si];
+
+    // --- extraction -------------------------------------------------
+    let (codes, code_range) = mod_consts(proto, "code");
+    let (exts, ext_range) = mod_consts(proto, "ext");
+    let req = pair_list(schema, "REQUEST_FRAMES");
+    let resp = pair_list(schema, "RESPONSE_FRAMES");
+    let tags = pair_list(schema, "EXTENSION_TAGS");
+
+    if codes.is_empty() || req.is_empty() || resp.is_empty() {
+        em.report.diagnostics.push(Diagnostic {
+            rule: RULE,
+            path: schema_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "wire_schema: could not extract `mod code` constants or the \
+                      REQUEST_FRAMES/RESPONSE_FRAMES registry lists — the rule's \
+                      extraction no longer matches the source layout"
+                .to_string(),
+        });
+        return;
+    }
+
+    // --- version window ---------------------------------------------
+    for (pname, sname) in [
+        ("VERSION", "SCHEMA_VERSION"),
+        ("MIN_VERSION", "SCHEMA_MIN_VERSION"),
+    ] {
+        match (top_const(proto, pname), top_const(schema, sname)) {
+            (Some(p), Some(s)) if p.value != s.value => {
+                em.emit(
+                    ws,
+                    si,
+                    RULE,
+                    s.line,
+                    s.col,
+                    format!(
+                        "{sname} is {} but protocol.rs {pname} is {} — \
+                         bump the registry together with the protocol",
+                        s.value, p.value
+                    ),
+                );
+            }
+            (Some(_), Some(_)) => {}
+            _ => {
+                em.report.diagnostics.push(Diagnostic {
+                    rule: RULE,
+                    path: schema_path.to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "wire_schema: could not locate both {pname} (protocol) and \
+                         {sname} (schema) constants"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- protocol consts ↔ registry lists ---------------------------
+    check_family(
+        ws,
+        em,
+        pi,
+        si,
+        schema_path,
+        &codes,
+        &req,
+        &resp,
+        FrameFamily::Code,
+    );
+    check_family(
+        ws,
+        em,
+        pi,
+        si,
+        schema_path,
+        &exts,
+        &tags,
+        &[],
+        FrameFamily::Ext,
+    );
+
+    // --- encode/decode symmetry -------------------------------------
+    check_symmetry(ws, em, pi, proto, "code", &codes, code_range);
+    check_symmetry(ws, em, pi, proto, "ext", &exts, ext_range);
+
+    // --- DESIGN.md coverage -----------------------------------------
+    let doc = ws.docs.iter().find(|d| d.path == design_path);
+    let Some(doc) = doc else {
+        em.report.diagnostics.push(Diagnostic {
+            rule: RULE,
+            path: design_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "wire_schema: design doc {design_path:?} not loaded — \
+                 fix the [wire_schema] design path in xlint.toml"
+            ),
+        });
+        return;
+    };
+    let Some(section) = section_text(&doc.text, design_section) else {
+        em.report.diagnostics.push(Diagnostic {
+            rule: RULE,
+            path: design_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "wire_schema: no section starting with {design_section:?} in {design_path}"
+            ),
+        });
+        return;
+    };
+    for c in req.iter().chain(&resp) {
+        let needle = format!("`{}`", c.name.to_lowercase());
+        if !section.contains(&needle) {
+            em.emit(
+                ws,
+                si,
+                RULE,
+                c.line,
+                c.col,
+                format!(
+                    "frame `{}` is not documented in {design_path} {design_section} — \
+                     add {needle} to the wire-protocol section",
+                    c.name
+                ),
+            );
+        }
+    }
+    for c in &tags {
+        let needle = format!("{:#04x}", c.value);
+        if !section.contains(&needle) {
+            em.emit(
+                ws,
+                si,
+                RULE,
+                c.line,
+                c.col,
+                format!(
+                    "extension tag `{}` ({needle}) is not documented in \
+                     {design_path} {design_section}",
+                    c.name
+                ),
+            );
+        }
+    }
+}
+
+enum FrameFamily {
+    Code,
+    Ext,
+}
+
+/// Diffs one protocol const family against its registry list(s).
+/// For `Code`, `primary` is `REQUEST_FRAMES` and `secondary` is
+/// `RESPONSE_FRAMES` (split on the high bit); for `Ext`, `primary` is
+/// `EXTENSION_TAGS` and `secondary` is empty.
+#[allow(clippy::too_many_arguments)]
+fn check_family(
+    ws: &Workspace,
+    em: &mut Emitter,
+    pi: usize,
+    si: usize,
+    schema_path: &str,
+    consts: &[CodeConst],
+    primary: &[CodeConst],
+    secondary: &[CodeConst],
+    family: FrameFamily,
+) {
+    for c in consts {
+        let (expected, expected_name, other) = match family {
+            FrameFamily::Ext => (primary, "EXTENSION_TAGS", &[][..]),
+            FrameFamily::Code if c.value >= 0x80 => (secondary, "RESPONSE_FRAMES", primary),
+            FrameFamily::Code => (primary, "REQUEST_FRAMES", secondary),
+        };
+        match expected.iter().find(|e| e.name == c.name) {
+            Some(e) if e.value != c.value => {
+                em.emit(
+                    ws,
+                    si,
+                    RULE,
+                    e.line,
+                    e.col,
+                    format!(
+                        "registry declares `{}` as {:#04x} but protocol.rs defines it \
+                         as {:#04x} — the wire and the registry disagree",
+                        c.name, e.value, c.value
+                    ),
+                );
+            }
+            Some(_) => {}
+            None if other.iter().any(|e| e.name == c.name) => {
+                em.emit(
+                    ws,
+                    si,
+                    RULE,
+                    c.line,
+                    c.col,
+                    format!(
+                        "frame `{}` ({:#04x}) is classified in the wrong registry list — \
+                         codes with the high bit set are responses and belong in \
+                         RESPONSE_FRAMES, others in REQUEST_FRAMES",
+                        c.name, c.value
+                    ),
+                );
+            }
+            None => {
+                em.emit(
+                    ws,
+                    pi,
+                    RULE,
+                    c.line,
+                    c.col,
+                    format!(
+                        "frame constant `{}` ({:#04x}) is not declared in the wire-schema \
+                         registry — add (\"{}\", {:#04x}) to {expected_name} in {schema_path}",
+                        c.name, c.value, c.name, c.value
+                    ),
+                );
+            }
+        }
+    }
+    // Stale registry entries: declared in schema.rs, gone from the wire.
+    let lists: &[(&[CodeConst], &str)] = match family {
+        FrameFamily::Code => &[(primary, "REQUEST_FRAMES"), (secondary, "RESPONSE_FRAMES")],
+        FrameFamily::Ext => &[(primary, "EXTENSION_TAGS")],
+    };
+    for (list, list_name) in lists {
+        for e in *list {
+            if !consts.iter().any(|c| c.name == e.name) {
+                em.emit(
+                    ws,
+                    si,
+                    RULE,
+                    e.line,
+                    e.col,
+                    format!(
+                        "{list_name} entry `{}` has no constant in protocol.rs — \
+                         stale registry entry; remove it or restore the frame",
+                        e.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Each const must be referenced (as `mod_name::NAME`) at least twice
+/// outside its defining mod: encode and decode.
+fn check_symmetry(
+    ws: &Workspace,
+    em: &mut Emitter,
+    pi: usize,
+    file: &SourceFile,
+    mod_name: &str,
+    consts: &[CodeConst],
+    mod_range: (usize, usize),
+) {
+    let toks = &file.lexed.tokens;
+    for c in consts {
+        let mut refs = 0usize;
+        for i in 0..toks.len() {
+            if (i >= mod_range.0 && i < mod_range.1) || file.lexed.test_gated[i] {
+                continue;
+            }
+            if is_ident(&toks[i].kind, mod_name)
+                && toks.get(i + 1).is_some_and(|t| is_punct(&t.kind, "::"))
+                && toks.get(i + 2).is_some_and(|t| is_ident(&t.kind, &c.name))
+            {
+                refs += 1;
+            }
+        }
+        if refs < 2 {
+            em.emit(
+                ws,
+                pi,
+                RULE,
+                c.line,
+                c.col,
+                format!(
+                    "`{mod_name}::{}` is referenced {refs} time(s) outside `mod {mod_name}` — \
+                     a frame constant must appear on both the encode and the decode path \
+                     (encoder/decoder asymmetry)",
+                    c.name
+                ),
+            );
+        }
+    }
+}
+
+/// `const NAME` / `pub const NAME` at any position: first numeric
+/// literal before the next `;`.
+fn top_const(file: &SourceFile, name: &str) -> Option<CodeConst> {
+    let toks = &file.lexed.tokens;
+    for i in 1..toks.len() {
+        if is_ident(&toks[i].kind, name) && is_ident(&toks[i - 1].kind, "const") {
+            let mut j = i + 1;
+            while let Some(t) = toks.get(j) {
+                match &t.kind {
+                    TokenKind::NumLit { text, .. } => {
+                        return parse_u8_literal(text).map(|value| CodeConst {
+                            name: name.to_string(),
+                            value,
+                            line: toks[i].line,
+                            col: toks[i].col,
+                        });
+                    }
+                    TokenKind::Punct(";") => return None,
+                    _ => j += 1,
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All `const NAME: u8 = <lit>;` inside `mod <mod_name> { .. }`, plus
+/// the token range of the mod body (for the out-of-mod reference count).
+fn mod_consts(file: &SourceFile, mod_name: &str) -> (Vec<CodeConst>, (usize, usize)) {
+    let toks = &file.lexed.tokens;
+    let mut start = None;
+    for i in 0..toks.len().saturating_sub(1) {
+        if is_ident(&toks[i].kind, "mod")
+            && is_ident(&toks[i + 1].kind, mod_name)
+            && toks.get(i + 2).is_some_and(|t| is_punct(&t.kind, "{"))
+        {
+            start = Some(i + 2);
+            break;
+        }
+    }
+    let Some(open) = start else {
+        return (Vec::new(), (0, 0));
+    };
+    let mut depth = 0usize;
+    let mut end = toks.len();
+    let mut consts = Vec::new();
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Punct("{") => depth += 1,
+            TokenKind::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            TokenKind::Ident(id) if id == "const" => {
+                if let Some(TokenKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    let (name, line, col) = (name.clone(), toks[i + 1].line, toks[i + 1].col);
+                    let mut j = i + 2;
+                    while let Some(t) = toks.get(j) {
+                        match &t.kind {
+                            TokenKind::NumLit { text, .. } => {
+                                if let Some(value) = parse_u8_literal(text) {
+                                    consts.push(CodeConst {
+                                        name: name.clone(),
+                                        value,
+                                        line,
+                                        col,
+                                    });
+                                }
+                                break;
+                            }
+                            TokenKind::Punct(";") => break,
+                            _ => j += 1,
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (consts, (open, end))
+}
+
+/// `("NAME", value)` pairs of a registry list const: every string
+/// literal between the list ident and the terminating `;`, paired with
+/// the numeric literal that follows it.
+fn pair_list(file: &SourceFile, const_name: &str) -> Vec<CodeConst> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let Some(start) = toks.iter().position(|t| is_ident(&t.kind, const_name)) else {
+        return out;
+    };
+    let mut pending: Option<(String, usize, usize)> = None;
+    for t in &toks[start + 1..] {
+        match &t.kind {
+            TokenKind::StrLit(s) => pending = Some((s.clone(), t.line, t.col)),
+            TokenKind::NumLit { text, .. } => {
+                if let (Some((name, line, col)), Some(value)) =
+                    (pending.take(), parse_u8_literal(text))
+                {
+                    out.push(CodeConst {
+                        name,
+                        value,
+                        line,
+                        col,
+                    });
+                }
+            }
+            TokenKind::Punct(";") => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The text of the markdown section whose heading line starts with
+/// `heading_prefix`, up to the next same-or-higher-level heading.
+fn section_text<'t>(text: &'t str, heading_prefix: &str) -> Option<&'t str> {
+    let level = heading_prefix
+        .chars()
+        .take_while(|c| *c == '#')
+        .count()
+        .max(1);
+    let mut start = None;
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let at = offset;
+        offset += line.len();
+        if start.is_none() {
+            if line.trim_start().starts_with(heading_prefix) {
+                start = Some(at);
+            }
+        } else {
+            let trimmed = line.trim_start();
+            let hashes = trimmed.chars().take_while(|c| *c == '#').count();
+            if hashes >= 1 && hashes <= level && !trimmed.starts_with(heading_prefix) {
+                return Some(&text[start.unwrap_or(0)..at]);
+            }
+        }
+    }
+    start.map(|s| &text[s..])
+}

@@ -34,6 +34,10 @@ fn only(rule: &str, extra: &str) -> String {
         "admissibility_coverage",
         "obs_naming",
         "doc_coverage",
+        "lock_discipline",
+        "deadline_propagation",
+        "wire_schema",
+        "degradation_registry",
     ] {
         cfg.push_str(&format!("{r} = {}\n", r == rule));
     }
@@ -409,6 +413,560 @@ pub struct Ok2;
     // mod.rs file is a bare top-level pub fn and is flagged.
     assert_eq!(rules_of(&r), vec!["doc_coverage"], "{}", r.to_human());
     assert!(r.diagnostics[0].message.contains('g'), "{}", r.to_human());
+}
+
+// ------------------------------------------------------------------
+// lock_discipline
+
+const LOCK_CFG: &str = r#"order = ["Outer.inner", "Inner.state"]
+blocking = ["join"]
+"#;
+
+const LOCK_STRUCTS: &str = r#"
+pub struct Outer { inner: Mutex<u32> }
+pub struct Inner { state: Mutex<u32> }
+"#;
+
+#[test]
+fn lock_discipline_flags_unregistered_lock_field() {
+    let src = format!(
+        "{LOCK_STRUCTS}
+pub struct Rogue {{ cache: Mutex<u32> }}
+"
+    );
+    let r = run(
+        &only("lock_discipline", LOCK_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert_eq!(rules_of(&r), vec!["lock_discipline"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("Rogue.cache"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn lock_discipline_flags_inversion_and_blocking_under_guard() {
+    let src = format!(
+        "{LOCK_STRUCTS}
+pub fn tangled(o: &Outer, n: &Inner, worker: Worker) {{
+    let h = n.state.lock();
+    let g = o.inner.lock();
+    worker.join();
+}}
+"
+    );
+    let r = run(
+        &only("lock_discipline", LOCK_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert_eq!(rules_of(&r), vec!["lock_discipline"; 2], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("inverts"),
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[1]
+            .message
+            .contains("blocking call `join(..)`"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_ordered_and_released_guards() {
+    let src = format!(
+        "{LOCK_STRUCTS}
+pub fn ordered(o: &Outer, n: &Inner, worker: Worker) {{
+    let g = o.inner.lock();
+    let h = n.state.lock();
+    drop(h);
+    drop(g);
+    worker.join();
+}}
+
+pub fn scoped(o: &Outer, worker: Worker) {{
+    {{
+        let g = o.inner.lock();
+        touch(&g);
+    }}
+    worker.join();
+}}
+"
+    );
+    let r = run(
+        &only("lock_discipline", LOCK_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+#[test]
+fn lock_discipline_suppression_silences_one_site() {
+    let src = format!(
+        "{LOCK_STRUCTS}
+pub fn hot(o: &Outer, worker: Worker) {{
+    let g = o.inner.lock();
+    // xlint:allow(lock_discipline): join completes in microseconds here
+    worker.join();
+}}
+"
+    );
+    let r = run(
+        &only("lock_discipline", LOCK_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+#[test]
+fn lock_discipline_flags_stale_order_entry() {
+    let cfg = only(
+        "lock_discipline",
+        "order = [\"Outer.inner\", \"Inner.state\", \"Ghost.lock\"]\nblocking = [\"join\"]\n",
+    );
+    let r = run(&cfg, &[("crates/demo/src/lib.rs", LOCK_STRUCTS)]);
+    assert_eq!(rules_of(&r), vec!["lock_discipline"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("Ghost.lock"),
+        "{}",
+        r.to_human()
+    );
+    assert_eq!(r.diagnostics[0].path, "xlint.toml");
+}
+
+// ------------------------------------------------------------------
+// deadline_propagation
+
+const DEADLINE_CFG: &str = r#"entry_points = ["Api::query"]
+exempt = ["Api::bind"]
+io_markers = ["connect"]
+"#;
+
+const DEADLINE_SRC: &str = r#"
+pub struct Api;
+
+impl Api {
+    pub fn query(&self, deadline: Deadline) -> u32 {
+        connect(deadline.remaining())
+    }
+
+    pub fn bind(addr: &str) -> Api {
+        let _s = connect(addr);
+        Api
+    }
+
+    pub fn pure(&self) -> u32 {
+        1
+    }
+}
+"#;
+
+#[test]
+fn deadline_propagation_accepts_registered_entry_points() {
+    let r = run(
+        &only("deadline_propagation", DEADLINE_CFG),
+        &[("crates/demo/src/lib.rs", DEADLINE_SRC)],
+    );
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+#[test]
+fn deadline_propagation_flags_unregistered_network_fn() {
+    let src = DEADLINE_SRC.replace(
+        "    pub fn pure(",
+        "    pub fn probe(&self) -> bool {\n        connect(\"peer\")\n    }\n\n    pub fn pure(",
+    );
+    let r = run(
+        &only("deadline_propagation", DEADLINE_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert_eq!(
+        rules_of(&r),
+        vec!["deadline_propagation"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("Api::probe"),
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("entry_points"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn deadline_propagation_flags_entry_point_without_deadline() {
+    let src = DEADLINE_SRC.replace("&self, deadline: Deadline", "&self");
+    let r = run(
+        &only("deadline_propagation", DEADLINE_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert_eq!(
+        rules_of(&r),
+        vec!["deadline_propagation"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("no Deadline"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn deadline_propagation_flags_stale_registry_entry() {
+    let cfg = only(
+        "deadline_propagation",
+        "entry_points = [\"Api::query\", \"Api::gone\"]\nexempt = [\"Api::bind\"]\nio_markers = [\"connect\"]\n",
+    );
+    let r = run(&cfg, &[("crates/demo/src/lib.rs", DEADLINE_SRC)]);
+    assert_eq!(
+        rules_of(&r),
+        vec!["deadline_propagation"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("Api::gone"),
+        "{}",
+        r.to_human()
+    );
+    assert_eq!(r.diagnostics[0].path, "xlint.toml");
+}
+
+#[test]
+fn deadline_propagation_rejects_fn_in_both_lists() {
+    let cfg = only(
+        "deadline_propagation",
+        "entry_points = [\"Api::query\"]\nexempt = [\"Api::query\", \"Api::bind\"]\nio_markers = [\"connect\"]\n",
+    );
+    let r = run(&cfg, &[("crates/demo/src/lib.rs", DEADLINE_SRC)]);
+    assert_eq!(
+        rules_of(&r),
+        vec!["deadline_propagation"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("both"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn deadline_propagation_suppression_silences_one_site() {
+    let src = DEADLINE_SRC.replace(
+        "    pub fn pure(",
+        "    // xlint:allow(deadline_propagation): one-shot admin probe, no budget\n    \
+         pub fn probe(&self) -> bool {\n        connect(\"peer\")\n    }\n\n    pub fn pure(",
+    );
+    let r = run(
+        &only("deadline_propagation", DEADLINE_CFG),
+        &[("crates/demo/src/lib.rs", &src)],
+    );
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+// ------------------------------------------------------------------
+// wire_schema
+
+const WIRE_CFG: &str = r#"protocol = "crates/demo/src/protocol.rs"
+schema = "crates/demo/src/schema.rs"
+design = "DESIGN.md"
+"#;
+
+const WIRE_PROTOCOL: &str = r#"
+pub const VERSION: u8 = 2;
+pub const MIN_VERSION: u8 = 1;
+
+pub mod code {
+    pub const PING: u8 = 0x01;
+    pub const PONG: u8 = 0x81;
+}
+
+pub mod ext {
+    pub const TRACE: u8 = 0x01;
+}
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.push(code::PING);
+    out.push(code::PONG);
+    out.push(ext::TRACE);
+}
+
+pub fn decode(b: &[u8]) -> bool {
+    b[0] == code::PING || b[0] == code::PONG || b[1] == ext::TRACE
+}
+"#;
+
+const WIRE_SCHEMA: &str = r#"
+pub const SCHEMA_VERSION: u8 = 2;
+pub const SCHEMA_MIN_VERSION: u8 = 1;
+pub const REQUEST_FRAMES: &[(&str, u8)] = &[("PING", 0x01)];
+pub const RESPONSE_FRAMES: &[(&str, u8)] = &[("PONG", 0x81)];
+pub const EXTENSION_TAGS: &[(&str, u8)] = &[("TRACE", 0x01)];
+"#;
+
+const WIRE_DESIGN: &str = "# Demo design\n\n## 12. Wire protocol\n\n\
+Request frame `ping` (0x01) checks liveness; the response frame `pong`\n\
+(0x81) answers it. Extension tag 0x01 (`trace`) may follow any frame.\n\n\
+## 13. Roadmap\n\nUnrelated.\n";
+
+fn wire_run(protocol: &str, schema: &str, design: &str) -> Report {
+    run(
+        &only("wire_schema", WIRE_CFG),
+        &[
+            ("crates/demo/src/protocol.rs", protocol),
+            ("crates/demo/src/schema.rs", schema),
+            ("DESIGN.md", design),
+        ],
+    )
+}
+
+#[test]
+fn wire_schema_accepts_agreeing_protocol_registry_and_docs() {
+    let r = wire_run(WIRE_PROTOCOL, WIRE_SCHEMA, WIRE_DESIGN);
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+#[test]
+fn wire_schema_flags_frame_missing_from_registry() {
+    let protocol = WIRE_PROTOCOL
+        .replace(
+            "    pub const PONG",
+            "    pub const STAT: u8 = 0x02;\n    pub const PONG",
+        )
+        .replace(
+            "out.push(code::PING);",
+            "out.push(code::PING);\n    out.push(code::STAT);",
+        )
+        .replace(
+            "b[0] == code::PING",
+            "b[0] == code::PING || b[0] == code::STAT",
+        );
+    let r = wire_run(&protocol, WIRE_SCHEMA, WIRE_DESIGN);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0]
+            .message
+            .contains("add (\"STAT\", 0x02) to REQUEST_FRAMES"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_flags_value_mismatch() {
+    let schema = WIRE_SCHEMA.replace("(\"PING\", 0x01)", "(\"PING\", 0x02)");
+    let r = wire_run(WIRE_PROTOCOL, &schema, WIRE_DESIGN);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("disagree"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_flags_encoder_decoder_asymmetry() {
+    let protocol = WIRE_PROTOCOL.replace(" || b[0] == code::PONG", "");
+    let r = wire_run(&protocol, WIRE_SCHEMA, WIRE_DESIGN);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("asymmetry"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_flags_stale_registry_entry() {
+    let schema = WIRE_SCHEMA.replace(
+        "&[(\"PING\", 0x01)]",
+        "&[(\"PING\", 0x01), (\"GONE\", 0x07)]",
+    );
+    let design = WIRE_DESIGN.replace("`ping`", "`ping`, `gone`");
+    let r = wire_run(WIRE_PROTOCOL, &schema, &design);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("stale registry entry"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_flags_undocumented_frame() {
+    let design = WIRE_DESIGN.replace("`pong`", "`gong`");
+    let r = wire_run(WIRE_PROTOCOL, WIRE_SCHEMA, &design);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("not documented"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_flags_version_window_mismatch() {
+    let schema = WIRE_SCHEMA.replace("SCHEMA_VERSION: u8 = 2", "SCHEMA_VERSION: u8 = 3");
+    let r = wire_run(WIRE_PROTOCOL, &schema, WIRE_DESIGN);
+    assert_eq!(rules_of(&r), vec!["wire_schema"], "{}", r.to_human());
+    assert!(
+        r.diagnostics[0].message.contains("bump the registry"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn wire_schema_suppression_silences_one_site() {
+    let protocol = WIRE_PROTOCOL.replace(" || b[0] == code::PONG", "").replace(
+        "    pub const PONG",
+        "    // xlint:allow(wire_schema): decode arrives with the v3 reader\n    pub const PONG",
+    );
+    let r = wire_run(&protocol, WIRE_SCHEMA, WIRE_DESIGN);
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+// ------------------------------------------------------------------
+// degradation_registry
+
+const NOTES_CFG: &str = "registry = \"crates/demo/src/notes.rs\"\n";
+
+const NOTES_REGISTRY: &str = r#"
+pub const NOTE_LITERALS: &[&str] = &["deadline expired"];
+pub const NOTE_PREFIXES: &[&str] = &["shard "];
+"#;
+
+const NOTES_SRC: &str = r#"
+pub const DEAD_NOTE: &str = "deadline expired";
+
+pub fn fold(stats: &mut Stats, shard: u32) {
+    stats.record_degradation_once(DEAD_NOTE);
+    stats.degradations.push(format!("shard {shard} unavailable"));
+}
+"#;
+
+fn notes_run(registry: &str, src: &str) -> Report {
+    run(
+        &only("degradation_registry", NOTES_CFG),
+        &[
+            ("crates/demo/src/notes.rs", registry),
+            ("crates/demo/src/lib.rs", src),
+        ],
+    )
+}
+
+#[test]
+fn degradation_registry_accepts_registered_notes() {
+    let r = notes_run(NOTES_REGISTRY, NOTES_SRC);
+    assert!(r.is_clean(), "{}", r.to_human());
+}
+
+#[test]
+fn degradation_registry_flags_unregistered_literal_at_site() {
+    let src = NOTES_SRC.replace(
+        "    stats.record_degradation_once(DEAD_NOTE);",
+        "    stats.record_degradation_once(DEAD_NOTE);\n    \
+         stats.degradations.push(\"made this up\");",
+    );
+    let r = notes_run(NOTES_REGISTRY, &src);
+    assert_eq!(
+        rules_of(&r),
+        vec!["degradation_registry"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("made this up"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn degradation_registry_flags_format_head_without_prefix() {
+    let src = NOTES_SRC.replace(
+        "format!(\"shard {shard} unavailable\")",
+        "format!(\"shard {shard} unavailable\"));\n    \
+         stats.degradations.push(format!(\"tier {shard} collapsed\")",
+    );
+    let r = notes_run(NOTES_REGISTRY, &src);
+    assert_eq!(
+        rules_of(&r),
+        vec!["degradation_registry"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("NOTE_PREFIXES"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn degradation_registry_flags_unregistered_note_constant() {
+    let src = NOTES_SRC.replace(
+        "pub const DEAD_NOTE",
+        "pub const BAD_NOTE: &str = \"unheard of\";\npub const DEAD_NOTE",
+    );
+    let r = notes_run(NOTES_REGISTRY, &src);
+    assert_eq!(
+        rules_of(&r),
+        vec!["degradation_registry"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("BAD_NOTE"),
+        "{}",
+        r.to_human()
+    );
+}
+
+#[test]
+fn degradation_registry_flags_stale_registry_entry() {
+    let registry = NOTES_REGISTRY.replace(
+        "&[\"deadline expired\"]",
+        "&[\"deadline expired\", \"never recorded\"]",
+    );
+    let r = notes_run(&registry, NOTES_SRC);
+    assert_eq!(
+        rules_of(&r),
+        vec!["degradation_registry"],
+        "{}",
+        r.to_human()
+    );
+    assert!(
+        r.diagnostics[0].message.contains("never recorded"),
+        "{}",
+        r.to_human()
+    );
+    assert_eq!(r.diagnostics[0].path, "crates/demo/src/notes.rs");
+}
+
+#[test]
+fn degradation_registry_suppression_silences_one_site() {
+    let src = NOTES_SRC.replace(
+        "    stats.record_degradation_once(DEAD_NOTE);",
+        "    stats.record_degradation_once(DEAD_NOTE);\n    \
+         // xlint:allow(degradation_registry): legacy note kept for log continuity\n    \
+         stats.degradations.push(\"made this up\");",
+    );
+    let r = notes_run(NOTES_REGISTRY, &src);
+    assert!(r.is_clean(), "{}", r.to_human());
 }
 
 // ------------------------------------------------------------------
