@@ -47,6 +47,8 @@ pub enum HistogramError {
         /// Arity of the rejected histogram.
         got: usize,
     },
+    /// Ingest into a paged (disk-backed, immutable) database.
+    ReadOnly,
 }
 
 impl fmt::Display for HistogramError {
@@ -61,6 +63,9 @@ impl fmt::Display for HistogramError {
                     f,
                     "histogram arity mismatch: database stores {expected} bins, got {got}"
                 )
+            }
+            HistogramError::ReadOnly => {
+                write!(f, "cannot ingest into a paged (read-only) database")
             }
         }
     }

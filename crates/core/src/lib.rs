@@ -63,6 +63,7 @@
 //! assert_eq!(result.items[0].0, 0); // the identical histogram comes first
 //! ```
 
+pub mod cache;
 pub mod db;
 pub mod deadline;
 pub mod error;
@@ -73,12 +74,14 @@ pub mod multistep;
 pub mod notes;
 pub mod parallel;
 pub mod pipeline;
+pub mod provider;
 pub mod quadratic_form;
 pub mod reduce;
 pub mod signature;
 pub mod stats;
 pub mod storage;
 
+pub use cache::{FilterCache, FilterCacheStats};
 pub use db::HistogramDb;
 pub use deadline::Deadline;
 pub use error::PipelineError;
@@ -87,6 +90,7 @@ pub use histogram::{Histogram, HistogramRef};
 pub use lower_bounds::{
     DistanceKernel, DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
 };
+pub use provider::{BlockData, BlockProvider, RowLease};
 
 // Re-export the substrate types users need to construct measures.
 pub use earthmover_transport::CostMatrix;

@@ -122,6 +122,15 @@ impl DistanceMeasure for LbAvg {
         "LB_Avg"
     }
 
+    fn cache_signature(&self) -> Option<u64> {
+        let mut sig =
+            crate::cache::signature_with(0xcbf2_9ce4_8422_2325, self.centroids.len() as u64);
+        for r in &self.centroids {
+            sig = crate::cache::signature_with(sig, crate::cache::signature_of(r));
+        }
+        Some(sig)
+    }
+
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
         Box::new(AvgKernel {
             lb: self,

@@ -234,6 +234,17 @@ impl DistanceMeasure for LbIm {
         "LB_IM"
     }
 
+    fn cache_signature(&self) -> Option<u64> {
+        let n = self.cost.len();
+        let mut sig = crate::cache::signature_with(0xcbf2_9ce4_8422_2325, n as u64);
+        for i in 0..n {
+            sig = crate::cache::signature_with(sig, crate::cache::signature_of(self.cost.row(i)));
+        }
+        sig = crate::cache::signature_with(sig, self.refine_diagonal as u64);
+        sig = crate::cache::signature_with(sig, self.symmetric as u64);
+        Some(sig)
+    }
+
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
         Box::new(ImKernel {
             im: self,

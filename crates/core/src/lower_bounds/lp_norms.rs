@@ -129,6 +129,10 @@ impl DistanceMeasure for LbManhattan {
         "LB_Man"
     }
 
+    fn cache_signature(&self) -> Option<u64> {
+        Some(crate::cache::signature_of(&self.unit_weights))
+    }
+
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
         Box::new(LpKernel::<ManFold>::new(&self.unit_weights, q))
     }
@@ -177,6 +181,10 @@ impl DistanceMeasure for LbMax {
 
     fn name(&self) -> &'static str {
         "LB_Max"
+    }
+
+    fn cache_signature(&self) -> Option<u64> {
+        Some(crate::cache::signature_of(&self.min_costs))
     }
 
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
@@ -234,6 +242,10 @@ impl DistanceMeasure for LbEuclidean {
 
     fn name(&self) -> &'static str {
         "LB_Eucl"
+    }
+
+    fn cache_signature(&self) -> Option<u64> {
+        Some(crate::cache::signature_of(&self.unit_weights))
     }
 
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {

@@ -78,6 +78,20 @@ pub trait DistanceMeasure: Send + Sync {
     /// (e.g. `"LB_IM"`).
     fn name(&self) -> &'static str;
 
+    /// A signature of the measure's *parameters* (weights, centroids,
+    /// cost entries) for the filter-distance cache: two measures with
+    /// the same [`DistanceMeasure::name`] and the same signature must
+    /// compute bit-identical distances for every input.
+    ///
+    /// `None` (the default) opts the measure out of caching — correct
+    /// for measures whose parameters cannot be summarized (or that are
+    /// too cheap to be worth memoizing). The concrete lower bounds
+    /// override this; [`ExactEmd`] deliberately does not (refinements
+    /// are per-candidate, not whole-column).
+    fn cache_signature(&self) -> Option<u64> {
+        None
+    }
+
     /// Compiles the measure against one fixed query, hoisting all
     /// query-only work (weight vectors, centroids, greedy state) out of
     /// the candidate loop. The returned kernel evaluates candidates —
@@ -115,6 +129,9 @@ impl<T: DistanceMeasure + ?Sized> DistanceMeasure for &T {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn cache_signature(&self) -> Option<u64> {
+        (**self).cache_signature()
     }
     fn prepare<'m>(&'m self, q: &Histogram) -> Box<dyn DistanceKernel + 'm> {
         (**self).prepare(q)

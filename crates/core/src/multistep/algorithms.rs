@@ -132,7 +132,7 @@ pub fn range_query_within(
             expire(&mut stats);
             break;
         }
-        let h = db.get(id);
+        let h = db.try_row(id)?;
         for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
             stats.add_filter_evaluations(filter.name(), 1);
             if timed(&mut filter_times[fi], || kernel.eval(h.bins())) > epsilon {
@@ -235,9 +235,8 @@ pub fn gemini_knn_within(
             break;
         }
         stats.exact_evaluations += 1;
-        let (d, note) = timed(&mut exact_time, || {
-            exact_kernel.try_eval_noted(db.get(id).bins())
-        })?;
+        let row = db.try_row(id)?;
+        let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(row.bins()))?;
         if let Some(note) = note {
             stats.record_degradation_once(note);
         }
@@ -261,9 +260,8 @@ pub fn gemini_knn_within(
                 break;
             }
             stats.exact_evaluations += 1;
-            let (d, note) = timed(&mut exact_time, || {
-                exact_kernel.try_eval_noted(db.get(id).bins())
-            })?;
+            let row = db.try_row(id)?;
+            let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(row.bins()))?;
             if let Some(note) = note {
                 stats.record_degradation_once(note);
             }
@@ -359,7 +357,7 @@ pub fn optimal_knn_within(
         if full && filter_dist > epsilon {
             break; // no remaining object can improve the result
         }
-        let h = db.get(id);
+        let h = db.try_row(id)?;
         if full {
             for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
                 stats.add_filter_evaluations(filter.name(), 1);
@@ -428,11 +426,12 @@ pub fn linear_scan_knn_within(
     let mut exact_time = Duration::ZERO;
     let exact_kernel = exact.prepare(q);
     let mut best: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    for (id, h) in db.iter() {
+    for id in 0..db.len() {
         if deadline.expired() {
             expire(&mut stats);
             break;
         }
+        let h = db.try_row(id)?;
         stats.exact_evaluations += 1;
         let (d, note) = timed(&mut exact_time, || exact_kernel.try_eval_noted(h.bins()))?;
         if let Some(note) = note {

@@ -8,12 +8,14 @@
 //! algorithms need: an ε-range lookup and an incremental
 //! distance ranking.
 
+use crate::cache::CacheKey;
 use crate::db::HistogramDb;
 use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
 use crate::reduce::IndexReducer;
 use earthmover_rtree::{QueryStats as RtreeStats, RTree, WeightedLp};
+use std::sync::Arc;
 
 /// Work performed inside a candidate source.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -96,11 +98,48 @@ impl<'a, F: DistanceMeasure> ScanSource<'a, F> {
     /// Evaluates the filter for every database object through the
     /// query-compiled block kernel ([`DistanceMeasure::prepare`]), in id
     /// order — the per-query cost profile of a scan source.
-    fn scan_block(&self, q: &Histogram) -> Vec<f64> {
+    ///
+    /// The scan streams storage blocks (one whole-arena block when the
+    /// database is resident, pinned buffer-pool leases when paged); the
+    /// kernel block contract keeps either path bit-identical to the
+    /// scalar per-pair evaluation. Whole distance columns are memoized
+    /// in the database's [`crate::cache::FilterCache`] keyed by
+    /// *(filter, parameters, query)* — a hit skips the disk entirely and
+    /// returns the identical column. Reported work statistics stay
+    /// nominal on a hit: the cache is an executor optimization, not a
+    /// change to the logical scan.
+    fn scan_block(&self, q: &Histogram) -> Result<Arc<Vec<f64>>, PipelineError> {
+        let cache = self.db.filter_cache();
+        let key = self.filter.cache_signature().map(|params| CacheKey {
+            filter: self.filter.name(),
+            params,
+            query: crate::cache::signature_of(q.bins()),
+            rows: self.db.len(),
+        });
+        if let Some(key) = &key {
+            if let Some(column) = cache.get(key) {
+                return Ok(column);
+            }
+        }
         let kernel = self.filter.prepare(q);
+        let dims = self.db.dims();
         let mut dists = vec![0.0; self.db.len()];
-        kernel.eval_block(self.db.arena(), self.db.dims(), &mut dists);
-        dists
+        let rows_per_block = self.db.rows_per_block().max(1);
+        for (b, slot) in dists.chunks_mut(rows_per_block).enumerate() {
+            let data = self.db.block(b).map_err(|e| PipelineError::Source {
+                stage: self.filter.name().to_string(),
+                reason: match e {
+                    PipelineError::Source { reason, .. } => reason,
+                    other => other.to_string(),
+                },
+            })?;
+            kernel.eval_block(&data, dims, slot);
+        }
+        let column = Arc::new(dists);
+        if let Some(key) = key {
+            cache.insert(key, Arc::clone(&column));
+        }
+        Ok(column)
     }
 }
 
@@ -114,7 +153,8 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
     }
 
     fn ranking<'s>(&'s self, q: &Histogram) -> Result<Box<dyn RankingCursor + 's>, PipelineError> {
-        let mut ranked: Vec<(usize, f64)> = self.scan_block(q).into_iter().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> =
+            self.scan_block(q)?.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         Ok(Box::new(ScanCursor {
             evaluations: ranked.len() as u64,
@@ -128,8 +168,9 @@ impl<'a, F: DistanceMeasure> CandidateSource for ScanSource<'a, F> {
         epsilon: f64,
     ) -> Result<(Vec<(usize, f64)>, SourceCost), PipelineError> {
         let out = self
-            .scan_block(q)
-            .into_iter()
+            .scan_block(q)?
+            .iter()
+            .copied()
             .enumerate()
             .filter(|(_, d)| *d <= epsilon)
             .collect();

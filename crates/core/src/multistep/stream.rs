@@ -183,7 +183,13 @@ impl<'a> Iterator for NearestStream<'a> {
             }
             // Escalate one bound level. Levels 1..=len are the
             // intermediates; the final level is the exact distance.
-            let h = self.db.get(item.id);
+            let h = match self.db.try_row(item.id) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
             let (new_key, new_level) = match self.kernels.get(item.level) {
                 Some((name, kernel)) => {
                     self.stats.add_filter_evaluations(name, 1);

@@ -10,6 +10,7 @@
 //! harness to keep large-scale experiment sweeps tractable.
 
 use crate::db::HistogramDb;
+use crate::error::PipelineError;
 use crate::histogram::Histogram;
 use crate::lower_bounds::DistanceMeasure;
 use earthmover_obs as obs;
@@ -22,38 +23,109 @@ use earthmover_obs as obs;
 /// to the per-pair scalar path at any thread count. With `threads <= 1`
 /// the kernel runs over the whole arena inline (no thread spawn
 /// overhead).
+///
+/// # Panics
+///
+/// Panics when a paged database's block read fails — fallible callers
+/// (and every paged scan path in the query engine) use
+/// [`try_scan_distances`].
 pub fn scan_distances(
     db: &HistogramDb,
     q: &Histogram,
     measure: &dyn DistanceMeasure,
     threads: usize,
 ) -> Vec<f64> {
+    try_scan_distances(db, q, measure, threads)
+        // xlint:allow(panic_freedom): documented panicking convenience; fallible callers use try_scan_distances
+        .expect("paged block read failed during scan; use try_scan_distances")
+}
+
+/// [`scan_distances`] with typed errors: a paged database whose block
+/// read fails (checksum mismatch, I/O fault) surfaces
+/// [`PipelineError::Source`] instead of panicking.
+///
+/// Resident databases take the exact legacy code path — one
+/// `eval_block` over the whole arena, or row-chunked workers — so their
+/// results are bit-for-bit unchanged. Paged databases stream whole
+/// blocks through the buffer pool (workers partition the *block* range,
+/// never splitting a block), and the kernel block contract
+/// (`out[i] == eval(row i)`) keeps that bit-identical too.
+pub fn try_scan_distances(
+    db: &HistogramDb,
+    q: &Histogram,
+    measure: &dyn DistanceMeasure,
+    threads: usize,
+) -> Result<Vec<f64>, PipelineError> {
     let n = db.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let threads = threads.max(1).min(n);
     let dims = db.dims();
     let kernel = measure.prepare(q);
     let mut out = vec![0.0f64; n];
     let _span = obs::span!("block_scan", rows = n, threads = threads);
-    if threads == 1 {
-        kernel.eval_block(db.arena(), dims, &mut out);
-        return out;
+
+    if let Some(arena) = db.resident_arena() {
+        if threads == 1 {
+            kernel.eval_block(arena, dims, &mut out);
+            return Ok(out);
+        }
+        let chunk = n.div_ceil(threads);
+        let kernel = &*kernel;
+        crossbeam::thread::scope(|scope| {
+            for (slice, block) in out.chunks_mut(chunk).zip(arena.chunks(chunk * dims)) {
+                scope.spawn(move |_| kernel.eval_block(block, dims, slice));
+            }
+        })
+        // Intentional panic: a worker panic means the measure itself
+        // panicked (a bug, not a query-time condition) — propagate it.
+        // xlint:allow(panic_freedom): re-raises a worker panic; swallowing it would return garbage distances
+        .expect("scan worker panicked");
+        return Ok(out);
     }
 
-    let chunk = n.div_ceil(threads);
+    // Paged database: stream pinned block leases through the pool.
+    let rpb = db.rows_per_block().max(1);
+    if threads == 1 {
+        for (b, slot) in out.chunks_mut(rpb).enumerate() {
+            let data = db.block(b)?;
+            kernel.eval_block(&data, dims, slot);
+        }
+        return Ok(out);
+    }
+    let blocks = db.num_blocks();
+    let threads = threads.min(blocks);
+    let blocks_per_worker = blocks.div_ceil(threads);
     let kernel = &*kernel;
+    let mut errors: Vec<Option<PipelineError>> = (0..threads).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
-        for (slice, block) in out.chunks_mut(chunk).zip(db.arena().chunks(chunk * dims)) {
-            scope.spawn(move |_| kernel.eval_block(block, dims, slice));
+        for ((worker, slice), error) in out
+            .chunks_mut(blocks_per_worker * rpb)
+            .enumerate()
+            .zip(errors.iter_mut())
+        {
+            scope.spawn(move |_| {
+                for (offset, slot) in slice.chunks_mut(rpb).enumerate() {
+                    match db.block(worker * blocks_per_worker + offset) {
+                        Ok(data) => kernel.eval_block(&data, dims, slot),
+                        Err(e) => {
+                            *error = Some(e);
+                            return;
+                        }
+                    }
+                }
+            });
         }
     })
     // Intentional panic: a worker panic means the measure itself
     // panicked (a bug, not a query-time condition) — propagate it.
     // xlint:allow(panic_freedom): re-raises a worker panic; swallowing it would return garbage distances
     .expect("scan worker panicked");
-    out
+    if let Some(e) = errors.into_iter().flatten().next() {
+        return Err(e);
+    }
+    Ok(out)
 }
 
 /// Parallel ε-range filter: ids (ascending) whose filter distance is at
@@ -174,6 +246,31 @@ mod tests {
                 assert_eq!(a, b, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn paged_scan_is_bit_identical_to_resident() {
+        let (grid, db, q) = setup(97);
+        let filter = LbManhattan::new(&grid.cost_matrix());
+        let resident = scan_distances(&db, &q, &filter, 1);
+
+        let dir = std::env::temp_dir().join("earthmover-parallel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.emdc");
+        let _ = std::fs::remove_file(&path);
+        // 7 rows per block -> 14 blocks; pool of 3 blocks forces steady
+        // eviction during the scan.
+        crate::storage::save_paged_with(&earthmover_storage::StdVfs, &db, &path, 7).unwrap();
+        let paged = crate::storage::open_paged(&path, 3 * 7 * db.dims() * 8).unwrap();
+        assert!(paged.num_blocks() >= 14);
+        for threads in [1, 2, 5, 200] {
+            let got = try_scan_distances(&paged, &q, &filter, threads).unwrap();
+            assert_eq!(got, resident, "threads={threads}");
+        }
+        let stats = paged.pool_stats().unwrap();
+        assert!(stats.misses > 0);
+        assert!(stats.evictions > 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -141,10 +141,24 @@ impl<'a> EngineBuilder<'a> {
         );
         let exact = ExactEmd::new(cost.clone());
         let im = self.use_im.then(|| LbIm::new(&cost));
+        // Index stages bulk-load by iterating the resident arena; a
+        // paged database streams blocks through the buffer pool instead,
+        // so the index configurations downgrade to the equivalent
+        // sequential-scan bound. Results stay exact — the scan uses the
+        // same admissible filter, just without the R-tree shortcut.
+        let first_stage = if self.db.is_paged() {
+            match self.first_stage {
+                FirstStage::AvgIndex => FirstStage::AvgScan,
+                FirstStage::ManhattanIndex { .. } => FirstStage::ManhattanScan,
+                other => other,
+            }
+        } else {
+            self.first_stage
+        };
         let stage = if let Some(source) = self.custom_source {
             Stage::Custom(source)
         } else {
-            match self.first_stage {
+            match first_stage {
                 FirstStage::AvgIndex => Stage::AvgIndex(RtreeSource::build(
                     self.db,
                     AvgReducer::new(self.grid.centroids().to_vec()),

@@ -14,8 +14,18 @@
 //! The format stores the *normalized* histograms exactly as the database
 //! holds them, so a round trip is bit-identical. No serde format crate is
 //! pulled in; the codec is ~100 lines and the CRC catches corruption.
+//!
+//! Alongside the flat format, this module bridges to the paged column
+//! store of `earthmover-storage` (DESIGN.md §14): [`save_paged`] spills
+//! a resident database into a page-checksummed column file, and
+//! [`open_paged`] mounts such a file behind a bounded buffer pool so
+//! corpora larger than RAM can be queried.
 
 use crate::db::HistogramDb;
+use crate::provider::PagedBlocks;
+pub use earthmover_storage::{StdVfs, Vfs};
+
+use earthmover_storage::{rows_per_block_for, BlockPool, ColumnStore, ColumnWriter};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -44,6 +54,9 @@ pub enum StorageError {
     },
     /// The payload contains an invalid histogram (negative/NaN bin).
     InvalidData(String),
+    /// The paged column store reported a typed page-level error
+    /// (checksum mismatch, out-of-bounds page, I/O fault).
+    Page(earthmover_storage::StorageError),
 }
 
 impl fmt::Display for StorageError {
@@ -60,15 +73,30 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::InvalidData(msg) => write!(f, "invalid payload: {msg}"),
+            StorageError::Page(e) => write!(f, "paged store error: {e}"),
         }
     }
 }
 
-impl std::error::Error for StorageError {}
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Page(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for StorageError {
     fn from(e: io::Error) -> Self {
         StorageError::Io(e)
+    }
+}
+
+impl From<earthmover_storage::StorageError> for StorageError {
+    fn from(e: earthmover_storage::StorageError) -> Self {
+        StorageError::Page(e)
     }
 }
 
@@ -189,6 +217,70 @@ pub fn load(path: impl AsRef<Path>) -> Result<HistogramDb, StorageError> {
     from_bytes(&fs::read(path)?)
 }
 
+/// Default target payload of one column block: 64 KiB, i.e. sixteen
+/// 4 KiB pages — large enough to amortize per-page CRC work, small
+/// enough that a pool of a few megabytes holds many blocks.
+pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
+
+/// Spills a database into a paged column file (DESIGN.md §14): rows are
+/// segmented into blocks of [`DEFAULT_BLOCK_BYTES`] and written through
+/// the CRC-checked page file. The result can be mounted with
+/// [`open_paged`] under a bounded memory budget.
+pub fn save_paged(db: &HistogramDb, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    save_paged_with(
+        &StdVfs,
+        db,
+        path.as_ref(),
+        rows_per_block_for(db.dims(), DEFAULT_BLOCK_BYTES),
+    )
+}
+
+/// [`save_paged`] with an explicit [`Vfs`] and block granularity (rows
+/// per block) — used by tests to force many tiny blocks and to inject
+/// write faults.
+pub fn save_paged_with(
+    vfs: &dyn Vfs,
+    db: &HistogramDb,
+    path: &Path,
+    rows_per_block: usize,
+) -> Result<(), StorageError> {
+    let mut writer = ColumnWriter::create_with(vfs, path, db.dims(), rows_per_block)?;
+    for b in 0..db.num_blocks() {
+        let data = db
+            .block(b)
+            .map_err(|e| StorageError::InvalidData(e.to_string()))?;
+        writer.append_rows(&data)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Mounts a paged column file as a read-only [`HistogramDb`] whose
+/// buffer pool holds at most `max_resident_bytes` of decoded blocks
+/// (at least one block). Queries stream cold blocks through the pool;
+/// corrupted or unreadable blocks surface as typed pipeline errors at
+/// query time, never panics.
+pub fn open_paged(
+    path: impl AsRef<Path>,
+    max_resident_bytes: usize,
+) -> Result<HistogramDb, StorageError> {
+    open_paged_with(&StdVfs, path.as_ref(), max_resident_bytes)
+}
+
+/// [`open_paged`] with an explicit [`Vfs`] (fault injection in tests).
+pub fn open_paged_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    max_resident_bytes: usize,
+) -> Result<HistogramDb, StorageError> {
+    let store = ColumnStore::open_with(vfs, path)?;
+    let meta = store.meta();
+    let block_bytes = meta.rows_per_block * meta.dims * 8;
+    let capacity = (max_resident_bytes / block_bytes.max(1)).max(1);
+    let pool = BlockPool::new(store, capacity);
+    Ok(HistogramDb::from_paged(PagedBlocks::new(pool)))
+}
+
 /// CRC-32 (IEEE 802.3) over a byte slice, table-driven.
 pub fn crc32(bytes: &[u8]) -> u32 {
     // Build the table on first use; 1 KiB, computed once.
@@ -303,5 +395,48 @@ mod tests {
         let loaded = from_bytes(&to_bytes(&db)).unwrap();
         assert_eq!(db, loaded);
         assert_eq!(loaded.dims(), 5);
+    }
+
+    #[test]
+    fn paged_round_trip_is_bit_identical() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("earthmover-storage-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paged.emdc");
+        let _ = fs::remove_file(&path);
+        // Two rows per block -> two blocks; pool of one block forces
+        // eviction between row reads.
+        save_paged_with(&StdVfs, &db, &path, 2).unwrap();
+        let paged = open_paged(&path, 1).unwrap();
+        assert!(paged.is_paged());
+        assert_eq!(paged.dims(), db.dims());
+        assert_eq!(paged.len(), db.len());
+        assert_eq!(paged.num_blocks(), 2);
+        for id in 0..db.len() {
+            assert_eq!(
+                paged.try_row(id).unwrap().bins(),
+                db.get(id).bins(),
+                "row {id} must round-trip bit-identically"
+            );
+        }
+        assert!(paged.pool_stats().is_some());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn paged_db_rejects_ingest() {
+        use crate::histogram::HistogramError;
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("earthmover-storage-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("readonly.emdc");
+        let _ = fs::remove_file(&path);
+        save_paged(&db, &path).unwrap();
+        let mut paged = open_paged(&path, DEFAULT_BLOCK_BYTES).unwrap();
+        assert_eq!(
+            paged.try_push(Histogram::new(vec![1.0, 0.0, 0.0]).unwrap()),
+            Err(HistogramError::ReadOnly)
+        );
+        fs::remove_file(&path).unwrap();
     }
 }

@@ -36,6 +36,9 @@ pub const SPAN_NAMES: &[&str] = &[
     "mtree_range",
     // storage
     "storage_recovery_scan",
+    // columnar block store: one span per buffer-pool miss (a block read
+    // from the pagefile through the CRC layer).
+    "store_block_load",
     // network query service (crates/serve)
     "serve_connection",
     "serve_request",
@@ -134,6 +137,17 @@ pub const METRIC_NAMES: &[&str] = &[
     "coord_traces_sampled_total",
     "fleet_scrapes_total",
     "fleet_scrape_errors_total",
+    // tiered storage (paged column store): buffer-pool traffic and the
+    // query-signature filter-distance cache. Refreshed as absolute
+    // gauges from the pool/cache snapshots on every stats scrape.
+    "pool_hit_total",
+    "pool_miss_total",
+    "pool_evictions_total",
+    "pool_bypass_total",
+    "pool_resident_blocks",
+    "filter_cache_hit_total",
+    "filter_cache_miss_total",
+    "filter_cache_entries",
 ];
 
 #[cfg(test)]

@@ -27,7 +27,10 @@ fn main() -> ExitCode {
     let Some(flags) = parse(&args) else {
         eprintln!(
             "usage: emdd --db FILE [--addr HOST:PORT] [--workers N] [--queue N]\n  \
-             [--read-timeout-ms MS] [--default-deadline-ms MS] [--trace-json PATH]"
+             [--read-timeout-ms MS] [--default-deadline-ms MS] [--trace-json PATH]\n  \
+             [--max-resident-mb N]   serve through a paged column store with an\n  \
+                                     N-MiB buffer pool (converts FILE to FILE.emdc\n  \
+                                     on first use) instead of loading into RAM"
         );
         return ExitCode::from(2);
     };
@@ -78,7 +81,12 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let db_path = flags
         .get("db")
         .ok_or_else(|| "missing required flag --db".to_string())?;
-    let db = storage::load(db_path).map_err(|e| format!("{db_path}: {e}"))?;
+    let max_resident_mb: usize = get_num(flags, "max-resident-mb", 0)?;
+    let db = if max_resident_mb > 0 {
+        open_paged(db_path, max_resident_mb)?
+    } else {
+        storage::load(db_path).map_err(|e| format!("{db_path}: {e}"))?
+    };
     let grid = grid_for(db.dims())?;
     let addr = flags
         .get("addr")
@@ -110,9 +118,14 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let server = Server::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!(
-        "emdd: serving {} histograms ({} bins) on {local}",
+        "emdd: serving {} histograms ({} bins) on {local}{}",
         db.len(),
-        db.dims()
+        db.dims(),
+        if db.is_paged() {
+            format!(" (paged, pool capacity {} blocks)", db.pool_capacity())
+        } else {
+            String::new()
+        }
     );
     watch_signals(server.stop_handle());
     server
@@ -120,6 +133,27 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     eprintln!("emdd: drained, bye");
     Ok(())
+}
+
+/// Opens `db_path` as a paged column store with a `max_resident_mb`-MiB
+/// buffer pool. `.emdb` row files are converted once to a `.emdc`
+/// sidecar (skipped when the sidecar already exists); a path that is
+/// already a column file is opened directly.
+fn open_paged(
+    db_path: &str,
+    max_resident_mb: usize,
+) -> Result<earthmover_core::HistogramDb, String> {
+    let budget = max_resident_mb.saturating_mul(1024 * 1024);
+    if let Ok(db) = storage::open_paged(db_path, budget) {
+        return Ok(db);
+    }
+    let sidecar = format!("{db_path}.emdc");
+    if !std::path::Path::new(&sidecar).exists() {
+        let resident = storage::load(db_path).map_err(|e| format!("{db_path}: {e}"))?;
+        storage::save_paged(&resident, &sidecar).map_err(|e| format!("{sidecar}: {e}"))?;
+        eprintln!("emdd: converted {db_path} -> {sidecar}");
+    }
+    storage::open_paged(&sidecar, budget).map_err(|e| format!("{sidecar}: {e}"))
 }
 
 /// Set by the async-signal handler; bridged to the server's stop flag

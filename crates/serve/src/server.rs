@@ -415,18 +415,52 @@ fn execute(shared: &Shared<'_>, req: Request) -> (Response, bool) {
             },
             true,
         ),
-        Request::Stats => (
-            Response::StatsReport {
-                prometheus: shared.registry.to_prometheus(),
-            },
-            true,
-        ),
+        Request::Stats => {
+            refresh_storage_gauges(shared);
+            (
+                Response::StatsReport {
+                    prometheus: shared.registry.to_prometheus(),
+                },
+                true,
+            )
+        }
         Request::Shutdown => {
             obs::event!("serve_drain_begin");
             shared.stop.stop();
             (Response::ShutdownStarted, false)
         }
     }
+}
+
+/// Copies the buffer-pool and filter-cache snapshots into gauges so a
+/// stats scrape reports current tiered-storage traffic. Pool gauges only
+/// exist for paged databases; the filter cache runs on both backings.
+fn refresh_storage_gauges(shared: &Shared<'_>) {
+    if let Some(pool) = shared.db.pool_stats() {
+        let registry = &shared.registry;
+        registry.gauge("pool_hit_total").set(pool.hits as f64);
+        registry.gauge("pool_miss_total").set(pool.misses as f64);
+        registry
+            .gauge("pool_evictions_total")
+            .set(pool.evictions as f64);
+        registry
+            .gauge("pool_bypass_total")
+            .set(pool.bypasses as f64);
+        registry
+            .gauge("pool_resident_blocks")
+            .set(shared.db.resident_block_count() as f64);
+    }
+    let cache = shared.db.filter_cache().stats();
+    let registry = &shared.registry;
+    registry
+        .gauge("filter_cache_hit_total")
+        .set(cache.hits as f64);
+    registry
+        .gauge("filter_cache_miss_total")
+        .set(cache.misses as f64);
+    registry
+        .gauge("filter_cache_entries")
+        .set(cache.entries as f64);
 }
 
 fn request_deadline(shared: &Shared<'_>, deadline_us: u64) -> Deadline {

@@ -42,11 +42,16 @@
 //! ```
 
 pub mod buffer;
+pub mod column;
 pub mod heap;
 pub mod pagefile;
 pub mod vfs;
 
 pub use buffer::{BufferPool, PoolStats};
+pub use column::{
+    rows_per_block_for, BlockLease, BlockPool, BlockPoolStats, ColumnMeta, ColumnStore,
+    ColumnWriter,
+};
 pub use heap::{RecordId, RecordStore};
 pub use pagefile::{PageFile, PageId, RecoveryReport, StorageError, PAGE_SIZE};
 pub use vfs::{FaultVfs, StdVfs, Vfs, VfsFile};

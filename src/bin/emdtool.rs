@@ -57,7 +57,10 @@ fn main() -> ExitCode {
              emdtool top --addr HOST:PORT\n    \
              per-shard fleet table from the coordinator's merged metrics\n  \
              emdtool shard-split --db FILE --shards N --out-prefix P\n    \
-             writes P0.emdb .. P{{N-1}}.emdb by coordinator hash placement"
+             writes P0.emdb .. P{{N-1}}.emdb by coordinator hash placement\n  \
+             emdtool store-stats --db FILE [--pool-mb N]\n    \
+             paged-store report: blocks, resident fraction, pool hit rate,\n    \
+             filter-cache occupancy (converts FILE to FILE.emdc on first use)"
         );
         return ExitCode::from(2);
     };
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
         "trace" => trace(&flags),
         "top" => top(&flags),
         "shard-split" => shard_split(&flags),
+        "store-stats" => store_stats(&flags),
         other => Err(format!("unknown command {other}")),
     };
     match result {
@@ -401,6 +405,84 @@ fn shard_split(flags: &HashMap<String, String>) -> Result<(), String> {
         "split {} histograms across {shards} shard(s); serve each with emdd \
          and point emdd-coord --shards at them in index order",
         db.len()
+    );
+    Ok(())
+}
+
+/// `emdtool store-stats` — open (converting once if needed) a database
+/// as a paged column store and report the storage-hierarchy picture:
+/// block layout, buffer-pool residency and hit rate after a cold+warm
+/// sweep, and filter-cache occupancy after two identical queries.
+fn store_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "db")?;
+    let pool_mb: usize = get_num(flags, "pool-mb", 4)?;
+    let budget = pool_mb.max(1).saturating_mul(1024 * 1024);
+    let (db, source) = match storage::open_paged(path, budget) {
+        Ok(db) => (db, path.to_string()),
+        Err(_) => {
+            // Not a column file: convert the row-major .emdb once.
+            let sidecar = format!("{path}.emdc");
+            if !std::path::Path::new(&sidecar).exists() {
+                let resident = storage::load(path).map_err(|e| format!("{path}: {e}"))?;
+                storage::save_paged(&resident, &sidecar).map_err(|e| format!("{sidecar}: {e}"))?;
+                eprintln!("converted {path} -> {sidecar}");
+            }
+            let db =
+                storage::open_paged(&sidecar, budget).map_err(|e| format!("{sidecar}: {e}"))?;
+            (db, sidecar)
+        }
+    };
+    // Cold sweep touches every block once (all misses), the warm sweep
+    // re-reads them (hits up to pool capacity) — so the printed hit rate
+    // reflects how much of the corpus the pool can keep resident.
+    for sweep in 0..2 {
+        for b in 0..db.num_blocks() {
+            if let Err(e) = db.block(b) {
+                return Err(format!("block {b} unreadable on sweep {sweep}: {e}"));
+            }
+        }
+    }
+    // Two identical queries: the second one's filter distances come out
+    // of the query-signature cache.
+    if db.len() > 1 {
+        let grid = grid_for(db.dims())?;
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let q = db.try_row(0).map_err(|e| e.to_string())?.to_histogram();
+        let k = 5.min(db.len());
+        for _ in 0..2 {
+            engine.knn(&q, k).map_err(|e| format!("probe query: {e}"))?;
+        }
+    }
+    let resident = db.resident_block_count();
+    let capacity = db.pool_capacity();
+    println!("column file    : {source}");
+    println!(
+        "rows           : {} x {} bins, {} rows/block",
+        db.len(),
+        db.dims(),
+        db.rows_per_block()
+    );
+    println!(
+        "blocks         : {} total, {} resident ({:.1}% of corpus)",
+        db.num_blocks(),
+        resident,
+        100.0 * resident as f64 / db.num_blocks().max(1) as f64
+    );
+    println!("pool capacity  : {capacity} blocks ({pool_mb} MiB budget)");
+    if let Some(pool) = db.pool_stats() {
+        println!(
+            "pool traffic   : {} hits / {} misses ({:.1}% hit rate), {} evictions, {} bypasses",
+            pool.hits,
+            pool.misses,
+            100.0 * pool.hit_rate(),
+            pool.evictions,
+            pool.bypasses
+        );
+    }
+    let cache = db.filter_cache().stats();
+    println!(
+        "filter cache   : {} entries, {} hits / {} misses",
+        cache.entries, cache.hits, cache.misses
     );
     Ok(())
 }
