@@ -1,0 +1,270 @@
+//! `recall_curve` — retrieval quality vs latency across the three
+//! retrieval tiers.
+//!
+//! Runs the same k-NN workload through [`QueryEngine::knn_mode`] in
+//! every tier the serving stack exposes:
+//!
+//! * **exact**: the full multi-step pipeline (recall 1.0 by
+//!   construction — asserted on every run);
+//! * **approx:EPS**: ε-relaxed optimal refinement for each configured
+//!   slack — every reported neighbour is within `(1+ε)` of the true
+//!   k-th distance;
+//! * **sketch**: sketch-only answers straight from the columnar tree
+//!   embedding arena, never touching exact EMD.
+//!
+//! Recall is measured against the exact tier's answer set per query and
+//! averaged; latencies are per-query wall times pooled across repeats.
+//! Results go to one JSON document (`BENCH_recall.json` by default,
+//! schema `bench_recall/v1`); CI re-runs this and checks the curve —
+//! recall must not increase as ε grows, the exact tier must stay at
+//! 1.0, and the sketch tier must be at least 5× faster at p50.
+//!
+//! ```sh
+//! recall_curve --out BENCH_recall.json
+//! ```
+
+use earthmover_bench::Workload;
+use earthmover_core::pipeline::QueryEngine;
+use earthmover_core::sketch_tier::{RetrievalMode, SketchTier};
+use earthmover_obs::json_f64;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    rows: usize,
+    queries: usize,
+    k: usize,
+    /// Timed repeats per (query, tier) pair.
+    repeats: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2006,
+        rows: 600,
+        queries: 15,
+        k: 10,
+        repeats: 3,
+        out: "BENCH_recall.json".to_string(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = |name: &str| -> Result<usize, String> {
+            value
+                .parse()
+                .map_err(|_| format!("--{name} {value} is not a number"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value
+                    .parse()
+                    .map_err(|_| format!("--seed {value} is not a number"))?
+            }
+            "--rows" => args.rows = num("rows")?,
+            "--queries" => args.queries = num("queries")?,
+            "--k" => args.k = num("k")?,
+            "--repeats" => args.repeats = num("repeats")?.max(1),
+            "--out" => args.out = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The ε ladder the curve is sampled at, ascending. Capped at 0.5: the
+/// relaxed tier must stay strictly better than the sketch-only floor
+/// (CI asserts it), and past ε≈1 the pruning is loose enough that the
+/// two curves cross on small corpora.
+const EPSILONS: &[f64] = &[0.1, 0.25, 0.5];
+
+/// One measured point on the curve.
+struct Point {
+    /// Tier label for the JSON document: `exact`, `approx`, `sketch`.
+    label: &'static str,
+    epsilon: f64,
+    recall: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Percentile over pooled per-query samples (nearest-rank).
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// Fraction of `truth`'s ids that `got` recovered.
+fn recall_of(got: &[(usize, f64)], truth: &[(usize, f64)]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let want: std::collections::BTreeSet<usize> = truth.iter().map(|(id, _)| *id).collect();
+    let hit = got.iter().filter(|(id, _)| want.contains(id)).count();
+    hit as f64 / want.len() as f64
+}
+
+/// Runs every query through one tier `repeats` times; returns the
+/// measured point (recall against `truth`, pooled latency percentiles).
+fn measure(
+    engine: &QueryEngine,
+    queries: &[earthmover_core::Histogram],
+    truth: &[Vec<(usize, f64)>],
+    k: usize,
+    repeats: usize,
+    label: &'static str,
+    mode: RetrievalMode,
+) -> Result<Point, String> {
+    let mut samples = Vec::with_capacity(queries.len() * repeats);
+    let mut recall_sum = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let mut items = Vec::new();
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let result = black_box(engine.knn_mode(black_box(q), k, mode))
+                .map_err(|e| format!("{label} query {qi}: {e}"))?;
+            samples.push(t0.elapsed().as_secs_f64() * 1e6);
+            items = result.items;
+        }
+        recall_sum += recall_of(&items, &truth[qi]);
+    }
+    Ok(Point {
+        label,
+        epsilon: mode.epsilon(),
+        recall: recall_sum / queries.len() as f64,
+        p50_us: percentile(&mut samples.clone(), 0.5),
+        p99_us: percentile(&mut samples, 0.99),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let dims = 32usize;
+    let w = Workload::build(dims, args.rows, args.queries, args.seed);
+    let tier = SketchTier::build(&w.db, &w.grid, args.seed).map_err(|e| e.to_string())?;
+    let distortion = tier.distortion();
+    let engine = QueryEngine::builder(&w.db, &w.grid).sketch(tier).build();
+
+    // Ground truth: the exact tier's answer per query.
+    let truth: Vec<Vec<(usize, f64)>> = w
+        .queries
+        .iter()
+        .map(|q| {
+            engine
+                .knn_mode(q, args.k, RetrievalMode::Exact)
+                .map(|r| r.items)
+                .map_err(|e| format!("ground truth: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut points = Vec::new();
+    points.push(measure(
+        &engine,
+        &w.queries,
+        &truth,
+        args.k,
+        args.repeats,
+        "exact",
+        RetrievalMode::Exact,
+    )?);
+    for &epsilon in EPSILONS {
+        points.push(measure(
+            &engine,
+            &w.queries,
+            &truth,
+            args.k,
+            args.repeats,
+            "approx",
+            RetrievalMode::Approximate { epsilon },
+        )?);
+    }
+    points.push(measure(
+        &engine,
+        &w.queries,
+        &truth,
+        args.k,
+        args.repeats,
+        "sketch",
+        RetrievalMode::SketchOnly,
+    )?);
+
+    let exact = &points[0];
+    let sketch = points.last().expect("sketch point");
+    // The exact tier IS the ground truth: anything under 1.0 here means
+    // the mode dispatch broke, not that quality drifted.
+    assert!(
+        (exact.recall - 1.0).abs() < 1e-12,
+        "exact tier recall {} != 1.0",
+        exact.recall
+    );
+    assert!(
+        sketch.p50_us * 5.0 <= exact.p50_us,
+        "sketch p50 {}us is not >=5x faster than exact p50 {}us",
+        sketch.p50_us,
+        exact.p50_us
+    );
+
+    eprintln!(
+        "recall_curve: dims={dims} rows={} queries={} k={} (tree distortion {:.2})",
+        args.rows, args.queries, args.k, distortion
+    );
+    for p in &points {
+        eprintln!(
+            "  {:<12} recall {:.3}  p50 {:>9.1}us  p99 {:>9.1}us",
+            if p.epsilon > 0.0 {
+                format!("{}:{}", p.label, p.epsilon)
+            } else {
+                p.label.to_string()
+            },
+            p.recall,
+            p.p50_us,
+            p.p99_us
+        );
+    }
+
+    let modes: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"mode\":\"{}\",\"epsilon\":{},\"recall\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                p.label,
+                json_f64(p.epsilon),
+                json_f64(p.recall),
+                json_f64(p.p50_us),
+                json_f64(p.p99_us)
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"schema\":\"bench_recall/v1\",\"seed\":{},\"dims\":{dims},\"rows\":{},\
+         \"queries\":{},\"k\":{},\"repeats\":{},\"tree_distortion\":{},\
+         \"modes\":[{}]}}",
+        args.seed,
+        args.rows,
+        args.queries,
+        args.k,
+        args.repeats,
+        json_f64(distortion),
+        modes.join(",")
+    );
+    std::fs::write(&args.out, &doc).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

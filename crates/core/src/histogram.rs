@@ -65,7 +65,12 @@ impl fmt::Display for HistogramError {
                 )
             }
             HistogramError::ReadOnly => {
-                write!(f, "cannot ingest into a paged (read-only) database")
+                write!(
+                    f,
+                    "cannot ingest into a paged (read-only) database; build the column \
+                     file offline with storage::save_paged (or stream rows through \
+                     storage::ColumnWriter) and reopen it with storage::open_paged"
+                )
             }
         }
     }

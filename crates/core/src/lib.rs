@@ -78,6 +78,7 @@ pub mod provider;
 pub mod quadratic_form;
 pub mod reduce;
 pub mod signature;
+pub mod sketch_tier;
 pub mod stats;
 pub mod storage;
 
@@ -91,6 +92,7 @@ pub use lower_bounds::{
     DistanceKernel, DistanceMeasure, ExactEmd, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
 };
 pub use provider::{BlockData, BlockProvider, RowLease};
+pub use sketch_tier::{RetrievalInfo, RetrievalMode, SketchTier};
 
 // Re-export the substrate types users need to construct measures.
 pub use earthmover_transport::CostMatrix;

@@ -316,7 +316,43 @@ pub fn optimal_knn_within(
     exact: &dyn DistanceMeasure,
     deadline: Deadline,
 ) -> Result<QueryResult, PipelineError> {
-    let mut span = obs::span!("optimal_knn", k = k);
+    optimal_knn_relaxed_within(source, db, q, k, 0.0, intermediates, exact, deadline)
+}
+
+/// ε-relaxed optimal multistep k-NN — the approximate tier's refinement
+/// loop (see [`crate::sketch_tier::RetrievalMode::Approximate`]).
+///
+/// Identical to [`optimal_knn_within`] except that the stream-stop and
+/// intermediate-filter prune conditions test against
+/// `ε' / (1 + relax)` instead of the current k-th best distance `ε'`. A
+/// candidate is only skipped when its *lower bound* exceeds
+/// `ε' / (1 + relax)`, i.e. when its exact distance is provably larger
+/// than `d_k(final) / (1 + relax)` (the pruning radius only shrinks as
+/// refinement proceeds). Every reported distance is therefore at most
+/// `(1 + relax)` times the true k-th nearest distance, while the looser
+/// cutoff stops the stream earlier and prunes more candidates before
+/// exact-EMD refinement. Reported distances are still exact EMDs.
+///
+/// `relax = 0.0` reproduces [`optimal_knn_within`] bit for bit (the
+/// threshold divides by exactly 1.0); a non-finite or negative `relax`
+/// is treated as `0.0`.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_knn_relaxed_within(
+    source: &dyn CandidateSource,
+    db: &HistogramDb,
+    q: &Histogram,
+    k: usize,
+    relax: f64,
+    intermediates: &[&dyn DistanceMeasure],
+    exact: &dyn DistanceMeasure,
+    deadline: Deadline,
+) -> Result<QueryResult, PipelineError> {
+    let relax = if relax.is_finite() && relax > 0.0 {
+        relax
+    } else {
+        0.0
+    };
+    let mut span = obs::span!("optimal_knn", k = k, relax = relax);
     let start = Instant::now();
     let mut stats = QueryStats {
         db_size: db.len(),
@@ -354,14 +390,16 @@ pub fn optimal_knn_within(
             Some(top) if full => top.dist,
             _ => f64::INFINITY,
         };
-        if full && filter_dist > epsilon {
-            break; // no remaining object can improve the result
+        // Relaxed pruning radius: with relax = 0 this is exactly ε'.
+        let threshold = epsilon / (1.0 + relax);
+        if full && filter_dist > threshold {
+            break; // no remaining object can improve the result by > (1+relax)
         }
         let h = db.try_row(id)?;
         if full {
             for ((fi, filter), kernel) in intermediates.iter().enumerate().zip(&kernels) {
                 stats.add_filter_evaluations(filter.name(), 1);
-                if timed(&mut filter_times[fi], || kernel.eval(h.bins())) > epsilon {
+                if timed(&mut filter_times[fi], || kernel.eval(h.bins())) > threshold {
                     continue 'stream;
                 }
             }
@@ -672,6 +710,75 @@ mod tests {
                 vec!["stub: solver recovered via Bland's rule".to_string()],
                 "many degraded evaluations must collapse to one note"
             );
+        }
+    }
+
+    #[test]
+    fn relaxed_with_zero_slack_is_the_exact_algorithm() {
+        let (grid, db) = setup(90, 21);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let im = LbIm::new(&cost);
+        let q = random_histogram(&mut StdRng::seed_from_u64(9700), grid.num_bins());
+        let strict = optimal_knn(&source, &db, &q, 5, &[&im], &exact).unwrap();
+        let relaxed =
+            optimal_knn_relaxed_within(&source, &db, &q, 5, 0.0, &[&im], &exact, Deadline::none())
+                .unwrap();
+        assert_eq!(strict.items, relaxed.items);
+        assert_eq!(
+            strict.stats.exact_evaluations,
+            relaxed.stats.exact_evaluations
+        );
+        // Garbage slack values degrade to exact, not to nonsense.
+        let nan = optimal_knn_relaxed_within(
+            &source,
+            &db,
+            &q,
+            5,
+            f64::NAN,
+            &[&im],
+            &exact,
+            Deadline::none(),
+        )
+        .unwrap();
+        assert_eq!(strict.items, nan.items);
+    }
+
+    #[test]
+    fn relaxed_knn_honors_the_distance_ratio_guarantee() {
+        let (grid, db) = setup(100, 22);
+        let cost = grid.cost_matrix();
+        let exact = ExactEmd::new(cost.clone());
+        let source = ScanSource::new(&db, LbManhattan::new(&cost));
+        let k = 5;
+        for seed in 0..4 {
+            let q = random_histogram(&mut StdRng::seed_from_u64(9800 + seed), grid.num_bins());
+            let truth = linear_scan_knn(&db, &q, k, &exact).unwrap();
+            let true_kth = truth.items.last().unwrap().1;
+            for relax in [0.25, 0.5, 1.0, 4.0] {
+                let r = optimal_knn_relaxed_within(
+                    &source,
+                    &db,
+                    &q,
+                    k,
+                    relax,
+                    &[],
+                    &exact,
+                    Deadline::none(),
+                )
+                .unwrap();
+                assert_eq!(r.items.len(), k);
+                for (_, d) in &r.items {
+                    assert!(
+                        *d <= (1.0 + relax) * true_kth + 1e-9,
+                        "seed {seed} relax {relax}: {d} > (1+eps) * {true_kth}"
+                    );
+                }
+                // More slack never costs more refinements than exact.
+                let strict = optimal_knn(&source, &db, &q, k, &[], &exact).unwrap();
+                assert!(r.stats.exact_evaluations <= strict.stats.exact_evaluations);
+            }
         }
     }
 

@@ -23,7 +23,7 @@ mod stream;
 
 pub use algorithms::{
     gemini_knn, gemini_knn_within, linear_scan_knn, linear_scan_knn_within, optimal_knn,
-    optimal_knn_within, range_query, range_query_within, QueryResult,
+    optimal_knn_relaxed_within, optimal_knn_within, range_query, range_query_within, QueryResult,
 };
 pub use source::{
     CandidateSource, FailingSource, RankingCursor, RtreeSource, ScanSource, SourceCost,

@@ -37,6 +37,10 @@ pub const NOTE_LITERALS: &[&str] = &[
     "exact EMD: transportation simplex hit its pivot cap; recovered via Bland's rule",
     // crates/core/src/lower_bounds/exact.rs — RUNG_DENSE_LP
     "exact EMD: transportation simplex exhausted; recovered via dense LP",
+    // crates/core/src/sketch_tier.rs — SKETCH_ONLY_NOTE
+    "SKETCH_ONLY: refinement skipped; distances are sketch approximations",
+    // crates/core/src/sketch_tier.rs — SKETCH_UNAVAILABLE_NOTE
+    "SKETCH_UNAVAILABLE: no sketch tier loaded; query served exact",
 ];
 
 /// Static heads of `format!`-built degradation notes. A recorded note
@@ -71,6 +75,8 @@ mod tests {
         assert!(NOTE_LITERALS.contains(&crate::deadline::DEADLINE_NOTE));
         assert!(NOTE_LITERALS.contains(&crate::lower_bounds::RUNG_BLAND));
         assert!(NOTE_LITERALS.contains(&crate::lower_bounds::RUNG_DENSE_LP));
+        assert!(NOTE_LITERALS.contains(&crate::sketch_tier::SKETCH_ONLY_NOTE));
+        assert!(NOTE_LITERALS.contains(&crate::sketch_tier::SKETCH_UNAVAILABLE_NOTE));
     }
 
     #[test]

@@ -25,10 +25,11 @@ use crate::ground::BinGrid;
 use crate::histogram::Histogram;
 use crate::lower_bounds::{DistanceMeasure, ExactEmd, LbAvg, LbIm, LbManhattan};
 use crate::multistep::{
-    gemini_knn_within, optimal_knn_within, range_query_within, CandidateSource, QueryResult,
-    RtreeSource, ScanSource,
+    gemini_knn_within, optimal_knn_relaxed_within, optimal_knn_within, range_query_within,
+    CandidateSource, QueryResult, RtreeSource, ScanSource,
 };
 use crate::reduce::{AvgReducer, ManhattanReducer};
+use crate::sketch_tier::{RetrievalInfo, RetrievalMode, SketchTier, SKETCH_UNAVAILABLE_NOTE};
 use earthmover_obs as obs;
 
 /// How the first (candidate-generating) stage is organized.
@@ -94,6 +95,7 @@ pub struct EngineBuilder<'a> {
     custom_source: Option<Box<dyn CandidateSource + Send + Sync + 'a>>,
     use_im: bool,
     algorithm: KnnAlgorithm,
+    sketch: Option<SketchTier>,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -113,6 +115,15 @@ impl<'a> EngineBuilder<'a> {
     /// Selects the k-NN algorithm (default: optimal multistep).
     pub fn algorithm(mut self, algorithm: KnnAlgorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Attaches a sketch tier so the engine can serve
+    /// [`RetrievalMode::SketchOnly`] queries without refinement. Without
+    /// one, sketch-only requests degrade to the exact pipeline and record
+    /// [`SKETCH_UNAVAILABLE_NOTE`].
+    pub fn sketch(mut self, tier: SketchTier) -> Self {
+        self.sketch = Some(tier);
         self
     }
 
@@ -188,6 +199,7 @@ impl<'a> EngineBuilder<'a> {
             stage,
             fallback,
             algorithm: self.algorithm,
+            sketch: self.sketch,
         }
     }
 }
@@ -216,6 +228,8 @@ pub struct QueryEngine<'a> {
     /// Sequential-scan source used when `stage` fails at query time.
     fallback: ScanSource<'a, LbManhattan>,
     algorithm: KnnAlgorithm,
+    /// Approximate tier serving [`RetrievalMode::SketchOnly`] queries.
+    sketch: Option<SketchTier>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -229,7 +243,13 @@ impl<'a> QueryEngine<'a> {
             custom_source: None,
             use_im: true,
             algorithm: KnnAlgorithm::Optimal,
+            sketch: None,
         }
+    }
+
+    /// The sketch tier attached at build time, if any.
+    pub fn sketch_tier(&self) -> Option<&SketchTier> {
+        self.sketch.as_ref()
     }
 
     /// The exact distance measure the engine refines with.
@@ -306,6 +326,100 @@ impl<'a> QueryEngine<'a> {
                 Ok(result)
             }
             other => other,
+        }
+    }
+
+    /// [`QueryEngine::knn`] on an explicit recall/latency tier.
+    ///
+    /// * [`RetrievalMode::Exact`] — the configured pipeline, recall 1.0.
+    /// * [`RetrievalMode::Approximate`] — ε-relaxed optimal multistep
+    ///   refinement (regardless of the configured [`KnnAlgorithm`]):
+    ///   every reported neighbor is within `(1 + ε)` of the true k-th
+    ///   nearest distance, with fewer exact-EMD refinements.
+    /// * [`RetrievalMode::SketchOnly`] — answered straight from the
+    ///   attached sketch tier, skipping refinement; degrades to exact
+    ///   with [`SKETCH_UNAVAILABLE_NOTE`] when no tier is attached.
+    ///
+    /// Unlike the mode-less API, the result's
+    /// [`crate::stats::QueryStats::retrieval`] is always populated.
+    pub fn knn_mode(
+        &self,
+        q: &Histogram,
+        k: usize,
+        mode: RetrievalMode,
+    ) -> Result<QueryResult, PipelineError> {
+        self.knn_mode_within(q, k, mode, Deadline::none())
+    }
+
+    /// [`QueryEngine::knn_mode`] under a wall-clock budget; partial-result
+    /// semantics as for [`QueryEngine::knn_within`].
+    pub fn knn_mode_within(
+        &self,
+        q: &Histogram,
+        k: usize,
+        mode: RetrievalMode,
+        deadline: Deadline,
+    ) -> Result<QueryResult, PipelineError> {
+        match mode {
+            RetrievalMode::Exact => {
+                let mut result = self.knn_within(q, k, deadline)?;
+                result.stats.retrieval = Some(RetrievalInfo { mode, recall: 1.0 });
+                Ok(result)
+            }
+            RetrievalMode::Approximate { epsilon } => {
+                let mut span = obs::span!("engine_knn", k = k);
+                span.record("relax", epsilon);
+                let run = |source: &dyn CandidateSource| {
+                    optimal_knn_relaxed_within(
+                        source,
+                        self.db,
+                        q,
+                        k,
+                        epsilon,
+                        &self.intermediates(),
+                        &self.exact,
+                        deadline,
+                    )
+                };
+                let mut result = match run(self.stage.as_source()) {
+                    Err(PipelineError::Source { stage, reason }) => {
+                        span.record("degraded", 1.0);
+                        let mut result = run(&self.fallback)?;
+                        Self::record_degradation(&mut result, &stage, &reason);
+                        result
+                    }
+                    other => other?,
+                };
+                // The distance-ratio guarantee as a worst-case recall
+                // figure; negative/non-finite slack degrades to exact.
+                let slack = if epsilon.is_finite() && epsilon > 0.0 {
+                    epsilon
+                } else {
+                    0.0
+                };
+                result.stats.retrieval = Some(RetrievalInfo {
+                    mode,
+                    recall: 1.0 / (1.0 + slack),
+                });
+                Ok(result)
+            }
+            RetrievalMode::SketchOnly => match &self.sketch {
+                Some(tier) => {
+                    let (items, stats) = tier.knn_with_stats(q, k, deadline)?;
+                    Ok(QueryResult { items, stats })
+                }
+                None => {
+                    let mut result = self.knn_within(q, k, deadline)?;
+                    result
+                        .stats
+                        .record_degradation_once(SKETCH_UNAVAILABLE_NOTE);
+                    result.stats.retrieval = Some(RetrievalInfo {
+                        mode: RetrievalMode::Exact,
+                        recall: 1.0,
+                    });
+                    Ok(result)
+                }
+            },
         }
     }
 
@@ -622,6 +736,96 @@ mod degradation_tests {
             r.stats.stage_time(crate::stats::stage::EXACT).is_some(),
             "fallback path must keep stage timings"
         );
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use crate::lower_bounds::test_support::random_histogram;
+    use crate::sketch_tier::{SKETCH_ONLY_NOTE, SKETCH_UNAVAILABLE_NOTE};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(count: usize) -> (BinGrid, HistogramDb) {
+        let grid = BinGrid::new(vec![2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(90210);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..count {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        (grid, db)
+    }
+
+    #[test]
+    fn exact_mode_matches_the_modeless_api_and_reports_recall_one() {
+        let (grid, db) = setup(60);
+        let q = random_histogram(&mut StdRng::seed_from_u64(1), grid.num_bins());
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let plain = engine.knn(&q, 5).unwrap();
+        assert!(plain.stats.retrieval.is_none(), "mode-less API stays None");
+        let exact = engine.knn_mode(&q, 5, RetrievalMode::Exact).unwrap();
+        assert_eq!(exact.items, plain.items);
+        let info = exact.stats.retrieval.unwrap();
+        assert_eq!(info.mode, RetrievalMode::Exact);
+        assert_eq!(info.recall, 1.0);
+    }
+
+    #[test]
+    fn approximate_mode_honors_the_distance_ratio_guarantee() {
+        let (grid, db) = setup(90);
+        let q = random_histogram(&mut StdRng::seed_from_u64(2), grid.num_bins());
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let strict = engine.knn(&q, 6).unwrap();
+        let true_kth = strict.items.last().unwrap().1;
+        for epsilon in [0.0, 0.5, 2.0] {
+            let r = engine
+                .knn_mode(&q, 6, RetrievalMode::Approximate { epsilon })
+                .unwrap();
+            assert_eq!(r.items.len(), strict.items.len());
+            for (_, d) in &r.items {
+                assert!(
+                    *d <= (1.0 + epsilon) * true_kth + 1e-9,
+                    "eps={epsilon}: {d} vs kth {true_kth}"
+                );
+            }
+            assert!(r.stats.exact_evaluations <= strict.stats.exact_evaluations);
+            let info = r.stats.retrieval.unwrap();
+            assert_eq!(info.mode, RetrievalMode::Approximate { epsilon });
+            assert!((info.recall - 1.0 / (1.0 + epsilon)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sketch_only_mode_answers_from_the_tier_without_refinement() {
+        let (grid, db) = setup(70);
+        let tier = SketchTier::build(&db, &grid, 42).unwrap();
+        let engine = QueryEngine::builder(&db, &grid).sketch(tier).build();
+        assert!(engine.sketch_tier().is_some());
+        let q = db.get(11).to_histogram();
+        let r = engine.knn_mode(&q, 4, RetrievalMode::SketchOnly).unwrap();
+        assert_eq!(r.items[0].0, 11, "identical row must rank first");
+        assert_eq!(r.stats.exact_evaluations, 0, "no refinement in sketch mode");
+        assert!(r.stats.degradations.iter().any(|d| d == SKETCH_ONLY_NOTE));
+        assert_eq!(r.stats.retrieval.unwrap().mode, RetrievalMode::SketchOnly);
+    }
+
+    #[test]
+    fn sketch_only_without_a_tier_degrades_to_exact() {
+        let (grid, db) = setup(40);
+        let q = random_histogram(&mut StdRng::seed_from_u64(3), grid.num_bins());
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let exact = engine.knn(&q, 3).unwrap();
+        let r = engine.knn_mode(&q, 3, RetrievalMode::SketchOnly).unwrap();
+        assert_eq!(r.items, exact.items, "answer stays exact");
+        assert!(r
+            .stats
+            .degradations
+            .iter()
+            .any(|d| d == SKETCH_UNAVAILABLE_NOTE));
+        let info = r.stats.retrieval.unwrap();
+        assert_eq!(info.mode, RetrievalMode::Exact);
+        assert_eq!(info.recall, 1.0);
     }
 }
 

@@ -100,6 +100,12 @@ pub struct QueryStats {
     /// and re-sorts by `(shard, endpoint)`, so the set is
     /// order-independent under merge.
     pub provenance: Vec<ShardProvenance>,
+    /// Which retrieval tier answered and the recall it guarantees
+    /// (see [`crate::sketch_tier::RetrievalInfo`]). `None` for queries
+    /// issued through the mode-less API (always exact). Merging keeps
+    /// `self`'s entry when present, otherwise adopts `other`'s — merged
+    /// partials of one query all carry the same mode.
+    pub retrieval: Option<crate::sketch_tier::RetrievalInfo>,
 }
 
 impl QueryStats {
@@ -197,6 +203,9 @@ impl QueryStats {
             self.record_degradation_once(note);
         }
         self.deadline_expired |= other.deadline_expired;
+        if self.retrieval.is_none() {
+            self.retrieval = other.retrieval;
+        }
         if !other.provenance.is_empty() {
             self.provenance.extend(other.provenance.iter().cloned());
             self.provenance
@@ -370,6 +379,30 @@ mod tests {
     #[test]
     fn straggler_of_plain_stats_is_none() {
         assert!(QueryStats::default().straggler().is_none());
+    }
+
+    #[test]
+    fn merge_adopts_retrieval_info_without_overwriting() {
+        use crate::sketch_tier::{RetrievalInfo, RetrievalMode};
+        let mut a = QueryStats::default();
+        let b = QueryStats {
+            retrieval: Some(RetrievalInfo {
+                mode: RetrievalMode::Approximate { epsilon: 0.5 },
+                recall: 1.0 / 1.5,
+            }),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retrieval, b.retrieval);
+        let c = QueryStats {
+            retrieval: Some(RetrievalInfo {
+                mode: RetrievalMode::Exact,
+                recall: 1.0,
+            }),
+            ..Default::default()
+        };
+        a.merge(&c);
+        assert_eq!(a.retrieval, b.retrieval, "merge keeps the first entry");
     }
 
     #[test]

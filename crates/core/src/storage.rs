@@ -23,9 +23,9 @@
 
 use crate::db::HistogramDb;
 use crate::provider::PagedBlocks;
-pub use earthmover_storage::{StdVfs, Vfs};
+pub use earthmover_storage::{ColumnWriter, StdVfs, Vfs};
 
-use earthmover_storage::{rows_per_block_for, BlockPool, ColumnStore, ColumnWriter};
+use earthmover_storage::{rows_per_block_for, BlockPool, ColumnStore};
 use std::fmt;
 use std::fs;
 use std::io;

@@ -16,12 +16,20 @@
 //!    respective minimal costs) and the symmetrized independent
 //!    minimization dominating the plain one,
 //!    `LB_IM^sym = max(fwd, bwd) ≥ LB_IM^fwd`.
+//!
+//! The approximate tier joins the matrix with its own contracts: the
+//! tree embedding's certified two-sided distortion bound, the normal
+//! sketch's metric hygiene (symmetry, zero on self), and the ε-relaxed
+//! refinement's `(1+ε)` guarantee against the exact k-NN answer.
 
 use earthmover_core::db::HistogramDb;
+use earthmover_core::pipeline::QueryEngine;
 use earthmover_core::quadratic_form::QuadraticForm;
+use earthmover_core::sketch_tier::RetrievalMode;
 use earthmover_core::{
     BinGrid, DistanceMeasure, ExactEmd, Histogram, LbAvg, LbEuclidean, LbIm, LbManhattan, LbMax,
 };
+use earthmover_sketch::{NormalProjection, Sketch, TreeEmbedding};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,6 +208,107 @@ proptest! {
                     "{name}: eval_block row {id} = {got:e} vs distance = {want:e}"
                 );
             }
+        }
+    }
+
+    /// The tree embedding's certified two-sided bound: for every
+    /// histogram pair, `EMD ≤ d_tree ≤ Γ·EMD` with `Γ = distortion()`.
+    /// The lower side is what makes sketch-only recall quantifiable; the
+    /// upper side is what `certify()` promised at construction.
+    #[test]
+    fn tree_embedding_respects_certified_distortion(
+        seed in any::<u64>(),
+        shape in 0usize..3,
+    ) {
+        let axes = [vec![4, 2, 2], vec![4, 4, 2], vec![3, 3, 3]][shape].clone();
+        let grid = BinGrid::new(axes);
+        let cost = grid.cost_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, grid.num_bins());
+        let y = random_histogram(&mut rng, grid.num_bins());
+        let exact = ExactEmd::new(cost).distance(&x, &y);
+
+        let tree = TreeEmbedding::new(grid.centroids(), seed).unwrap();
+        let gamma = tree.distortion();
+        prop_assert!(gamma >= 1.0, "distortion {gamma} < 1");
+        let mut ex = vec![0.0; tree.dim()];
+        let mut ey = vec![0.0; tree.dim()];
+        tree.project(x.bins(), &mut ex).unwrap();
+        tree.project(y.bins(), &mut ey).unwrap();
+        let d_tree = tree.distance(&ex, &ey);
+        prop_assert!(
+            d_tree + EPS >= exact,
+            "tree distance {d_tree} fell below EMD {exact}"
+        );
+        prop_assert!(
+            d_tree <= gamma * exact + EPS,
+            "tree distance {d_tree} > {gamma} * EMD {exact}"
+        );
+    }
+
+    /// Metric hygiene of the normal sketch's closed-form distance: it
+    /// makes no admissibility claim, but it must be symmetric,
+    /// non-negative, and exactly zero on identical histograms for the
+    /// index scan over it to rank sensibly.
+    #[test]
+    fn normal_sketch_distance_is_symmetric_and_zero_on_self(
+        seed in any::<u64>(),
+        shape in 0usize..3,
+    ) {
+        let axes = [vec![4, 2, 2], vec![4, 4, 2], vec![3, 3, 3]][shape].clone();
+        let grid = BinGrid::new(axes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_histogram(&mut rng, grid.num_bins());
+        let y = random_histogram(&mut rng, grid.num_bins());
+
+        let normal = NormalProjection::new(grid.centroids()).unwrap();
+        let mut ex = vec![0.0; normal.dim()];
+        let mut ey = vec![0.0; normal.dim()];
+        normal.project(x.bins(), &mut ex).unwrap();
+        normal.project(y.bins(), &mut ey).unwrap();
+        let fwd = normal.distance(&ex, &ey);
+        let bwd = normal.distance(&ey, &ex);
+        prop_assert!(fwd >= 0.0, "negative normal distance {fwd}");
+        prop_assert!(
+            within_one_ulp(fwd, bwd),
+            "normal distance is asymmetric: {fwd:e} vs {bwd:e}"
+        );
+        prop_assert!(
+            normal.distance(&ex, &ex) == 0.0,
+            "normal self-distance is not zero"
+        );
+    }
+
+    /// The ε-relaxed refinement's contract: every distance it reports is
+    /// within `(1+ε)` of the exact k-th-neighbour distance, for any ε.
+    /// At ε = 0 the relaxation IS the exact algorithm, so the guarantee
+    /// degrades continuously, never abruptly.
+    #[test]
+    fn relaxed_knn_stays_within_epsilon_of_exact(
+        seed in any::<u64>(),
+        epsilon in 0.0f64..2.0,
+    ) {
+        let grid = BinGrid::new(vec![4, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = HistogramDb::new(grid.num_bins());
+        for _ in 0..40 {
+            db.push(random_histogram(&mut rng, grid.num_bins()));
+        }
+        let q = random_histogram(&mut rng, grid.num_bins());
+        let k = 5;
+
+        let engine = QueryEngine::builder(&db, &grid).build();
+        let exact = engine.knn(&q, k).unwrap();
+        let kth = exact.items.last().map(|(_, d)| *d).unwrap_or(0.0);
+        let relaxed = engine
+            .knn_mode(&q, k, RetrievalMode::Approximate { epsilon })
+            .unwrap();
+        prop_assert_eq!(relaxed.items.len(), exact.items.len());
+        for (id, d) in &relaxed.items {
+            prop_assert!(
+                *d <= (1.0 + epsilon) * kth + EPS,
+                "relaxed neighbour {id} at {d} exceeds (1+{epsilon}) * exact k-th {kth}"
+            );
         }
     }
 }

@@ -34,6 +34,10 @@ pub const SPAN_NAMES: &[&str] = &[
     "rtree_range",
     "mtree_knn",
     "mtree_range",
+    // sketch tier: one build span per tier construction, one scan span
+    // per sketch-only k-NN answered from the columnar arenas.
+    "sketch_build",
+    "sketch_scan",
     // storage
     "storage_recovery_scan",
     // columnar block store: one span per buffer-pool miss (a block read
@@ -148,6 +152,9 @@ pub const METRIC_NAMES: &[&str] = &[
     "filter_cache_hit_total",
     "filter_cache_miss_total",
     "filter_cache_entries",
+    // approximate retrieval: sketch-only k-NN requests admitted by the
+    // single-node server or fanned out by the coordinator.
+    "sketch_queries_total",
 ];
 
 #[cfg(test)]

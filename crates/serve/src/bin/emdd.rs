@@ -14,6 +14,7 @@
 
 use earthmover_core::ground::BinGrid;
 use earthmover_core::storage;
+use earthmover_core::{RetrievalMode, SketchTier};
 use earthmover_obs as obs;
 use earthmover_serve::server::{Server, ServerConfig, StopHandle};
 use std::collections::HashMap;
@@ -30,7 +31,12 @@ fn main() -> ExitCode {
              [--read-timeout-ms MS] [--default-deadline-ms MS] [--trace-json PATH]\n  \
              [--max-resident-mb N]   serve through a paged column store with an\n  \
                                      N-MiB buffer pool (converts FILE to FILE.emdc\n  \
-                                     on first use) instead of loading into RAM"
+                                     on first use) instead of loading into RAM\n  \
+             [--sketch on|off]       build/load the FILE.emds sketch sidecar so\n  \
+                                     sketch-only retrieval is served (default on)\n  \
+             [--sketch-seed N]       grid-shift seed for a fresh sidecar (default 42)\n  \
+             [--default-mode MODE]   retrieval tier for mode-less requests:\n  \
+                                     exact | sketch | approx:EPS"
         );
         return ExitCode::from(2);
     };
@@ -94,14 +100,22 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or("127.0.0.1:4406");
 
     let default_deadline_ms: u64 = get_num(flags, "default-deadline-ms", 0)?;
+    let default_mode = match flags.get("default-mode") {
+        None => None,
+        Some(spec) => Some(RetrievalMode::parse(spec).ok_or_else(|| {
+            format!("--default-mode {spec}: expected exact, sketch, or approx:EPS")
+        })?),
+    };
     let cfg = ServerConfig {
         workers: get_num(flags, "workers", 4)?,
         queue_depth: get_num(flags, "queue", 64)?,
         read_timeout: Duration::from_millis(get_num(flags, "read-timeout-ms", 30_000)?),
         default_deadline: (default_deadline_ms > 0)
             .then(|| Duration::from_millis(default_deadline_ms)),
+        default_mode,
         ..ServerConfig::default()
     };
+    let sketch = sketch_tier(flags, db_path, &db, &grid)?;
 
     let subscriber: Option<Arc<dyn obs::Subscriber>> = match flags.get("trace-json") {
         None => None,
@@ -129,10 +143,65 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     watch_signals(server.stop_handle());
     server
-        .run(&db, &grid, subscriber)
+        .run_with(&db, &grid, subscriber, sketch)
         .map_err(|e| e.to_string())?;
     eprintln!("emdd: drained, bye");
     Ok(())
+}
+
+/// Loads the `<db>.emds` sketch sidecar, or builds and persists one on
+/// first start. `--sketch off` skips the tier entirely (sketch-only
+/// requests then degrade to exact with a `SKETCH_UNAVAILABLE` note); a
+/// stale or mismatched sidecar is rebuilt from the store, not trusted.
+fn sketch_tier(
+    flags: &HashMap<String, String>,
+    db_path: &str,
+    db: &earthmover_core::HistogramDb,
+    grid: &BinGrid,
+) -> Result<Option<SketchTier>, String> {
+    match flags.get("sketch").map(|s| s.as_str()) {
+        Some("off") => return Ok(None),
+        Some("on") | None => {}
+        Some(other) => return Err(format!("--sketch {other}: expected on or off")),
+    }
+    let seed: u64 = get_num(flags, "sketch-seed", 42)?;
+    let sidecar = std::path::PathBuf::from(format!("{db_path}.emds"));
+    if sidecar.exists() {
+        match SketchTier::load(&sidecar, grid) {
+            Ok(tier) if tier.rows() == db.len() && tier.seed() == seed => {
+                eprintln!(
+                    "emdd: loaded sketch sidecar {} ({} rows, distortion {:.2})",
+                    sidecar.display(),
+                    tier.rows(),
+                    tier.distortion()
+                );
+                return Ok(Some(tier));
+            }
+            Ok(_) => eprintln!(
+                "emdd: sketch sidecar {} is stale, rebuilding",
+                sidecar.display()
+            ),
+            Err(e) => eprintln!(
+                "emdd: sketch sidecar {}: {e}; rebuilding",
+                sidecar.display()
+            ),
+        }
+    }
+    let tier = SketchTier::build(db, grid, seed).map_err(|e| format!("sketch build: {e}"))?;
+    match tier.save(&sidecar) {
+        Ok(()) => eprintln!(
+            "emdd: built sketch sidecar {} ({} rows, distortion {:.2})",
+            sidecar.display(),
+            tier.rows(),
+            tier.distortion()
+        ),
+        // A read-only data directory is not fatal: serve from memory.
+        Err(e) => eprintln!(
+            "emdd: could not persist sketch sidecar {}: {e} (serving from memory)",
+            sidecar.display()
+        ),
+    }
+    Ok(Some(tier))
 }
 
 /// Opens `db_path` as a paged column store with a `max_resident_mb`-MiB

@@ -36,7 +36,9 @@ fn main() -> ExitCode {
              [--workers N] [--queue N] [--io-timeout-ms MS] [--retries N]\n  \
              [--retry-base-ms MS] [--hedge-ms MS] [--no-hedge true]\n  \
              [--sub-budget F] [--default-deadline-ms MS] [--trace-json PATH]\n  \
-             [--slow-query-ms MS] [--sample-every N] [--scrape-interval-ms MS]"
+             [--slow-query-ms MS] [--sample-every N] [--scrape-interval-ms MS]\n  \
+             [--default-mode MODE]   retrieval tier for mode-less k-NN requests:\n  \
+                                     exact | sketch | approx:EPS"
         );
         return ExitCode::from(2);
     };
@@ -175,6 +177,12 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         })
         .transpose()?;
     let scrape_interval_ms: u64 = get_num(flags, "scrape-interval-ms", 2_000)?;
+    let default_mode = match flags.get("default-mode") {
+        None => None,
+        Some(spec) => Some(earthmover_core::RetrievalMode::parse(spec).ok_or_else(|| {
+            format!("--default-mode {spec}: expected exact, sketch, or approx:EPS")
+        })?),
+    };
     let cfg = CoordServerConfig {
         workers: get_num(flags, "workers", 4)?,
         queue_depth: get_num(flags, "queue", 64)?,
@@ -183,6 +191,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         trace_sample_every: get_num(flags, "sample-every", 0)?,
         fleet_scrape_interval: (scrape_interval_ms > 0)
             .then(|| Duration::from_millis(scrape_interval_ms)),
+        default_mode,
         ..CoordServerConfig::default()
     };
     let server = CoordServer::bind(addr, cfg, cluster).map_err(|e| format!("bind {addr}: {e}"))?;

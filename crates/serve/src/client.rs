@@ -9,7 +9,7 @@
 use crate::protocol::{self, ErrorCode, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};
 use crate::retry::RetryPolicy;
 use earthmover_core::stats::QueryStats;
-use earthmover_core::Histogram;
+use earthmover_core::{Histogram, RetrievalMode};
 use earthmover_obs as obs;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -201,14 +201,22 @@ impl Client {
     }
 
     fn call(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
+        self.call_mode(req, None)
+    }
+
+    fn call_mode(
+        &mut self,
+        req: &Request,
+        mode: Option<RetrievalMode>,
+    ) -> Result<(u64, Response), ClientError> {
         let mut attempt: u32 = 0;
         loop {
             let result = if attempt == 0 {
-                self.call_once(req)
+                self.call_once(req, mode)
             } else {
                 // A fresh socket: the old one died with a wire error.
                 match self.reconnect() {
-                    Ok(()) => self.call_once(req),
+                    Ok(()) => self.call_once(req, mode),
                     Err(e) => Err(e),
                 }
             };
@@ -228,14 +236,19 @@ impl Client {
         }
     }
 
-    fn call_once(&mut self, req: &Request) -> Result<(u64, Response), ClientError> {
+    fn call_once(
+        &mut self,
+        req: &Request,
+        mode: Option<RetrievalMode>,
+    ) -> Result<(u64, Response), ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         // Ambient propagation: when the calling thread carries a
         // distributed trace context (see `earthmover_obs::set_trace`),
         // forward it so the server's spans link into the same trace.
-        // Without one the frame is byte-identical to protocol v1.
-        let frame = protocol::encode_request_traced(id, req, obs::current_trace())?;
+        // Without a context or a mode the frame is byte-identical to
+        // protocol v1.
+        let frame = protocol::encode_request_full(id, req, obs::current_trace(), mode)?;
         protocol::write_frame(&mut self.stream, &frame)?;
         let raw = protocol::read_frame(&mut self.stream, self.max_frame_len)?
             .ok_or(ClientError::Wire(WireError::Truncated))?;
@@ -250,8 +263,12 @@ impl Client {
         Ok((id, resp))
     }
 
-    fn query(&mut self, req: &Request) -> Result<Outcome, ClientError> {
-        match self.call(req)?.1 {
+    fn query(
+        &mut self,
+        req: &Request,
+        mode: Option<RetrievalMode>,
+    ) -> Result<Outcome, ClientError> {
+        match self.call_mode(req, mode)?.1 {
             Response::Results { items, stats } => Ok(Outcome::Complete { items, stats }),
             Response::DeadlineExceeded { items, stats } => Ok(Outcome::Partial { items, stats }),
             Response::Overloaded { queue_depth, stats } => {
@@ -269,11 +286,34 @@ impl Client {
         k: u32,
         deadline_us: u64,
     ) -> Result<Outcome, ClientError> {
-        self.query(&Request::Knn {
-            k,
-            deadline_us,
-            histogram: histogram.clone(),
-        })
+        self.query(
+            &Request::Knn {
+                k,
+                deadline_us,
+                histogram: histogram.clone(),
+            },
+            None,
+        )
+    }
+
+    /// [`Client::knn`] on an explicit retrieval tier: the mode travels
+    /// as a version-2 frame extension and the response's stats carry
+    /// the tier that actually answered (`stats.retrieval`).
+    pub fn knn_mode(
+        &mut self,
+        histogram: &Histogram,
+        k: u32,
+        deadline_us: u64,
+        mode: RetrievalMode,
+    ) -> Result<Outcome, ClientError> {
+        self.query(
+            &Request::Knn {
+                k,
+                deadline_us,
+                histogram: histogram.clone(),
+            },
+            Some(mode),
+        )
     }
 
     /// Range query. `deadline_us == 0` means "use the server default".
@@ -283,11 +323,14 @@ impl Client {
         epsilon: f64,
         deadline_us: u64,
     ) -> Result<Outcome, ClientError> {
-        self.query(&Request::Range {
-            epsilon,
-            deadline_us,
-            histogram: histogram.clone(),
-        })
+        self.query(
+            &Request::Range {
+                epsilon,
+                deadline_us,
+                histogram: histogram.clone(),
+            },
+            None,
+        )
     }
 
     /// Liveness probe.

@@ -428,6 +428,32 @@ impl Coordinator {
         let query = ShardQuery::Knn {
             histogram: self.validated(histogram)?,
             k,
+            mode: None,
+        };
+        let outcome = self.scatter_gather(&query, deadline_us, Some(k));
+        Ok(outcome)
+    }
+
+    /// [`Coordinator::knn`] on an explicit retrieval tier: the mode is
+    /// forwarded to every shard leg and the merged stats carry the tier
+    /// each shard answered with (first shard's entry wins the merge —
+    /// all partials of one query run the same mode).
+    pub fn knn_mode(
+        &mut self,
+        histogram: &Histogram,
+        k: u32,
+        deadline_us: u64,
+        mode: earthmover_core::RetrievalMode,
+    ) -> Result<Outcome, CoordError> {
+        let _span = obs::span!("coord_request");
+        self.shared.registry.counter("coord_knn_total").inc(1);
+        if matches!(mode, earthmover_core::RetrievalMode::SketchOnly) {
+            self.shared.registry.counter("sketch_queries_total").inc(1);
+        }
+        let query = ShardQuery::Knn {
+            histogram: self.validated(histogram)?,
+            k,
+            mode: Some(mode),
         };
         let outcome = self.scatter_gather(&query, deadline_us, Some(k));
         Ok(outcome)

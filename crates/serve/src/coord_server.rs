@@ -58,6 +58,10 @@ pub struct CoordServerConfig {
     /// disables scraping (the `stats` response then carries only the
     /// coordinator's own registry).
     pub fleet_scrape_interval: Option<Duration>,
+    /// Retrieval tier for k-NN requests that arrive without a mode
+    /// extension. `None` (the default) preserves the historical
+    /// mode-less exact path byte-for-byte.
+    pub default_mode: Option<earthmover_core::RetrievalMode>,
 }
 
 impl Default for CoordServerConfig {
@@ -71,6 +75,7 @@ impl Default for CoordServerConfig {
             slow_query: None,
             trace_sample_every: 0,
             fleet_scrape_interval: Some(Duration::from_secs(2)),
+            default_mode: None,
         }
     }
 }
@@ -334,8 +339,8 @@ fn handle_frame(
     // otherwise head-sample — every Nth uncontexted query starts a
     // fresh sampled trace rooted here.
     let trace = match &decoded {
-        Ok((_, Some(context))) => Some(*context),
-        Ok((_, None)) if is_query && shared.cfg.trace_sample_every > 0 => {
+        Ok((_, exts)) if exts.trace.is_some() => exts.trace,
+        Ok((_, _)) if is_query && shared.cfg.trace_sample_every > 0 => {
             let n = shared.sampler.fetch_add(1, Ordering::Relaxed);
             if n.is_multiple_of(shared.cfg.trace_sample_every) {
                 registry.counter("coord_traces_sampled_total").inc(1);
@@ -348,7 +353,7 @@ fn handle_frame(
     };
     let _trace_scope = trace.map(|t| obs::set_trace(Some(t)));
     let (response, keep_going) = match decoded {
-        Ok((req, _)) => execute(shared, coordinator, req),
+        Ok((req, exts)) => execute(shared, coordinator, req, exts.mode),
         Err(err) => {
             registry.counter("coord_errors_total").inc(1);
             (
@@ -380,17 +385,28 @@ fn handle_frame(
 
 /// Runs one decoded request through the coordinator. Returns the
 /// response and whether the connection may continue.
-fn execute(shared: &Shared, coordinator: &mut Coordinator, req: Request) -> (Response, bool) {
+fn execute(
+    shared: &Shared,
+    coordinator: &mut Coordinator,
+    req: Request,
+    mode: Option<earthmover_core::RetrievalMode>,
+) -> (Response, bool) {
     let registry = shared.cluster.registry();
     match req {
         Request::Knn {
             k,
             deadline_us,
             histogram,
-        } => (
-            outcome_response(coordinator.knn(&histogram, k, deadline_us), registry),
-            true,
-        ),
+        } => {
+            // An explicit retrieval mode fans out as-is; mode-less
+            // traffic keeps the historical exact path byte-for-byte
+            // unless the operator set a cluster-wide default tier.
+            let result = match mode.or(shared.cfg.default_mode) {
+                Some(mode) => coordinator.knn_mode(&histogram, k, deadline_us, mode),
+                None => coordinator.knn(&histogram, k, deadline_us),
+            };
+            (outcome_response(result, registry), true)
+        }
         Request::Range {
             epsilon,
             deadline_us,

@@ -193,6 +193,14 @@ pub struct FleetRow {
     pub p99_ms: Option<f64>,
     /// The shard's `serve_queue_depth` gauge.
     pub queue_depth: Option<f64>,
+    /// Buffer-pool hit rate computed from the shard's `pool_hit_total`
+    /// and `pool_miss_total` gauges; `None` when the shard serves a
+    /// fully resident (non-paged) store or has seen no pool traffic.
+    pub pool_hit_rate: Option<f64>,
+    /// The shard's `pool_resident_blocks` gauge.
+    pub pool_resident_blocks: Option<f64>,
+    /// The shard's `filter_cache_entries` gauge.
+    pub filter_cache_entries: Option<f64>,
 }
 
 /// Parses a merged fleet export into one row per `(shard, endpoint)`
@@ -207,6 +215,12 @@ pub fn parse_fleet(merged: &str) -> Vec<FleetRow> {
             .unwrap_or(0);
         let queue_depth = sample_value(merged, "serve_queue_depth", &labels);
         let buckets = histogram_buckets(merged, "serve_knn_seconds", &labels);
+        let pool_hits = sample_value(merged, "pool_hit_total", &labels);
+        let pool_misses = sample_value(merged, "pool_miss_total", &labels);
+        let pool_hit_rate = match (pool_hits, pool_misses) {
+            (Some(h), Some(m)) if h + m > 0.0 => Some(h / (h + m)),
+            _ => None,
+        };
         rows.push(FleetRow {
             shard,
             endpoint,
@@ -214,6 +228,9 @@ pub fn parse_fleet(merged: &str) -> Vec<FleetRow> {
             p50_ms: bucket_quantile(&buckets, 0.5).map(|s| s * 1000.0),
             p99_ms: bucket_quantile(&buckets, 0.99).map(|s| s * 1000.0),
             queue_depth,
+            pool_hit_rate,
+            pool_resident_blocks: sample_value(merged, "pool_resident_blocks", &labels),
+            filter_cache_entries: sample_value(merged, "filter_cache_entries", &labels),
         });
     }
     rows

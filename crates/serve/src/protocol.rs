@@ -33,7 +33,7 @@
 
 use earthmover_core::stats::{QueryStats, ShardProvenance};
 use earthmover_core::storage;
-use earthmover_core::{Histogram, HistogramDb};
+use earthmover_core::{Histogram, HistogramDb, RetrievalInfo, RetrievalMode};
 use earthmover_obs::TraceContext;
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -150,6 +150,12 @@ mod ext {
     pub const TRACE: u8 = 0x01;
     /// Response-side per-shard [`super::ShardProvenance`] list.
     pub const PROVENANCE: u8 = 0x02;
+    /// Request-side retrieval mode (9-byte body: mode code u8,
+    /// epsilon f64 LE). Absent means exact retrieval.
+    pub const MODE: u8 = 0x03;
+    /// Response-side achieved retrieval tier (17-byte body: mode code
+    /// u8, epsilon f64 LE, guaranteed recall f64 LE).
+    pub const MODE_INFO: u8 = 0x04;
 }
 
 /// A client-to-server message.
@@ -475,6 +481,21 @@ fn put_trace_context(out: &mut Vec<u8>, trace: &TraceContext) {
     put_ext_block(out, ext::TRACE, &body);
 }
 
+fn put_mode(out: &mut Vec<u8>, mode: &RetrievalMode) {
+    let mut body = Vec::with_capacity(9);
+    body.push(mode.code());
+    put_f64(&mut body, mode.epsilon());
+    put_ext_block(out, ext::MODE, &body);
+}
+
+fn put_mode_info(out: &mut Vec<u8>, info: &RetrievalInfo) {
+    let mut body = Vec::with_capacity(17);
+    body.push(info.mode.code());
+    put_f64(&mut body, info.mode.epsilon());
+    put_f64(&mut body, info.recall);
+    put_ext_block(out, ext::MODE_INFO, &body);
+}
+
 fn put_provenance(out: &mut Vec<u8>, entries: &[ShardProvenance]) {
     let mut body = Vec::new();
     put_u32(&mut body, entries.len() as u32);
@@ -528,6 +549,19 @@ fn get_provenance(cur: &mut Cur<'_>) -> Result<Vec<ShardProvenance>, WireError> 
 struct Extensions {
     trace: Option<TraceContext>,
     provenance: Option<Vec<ShardProvenance>>,
+    mode: Option<RetrievalMode>,
+    retrieval: Option<RetrievalInfo>,
+}
+
+/// Request-side extensions surfaced to callers of
+/// [`RawFrame::into_request_ext`]. All fields are `None` on
+/// extension-free (e.g. version-1) frames.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RequestExt {
+    /// Forwarded distributed trace context.
+    pub trace: Option<TraceContext>,
+    /// Requested retrieval tier; `None` means the server's default.
+    pub mode: Option<RetrievalMode>,
 }
 
 /// Consumes the rest of the payload as extension blocks. Unknown tags
@@ -554,6 +588,28 @@ fn get_extensions(cur: &mut Cur<'_>) -> Result<Extensions, WireError> {
             ext::PROVENANCE => {
                 exts.provenance = Some(get_provenance(&mut body)?);
                 body.finish()?;
+            }
+            ext::MODE => {
+                let code = body.u8()?;
+                let epsilon = body.f64()?;
+                body.finish()?;
+                exts.mode = Some(RetrievalMode::from_code(code, epsilon).ok_or_else(|| {
+                    WireError::BadPayload(format!(
+                        "invalid retrieval mode (code {code}, epsilon {epsilon})"
+                    ))
+                })?);
+            }
+            ext::MODE_INFO => {
+                let code = body.u8()?;
+                let epsilon = body.f64()?;
+                let recall = body.f64()?;
+                body.finish()?;
+                let mode = RetrievalMode::from_code(code, epsilon).ok_or_else(|| {
+                    WireError::BadPayload(format!(
+                        "invalid retrieval mode (code {code}, epsilon {epsilon})"
+                    ))
+                })?;
+                exts.retrieval = Some(RetrievalInfo { mode, recall });
             }
             _ => {}
         }
@@ -608,14 +664,30 @@ pub fn encode_request_traced(
     req: &Request,
     trace: Option<TraceContext>,
 ) -> Result<Vec<u8>, WireError> {
+    encode_request_full(request_id, req, trace, None)
+}
+
+/// Serializes a request with every request-side extension: the trace
+/// context and the retrieval-mode selector. Each extension is attached
+/// only when present; with neither, the frame is byte-identical to
+/// [`encode_request`], so mode-less exact traffic keeps parsing on
+/// version-1 peers.
+pub fn encode_request_full(
+    request_id: u64,
+    req: &Request,
+    trace: Option<TraceContext>,
+    mode: Option<RetrievalMode>,
+) -> Result<Vec<u8>, WireError> {
     let (code, mut payload) = request_payload(req)?;
-    let version = match trace {
-        Some(t) => {
-            put_trace_context(&mut payload, &t);
-            VERSION
-        }
-        None => MIN_VERSION,
-    };
+    let mut version = MIN_VERSION;
+    if let Some(t) = trace {
+        put_trace_context(&mut payload, &t);
+        version = VERSION;
+    }
+    if let Some(m) = mode {
+        put_mode(&mut payload, &m);
+        version = VERSION;
+    }
     Ok(frame(version, code, request_id, payload))
 }
 
@@ -658,16 +730,21 @@ fn request_payload(req: &Request) -> Result<(u8, Vec<u8>), WireError> {
 /// carry per-shard provenance gain a version-2 extension block; all
 /// others stay byte-identical to version 1.
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
-    // Appends the stats block plus, when attribution is attached, the
-    // provenance extension; returns whether the frame needs version 2.
+    // Appends the stats block plus, when attached, the provenance and
+    // retrieval-tier extensions; returns whether the frame needs
+    // version 2.
     fn stats_payload(p: &mut Vec<u8>, stats: &QueryStats) -> bool {
         put_stats(p, stats);
-        if stats.provenance.is_empty() {
-            false
-        } else {
+        let mut extended = false;
+        if !stats.provenance.is_empty() {
             put_provenance(p, &stats.provenance);
-            true
+            extended = true;
         }
+        if let Some(info) = &stats.retrieval {
+            put_mode_info(p, info);
+            extended = true;
+        }
+        extended
     }
     let mut version = MIN_VERSION;
     let (code, payload) = match resp {
@@ -755,10 +832,10 @@ impl RawFrame {
         self.into_request_ext().map(|(req, _)| req)
     }
 
-    /// Decodes the payload as a request plus its trailing extensions —
-    /// currently the forwarded distributed [`TraceContext`], `None` on
-    /// extension-free (e.g. version-1) frames.
-    pub fn into_request_ext(self) -> Result<(Request, Option<TraceContext>), WireError> {
+    /// Decodes the payload as a request plus its trailing extensions
+    /// (see [`RequestExt`]); all fields are `None` on extension-free
+    /// (e.g. version-1) frames.
+    pub fn into_request_ext(self) -> Result<(Request, RequestExt), WireError> {
         let mut cur = Cur::new(&self.payload);
         let req = match self.type_code {
             code::KNN => {
@@ -793,7 +870,13 @@ impl RawFrame {
         };
         let exts = get_extensions(&mut cur)?;
         cur.finish()?;
-        Ok((req, exts.trace))
+        Ok((
+            req,
+            RequestExt {
+                trace: exts.trace,
+                mode: exts.mode,
+            },
+        ))
     }
 
     /// Decodes the payload as a response, folding a provenance
@@ -841,13 +924,14 @@ impl RawFrame {
         };
         let exts = get_extensions(&mut cur)?;
         cur.finish()?;
-        if let Some(provenance) = exts.provenance {
-            match &mut resp {
-                Response::Results { stats, .. }
-                | Response::DeadlineExceeded { stats, .. }
-                | Response::Overloaded { stats, .. } => stats.provenance = provenance,
-                _ => {}
+        if let Response::Results { stats, .. }
+        | Response::DeadlineExceeded { stats, .. }
+        | Response::Overloaded { stats, .. } = &mut resp
+        {
+            if let Some(provenance) = exts.provenance {
+                stats.provenance = provenance;
             }
+            stats.retrieval = exts.retrieval;
         }
         Ok(resp)
     }
@@ -1014,7 +1098,8 @@ mod tests {
         assert_eq!(raw.version, VERSION);
         let (req, got) = raw.into_request_ext().unwrap();
         assert!(matches!(req, Request::Knn { k: 3, .. }));
-        assert_eq!(got, Some(trace));
+        assert_eq!(got.trace, Some(trace));
+        assert_eq!(got.mode, None);
     }
 
     #[test]
@@ -1023,9 +1108,9 @@ mod tests {
         let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
             .unwrap()
             .unwrap();
-        let (req, trace) = raw.into_request_ext().unwrap();
+        let (req, exts) = raw.into_request_ext().unwrap();
         assert_eq!(req, Request::Stats);
-        assert_eq!(trace, None);
+        assert_eq!(exts, RequestExt::default());
     }
 
     #[test]
@@ -1050,9 +1135,95 @@ mod tests {
         let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
             .unwrap()
             .unwrap();
-        let (req, trace) = raw.into_request_ext().unwrap();
+        let (req, exts) = raw.into_request_ext().unwrap();
         assert_eq!(req, Request::Health);
-        assert_eq!(trace.unwrap().trace_id, 9);
+        assert_eq!(exts.trace.unwrap().trace_id, 9);
+    }
+
+    #[test]
+    fn retrieval_mode_roundtrips_on_requests() {
+        for mode in [
+            RetrievalMode::Exact,
+            RetrievalMode::Approximate { epsilon: 0.75 },
+            RetrievalMode::SketchOnly,
+        ] {
+            let bytes = encode_request_full(
+                9,
+                &Request::Knn {
+                    k: 2,
+                    deadline_us: 0,
+                    histogram: hist(8),
+                },
+                None,
+                Some(mode),
+            )
+            .unwrap();
+            assert_eq!(bytes[4], VERSION, "mode frames are version 2");
+            let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+                .unwrap()
+                .unwrap();
+            let (req, exts) = raw.into_request_ext().unwrap();
+            assert!(matches!(req, Request::Knn { k: 2, .. }));
+            assert_eq!(exts.mode, Some(mode));
+            assert_eq!(exts.trace, None);
+        }
+    }
+
+    #[test]
+    fn trace_and_mode_extensions_compose_on_one_frame() {
+        let trace = TraceContext {
+            trace_id: 5,
+            parent_span: 6,
+            sampled: true,
+        };
+        let mode = RetrievalMode::Approximate { epsilon: 0.5 };
+        let bytes = encode_request_full(3, &Request::Health, Some(trace), Some(mode)).unwrap();
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let (_, exts) = raw.into_request_ext().unwrap();
+        assert_eq!(exts.trace, Some(trace));
+        assert_eq!(exts.mode, Some(mode));
+    }
+
+    #[test]
+    fn invalid_mode_extension_is_a_typed_error() {
+        let mut bytes =
+            encode_request_full(3, &Request::Health, None, Some(RetrievalMode::SketchOnly))
+                .unwrap();
+        // Corrupt the mode code (last extension body starts 5 bytes
+        // from the end: tag|len4|code|eps8 → code at len-9).
+        let at = bytes.len() - 9;
+        bytes[at] = 0x7E;
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            raw.into_request_ext(),
+            Err(WireError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn retrieval_info_roundtrips_on_responses() {
+        let stats = QueryStats {
+            results: 1,
+            retrieval: Some(RetrievalInfo {
+                mode: RetrievalMode::SketchOnly,
+                recall: 0.5,
+            }),
+            ..QueryStats::default()
+        };
+        let resp = Response::Results {
+            items: vec![(4, 0.25)],
+            stats,
+        };
+        let bytes = encode_response(11, &resp);
+        assert_eq!(bytes[4], VERSION, "retrieval-info frames are version 2");
+        let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(raw.into_response().unwrap(), resp);
     }
 
     #[test]

@@ -53,7 +53,12 @@ pub const RESPONSE_FRAMES: &[(&str, u8)] = &[
 /// Version-2 trailing extension-block tags as `(constant name, tag)`.
 /// Unknown tags are skipped whole on decode, so this space can grow
 /// without a version bump.
-pub const EXTENSION_TAGS: &[(&str, u8)] = &[("TRACE", 0x01), ("PROVENANCE", 0x02)];
+pub const EXTENSION_TAGS: &[(&str, u8)] = &[
+    ("TRACE", 0x01),
+    ("PROVENANCE", 0x02),
+    ("MODE", 0x03),
+    ("MODE_INFO", 0x04),
+];
 
 #[cfg(test)]
 mod tests {

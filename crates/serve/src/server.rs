@@ -25,7 +25,7 @@ use earthmover_core::deadline::Deadline;
 use earthmover_core::ground::BinGrid;
 use earthmover_core::pipeline::QueryEngine;
 use earthmover_core::stats::QueryStats;
-use earthmover_core::HistogramDb;
+use earthmover_core::{HistogramDb, RetrievalMode, SketchTier};
 use earthmover_obs::{self as obs, MetricsRegistry, Subscriber};
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,6 +52,11 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Maximum accepted frame payload length.
     pub max_frame_len: u32,
+    /// Retrieval tier applied when a k-NN request carries no mode
+    /// extension. `None` preserves the historical behavior: mode-less
+    /// requests run the exact pipeline through the mode-less engine API
+    /// (and their responses carry no retrieval-info extension).
+    pub default_mode: Option<RetrievalMode>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             default_deadline: None,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            default_mode: None,
         }
     }
 }
@@ -143,9 +149,27 @@ impl Server {
         grid: &BinGrid,
         subscriber: Option<Arc<dyn Subscriber>>,
     ) -> io::Result<()> {
+        self.run_with(db, grid, subscriber, None)
+    }
+
+    /// [`Server::run`] with an optional sketch tier attached to the
+    /// engine, enabling [`RetrievalMode::SketchOnly`] service. Without a
+    /// tier, sketch-only requests degrade to exact answers with a
+    /// `SKETCH_UNAVAILABLE` degradation note.
+    pub fn run_with(
+        &self,
+        db: &HistogramDb,
+        grid: &BinGrid,
+        subscriber: Option<Arc<dyn Subscriber>>,
+        sketch: Option<SketchTier>,
+    ) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let mut builder = QueryEngine::builder(db, grid);
+        if let Some(tier) = sketch {
+            builder = builder.sketch(tier);
+        }
         let shared = Shared {
-            engine: QueryEngine::builder(db, grid).build(),
+            engine: builder.build(),
             db,
             cfg: self.cfg.clone(),
             registry: MetricsRegistry::new(),
@@ -336,13 +360,13 @@ fn handle_frame(shared: &Shared<'_>, stream: &mut TcpStream, raw: RawFrame) -> b
     // the duration of this request, so `serve_request` and everything
     // under it link into the distributed trace.
     let trace = match &request {
-        Ok((_, trace)) => *trace,
+        Ok((_, exts)) => exts.trace,
         Err(_) => None,
     };
     let _trace_scope = trace.map(|t| obs::set_trace(Some(t)));
     let mut span = obs::span!("serve_request");
     let (response, keep_going) = match request {
-        Ok((req, _)) => execute(shared, req),
+        Ok((req, exts)) => execute(shared, req, exts.mode),
         Err(err) => {
             shared.registry.counter("serve_errors_total").inc(1);
             (
@@ -375,8 +399,9 @@ fn handle_frame(shared: &Shared<'_>, stream: &mut TcpStream, raw: RawFrame) -> b
 }
 
 /// Runs one decoded request against the engine. Returns the response
-/// and whether the connection may continue.
-fn execute(shared: &Shared<'_>, req: Request) -> (Response, bool) {
+/// and whether the connection may continue. `mode` is the request's
+/// retrieval-mode extension; range queries ignore it (always exact).
+fn execute(shared: &Shared<'_>, req: Request, mode: Option<RetrievalMode>) -> (Response, bool) {
     match req {
         Request::Knn {
             k,
@@ -387,7 +412,20 @@ fn execute(shared: &Shared<'_>, req: Request) -> (Response, bool) {
                 return (arity_error(shared, histogram.len()), true);
             }
             let deadline = request_deadline(shared, deadline_us);
-            match shared.engine.knn_within(&histogram, k as usize, deadline) {
+            let result = match mode.or(shared.cfg.default_mode) {
+                Some(mode) => {
+                    if matches!(mode, RetrievalMode::SketchOnly) {
+                        shared.registry.counter("sketch_queries_total").inc(1);
+                    }
+                    shared
+                        .engine
+                        .knn_mode_within(&histogram, k as usize, mode, deadline)
+                }
+                // Mode-less requests keep the historical path: exact
+                // answers whose responses stay byte-identical to v1.
+                None => shared.engine.knn_within(&histogram, k as usize, deadline),
+            };
+            match result {
                 Ok(result) => (query_response(result), true),
                 Err(e) => (internal_error(shared, &e.to_string()), true),
             }

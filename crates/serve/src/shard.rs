@@ -34,6 +34,9 @@ pub enum ShardQuery {
         /// Neighbours wanted *per shard* (the global k: each shard must
         /// over-answer so the merged top-k is exact).
         k: u32,
+        /// Retrieval tier forwarded to the shard; `None` keeps the
+        /// shard's mode-less exact path (byte-identical v1 frames).
+        mode: Option<earthmover_core::RetrievalMode>,
     },
     /// Range sub-query.
     Range {
@@ -129,7 +132,16 @@ impl ShardEndpoint {
         client.set_io_timeout(attempt_timeout)?;
         let wire_deadline_us = wire_deadline_us(deadline);
         match query {
-            ShardQuery::Knn { histogram, k } => client.knn(histogram, *k, wire_deadline_us),
+            ShardQuery::Knn {
+                histogram,
+                k,
+                mode: Some(mode),
+            } => client.knn_mode(histogram, *k, wire_deadline_us, *mode),
+            ShardQuery::Knn {
+                histogram,
+                k,
+                mode: None,
+            } => client.knn(histogram, *k, wire_deadline_us),
             ShardQuery::Range { histogram, epsilon } => {
                 client.range(histogram, *epsilon, wire_deadline_us)
             }
@@ -556,6 +568,7 @@ mod tests {
         ShardQuery::Knn {
             histogram: Histogram::new(vec![1.0, 2.0, 3.0, 4.0]).expect("histogram"),
             k: 3,
+            mode: None,
         }
     }
 

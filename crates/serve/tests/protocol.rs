@@ -11,7 +11,8 @@ use earthmover_core::Histogram;
 use earthmover_obs::TraceContext;
 use earthmover_serve::protocol::{
     encode_request, encode_request_traced, encode_response, read_frame, ErrorCode, Request,
-    Response, WireError, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
+    RequestExt, Response, WireError, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, MIN_VERSION,
+    VERSION,
 };
 use earthmover_serve::schema::{EXTENSION_TAGS, REQUEST_FRAMES, RESPONSE_FRAMES};
 use proptest::prelude::*;
@@ -308,8 +309,8 @@ proptest! {
             .unwrap()
             .expect("one full frame");
         prop_assert_eq!(raw.request_id, id);
-        let (got, got_context) = raw.into_request_ext().unwrap();
-        prop_assert_eq!(got_context, Some(context));
+        let (got, got_exts) = raw.into_request_ext().unwrap();
+        prop_assert_eq!(got_exts.trace, Some(context));
         let want = canonical(&req);
         prop_assert!(requests_equal(&got, &want), "{:?} != {:?}", got, want);
 
@@ -335,8 +336,8 @@ proptest! {
         let raw = read_frame(&mut plain.as_slice(), DEFAULT_MAX_FRAME_LEN)
             .unwrap()
             .expect("one full frame");
-        let (_, got_context) = raw.into_request_ext().unwrap();
-        prop_assert_eq!(got_context, None);
+        let (_, got_exts) = raw.into_request_ext().unwrap();
+        prop_assert_eq!(got_exts, RequestExt::default());
     }
 
     /// Truncating an extension-carrying frame anywhere — including
@@ -522,8 +523,8 @@ proptest! {
             let raw = read_frame(&mut traced.as_slice(), DEFAULT_MAX_FRAME_LEN)
                 .unwrap()
                 .expect("one full frame");
-            let (got, got_context) = raw.into_request_ext().unwrap();
-            prop_assert_eq!(got_context, Some(context));
+            let (got, got_exts) = raw.into_request_ext().unwrap();
+            prop_assert_eq!(got_exts.trace, Some(context));
             prop_assert!(requests_equal(&got, &want), "{}: traced payload differs", name);
 
             // Every registered tag on every request kind: an arbitrary
@@ -593,9 +594,13 @@ fn unknown_extension_tag_is_skipped() {
     let raw = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN)
         .unwrap()
         .unwrap();
-    let (req, context) = raw.into_request_ext().unwrap();
+    let (req, exts) = raw.into_request_ext().unwrap();
     assert_eq!(req, Request::Health);
-    assert_eq!(context, None, "an unknown tag is not a trace context");
+    assert_eq!(
+        exts,
+        RequestExt::default(),
+        "an unknown tag is neither a trace context nor a mode"
+    );
 }
 
 /// An extension block whose length prefix runs past the payload is a

@@ -1,0 +1,165 @@
+//! Normal-distribution parameterization of a histogram: project each
+//! histogram onto the per-axis mean and spread of its mass distribution
+//! over feature space (after Ruttenberg & Singh, "Indexing the Earth
+//! Mover's Distance Using Normal Distributions").
+//!
+//! A histogram over bins at centroids `c_b` with masses `m_b` is
+//! summarized by the moments of the discrete distribution it induces on
+//! the feature cube: per feature axis `j`, the mean
+//! `mu_j = sum_b m_b c_bj` and standard deviation
+//! `sigma_j = sqrt(sum_b m_b c_bj^2 - mu_j^2)`. The sketch vector is
+//! `[mu_1..mu_d, sigma_1..sigma_d]` and the distance is the Euclidean
+//! distance between sketch vectors — exactly the 2-Wasserstein distance
+//! between the axis-aligned normal distributions `N(mu, diag(sigma^2))`
+//! fitted to each histogram.
+//!
+//! The distance is symmetric and zero on self by construction. It is
+//! **not** an admissible EMD lower bound in general (fitting normals
+//! loses multi-modality), which is why it serves as an index-side
+//! filter for the approximate tier rather than as a completeness-
+//! preserving filter in the exact pipeline.
+
+use crate::{Sketch, SketchError};
+
+/// The normal-distribution sketch over a fixed set of bin centroids.
+#[derive(Debug, Clone)]
+pub struct NormalProjection {
+    /// Centroid coordinates, bin-major (`bins x feature_dims`).
+    coords: Vec<Vec<f64>>,
+    feature_dims: usize,
+}
+
+impl NormalProjection {
+    /// Builds the projection over `centroids` (one point per bin).
+    pub fn new(centroids: &[Vec<f64>]) -> Result<Self, SketchError> {
+        if centroids.is_empty() {
+            return Err(SketchError::InvalidBinSpace);
+        }
+        let d = centroids[0].len();
+        if d == 0 || centroids.iter().any(|c| c.len() != d) {
+            return Err(SketchError::InvalidBinSpace);
+        }
+        Ok(NormalProjection {
+            coords: centroids.to_vec(),
+            feature_dims: d,
+        })
+    }
+
+    /// Feature-space dimensionality `d` (sketch vectors have `2 d`
+    /// coordinates).
+    pub fn feature_dims(&self) -> usize {
+        self.feature_dims
+    }
+}
+
+impl Sketch for NormalProjection {
+    fn dim(&self) -> usize {
+        2 * self.feature_dims
+    }
+
+    fn bins(&self) -> usize {
+        self.coords.len()
+    }
+
+    fn project(&self, bins: &[f64], out: &mut [f64]) -> Result<(), SketchError> {
+        if bins.len() != self.coords.len() {
+            return Err(SketchError::ArityMismatch {
+                expected: self.coords.len(),
+                got: bins.len(),
+            });
+        }
+        debug_assert_eq!(out.len(), 2 * self.feature_dims);
+        let total: f64 = bins.iter().sum();
+        let inv = if total > 0.0 { 1.0 / total } else { 0.0 };
+        let (mu, sigma) = out.split_at_mut(self.feature_dims);
+        mu.iter_mut().for_each(|v| *v = 0.0);
+        sigma.iter_mut().for_each(|v| *v = 0.0);
+        // First pass: means. Second moment accumulates in `sigma`.
+        for (mass, c) in bins.iter().zip(&self.coords) {
+            let m = mass * inv;
+            if m == 0.0 {
+                continue;
+            }
+            for ((mu_j, sig_j), x) in mu.iter_mut().zip(sigma.iter_mut()).zip(c) {
+                *mu_j += m * x;
+                *sig_j += m * x * x;
+            }
+        }
+        // sigma_j = sqrt(E[x^2] - mu^2), clamped against rounding.
+        for (sig_j, mu_j) in sigma.iter_mut().zip(mu.iter()) {
+            *sig_j = (*sig_j - mu_j * mu_j).max(0.0).sqrt();
+        }
+        Ok(())
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_centroids() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.25, 0.25],
+            vec![0.25, 0.75],
+            vec![0.75, 0.25],
+            vec![0.75, 0.75],
+        ]
+    }
+
+    #[test]
+    fn point_mass_has_zero_spread() {
+        let s = NormalProjection::new(&square_centroids()).unwrap();
+        let mut out = vec![0.0; s.dim()];
+        s.project(&[0.0, 1.0, 0.0, 0.0], &mut out).unwrap();
+        assert_eq!(&out[..2], &[0.25, 0.75]);
+        assert_eq!(&out[2..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_mass_centers_on_the_cube() {
+        let s = NormalProjection::new(&square_centroids()).unwrap();
+        let mut out = vec![0.0; s.dim()];
+        s.project(&[0.25; 4], &mut out).unwrap();
+        assert!((out[0] - 0.5).abs() < 1e-12);
+        assert!((out[1] - 0.5).abs() < 1e-12);
+        // Spread per axis: half the mass at 0.25, half at 0.75 -> 0.25.
+        assert!((out[2] - 0.25).abs() < 1e-12);
+        assert!((out[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let s = NormalProjection::new(&square_centroids()).unwrap();
+        let mut a = vec![0.0; s.dim()];
+        let mut b = vec![0.0; s.dim()];
+        s.project(&[0.5, 0.5, 0.0, 0.0], &mut a).unwrap();
+        s.project(&[0.0, 0.0, 0.5, 0.5], &mut b).unwrap();
+        assert_eq!(s.distance(&a, &a), 0.0);
+        assert_eq!(s.distance(&a, &b), s.distance(&b, &a));
+        assert!(s.distance(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn raw_and_normalized_masses_project_identically() {
+        let s = NormalProjection::new(&square_centroids()).unwrap();
+        let mut a = vec![0.0; s.dim()];
+        let mut b = vec![0.0; s.dim()];
+        s.project(&[2.0, 0.0, 6.0, 0.0], &mut a).unwrap();
+        s.project(&[0.25, 0.0, 0.75, 0.0], &mut b).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -51,7 +51,8 @@ fn main() -> ExitCode {
              emdtool serve --db FILE [--addr HOST:PORT] [--workers N] [--queue N]\n    \
              [--default-deadline-ms MS] [--trace-json PATH|-]\n  \
              emdtool client --addr HOST:PORT --op knn|range|health|stats|shutdown\n    \
-             [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]\n  \
+             [--db FILE --id OBJ] [--k K] [--epsilon E] [--deadline-ms MS]\n    \
+             [--mode exact|sketch|approx:EPS]  retrieval tier for --op knn\n  \
              emdtool trace --addr HOST:PORT --db FILE --id OBJ [--k K] [--deadline-ms MS]\n    \
              issue one sampled, traced k-NN and render the per-shard trace tree\n  \
              emdtool top --addr HOST:PORT\n    \
@@ -506,6 +507,12 @@ fn print_outcome(outcome: serve_api::Outcome) {
                 "work: {} exact EMD evaluations / {} objects, {:?} server-side",
                 stats.exact_evaluations, stats.db_size, stats.elapsed
             );
+            if let Some(info) = &stats.retrieval {
+                println!(
+                    "retrieval: {} tier, guaranteed recall {:.3}",
+                    info.mode, info.recall
+                );
+            }
         }
         serve_api::Outcome::Overloaded { queue_depth, stats } => {
             eprintln!("server overloaded (queue depth {queue_depth}); request shed");
@@ -610,19 +617,30 @@ fn top(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(ms) => format!("{ms:.2}"),
         None => "-".to_string(),
     };
+    let fmt_count = |v: Option<f64>| match v {
+        Some(n) => format!("{n:.0}"),
+        None => "-".to_string(),
+    };
+    let fmt_pct = |v: Option<f64>| match v {
+        Some(frac) => format!("{:.1}%", 100.0 * frac),
+        None => "-".to_string(),
+    };
     println!(
-        "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}",
-        "SHARD", "ENDPOINT", "REQUESTS", "P50(ms)", "P99(ms)", "QUEUE"
+        "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}  {:>7}  {:>6}  {:>6}",
+        "SHARD", "ENDPOINT", "REQUESTS", "P50(ms)", "P99(ms)", "QUEUE", "POOL%", "BLOCKS", "FCACHE"
     );
     for row in rows {
         println!(
-            "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}",
+            "{:>5}  {:<21}  {:>9}  {:>8}  {:>8}  {:>5}  {:>7}  {:>6}  {:>6}",
             row.shard,
             row.endpoint,
             row.requests,
             fmt_ms(row.p50_ms),
             fmt_ms(row.p99_ms),
             fmt_ms(row.queue_depth),
+            fmt_pct(row.pool_hit_rate),
+            fmt_count(row.pool_resident_blocks),
+            fmt_count(row.filter_cache_entries),
         );
     }
     Ok(())
@@ -650,7 +668,17 @@ fn client(flags: &HashMap<String, String>) -> Result<(), String> {
         "knn" => {
             let k: u32 = get_num(flags, "k", 10)?;
             let q = query_histogram()?;
-            let outcome = client.knn(&q, k, deadline_us).map_err(|e| e.to_string())?;
+            let outcome = match flags.get("mode") {
+                None => client.knn(&q, k, deadline_us).map_err(|e| e.to_string())?,
+                Some(spec) => {
+                    let mode = earthmover::RetrievalMode::parse(spec).ok_or_else(|| {
+                        format!("--mode {spec}: expected exact, sketch, or approx:EPS")
+                    })?;
+                    client
+                        .knn_mode(&q, k, deadline_us, mode)
+                        .map_err(|e| e.to_string())?
+                }
+            };
             print_outcome(outcome);
         }
         "range" => {
